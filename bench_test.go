@@ -1,0 +1,356 @@
+// Package bench holds the repository-level benchmark harness: one
+// benchmark per figure/claim of the paper's evaluation (on the reduced
+// "small" scale so `go test -bench=.` completes quickly — cmd/perfchart
+// runs the full paper scale), plus kernel and ablation benchmarks.
+//
+// Simulated-cluster benchmarks report the *virtual* execution time as the
+// custom metric virtual_s; wall-clock ns/op measures the simulator itself.
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"resilientfusion/internal/core"
+	"resilientfusion/internal/experiments"
+	"resilientfusion/internal/failure"
+	"resilientfusion/internal/hsi"
+	"resilientfusion/internal/linalg"
+	"resilientfusion/internal/pct"
+	"resilientfusion/internal/scplib"
+	"resilientfusion/internal/spectral"
+)
+
+var (
+	sceneOnce sync.Once
+	benchCube *hsi.Cube
+)
+
+func cube(b *testing.B) *hsi.Cube {
+	sceneOnce.Do(func() {
+		scene, err := hsi.GenerateScene(experiments.SmallScale().Scene)
+		if err != nil {
+			panic(err)
+		}
+		benchCube = scene.Cube
+	})
+	b.Helper()
+	return benchCube
+}
+
+// runSim executes one simulated fusion and reports virtual seconds.
+func runSim(b *testing.B, cfg experiments.RunConfig) *experiments.RunOutcome {
+	b.Helper()
+	out, err := experiments.RunOnCube(cfg, cube(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return out
+}
+
+// --- E1: Figure 4 ---
+
+func BenchmarkFig4NoResiliency(b *testing.B) {
+	scale := experiments.SmallScale()
+	fixedS := 2 * scale.Procs[len(scale.Procs)-1]
+	for _, p := range scale.Procs {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			var last *experiments.RunOutcome
+			for i := 0; i < b.N; i++ {
+				last = runSim(b, experiments.RunConfig{
+					Scale: scale, Workers: p, Granularity: fixedS / p, Replication: 1,
+				})
+			}
+			b.ReportMetric(last.Result.Times.Total, "virtual_s")
+		})
+	}
+}
+
+func BenchmarkFig4Resiliency2(b *testing.B) {
+	scale := experiments.SmallScale()
+	fixedS := 2 * scale.Procs[len(scale.Procs)-1]
+	for _, p := range scale.Procs {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			var last *experiments.RunOutcome
+			for i := 0; i < b.N; i++ {
+				last = runSim(b, experiments.RunConfig{
+					Scale: scale, Workers: p, Granularity: fixedS / p,
+					Replication: 2, Regenerate: true,
+				})
+			}
+			b.ReportMetric(last.Result.Times.Total, "virtual_s")
+		})
+	}
+}
+
+// --- E2: Figure 5 ---
+
+func BenchmarkFig5Granularity(b *testing.B) {
+	scale := experiments.SmallScale()
+	p := scale.Fig5Procs[len(scale.Fig5Procs)-1]
+	for _, g := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("P=%d/subcubes=%dxP", p, g), func(b *testing.B) {
+			var last *experiments.RunOutcome
+			for i := 0; i < b.N; i++ {
+				last = runSim(b, experiments.RunConfig{
+					Scale: scale, Workers: p, Granularity: g, Replication: 1,
+				})
+			}
+			b.ReportMetric(last.Result.Times.Total, "virtual_s")
+		})
+	}
+}
+
+// --- E2b: sub-cube sweep (tail-off) ---
+
+func BenchmarkFig5SubCubeSweep(b *testing.B) {
+	scale := experiments.SmallScale()
+	p := scale.Procs[len(scale.Procs)-1]
+	for _, g := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("subcubes=%d", g*p), func(b *testing.B) {
+			var last *experiments.RunOutcome
+			for i := 0; i < b.N; i++ {
+				last = runSim(b, experiments.RunConfig{
+					Scale: scale, Workers: p, Granularity: g, Replication: 1,
+				})
+			}
+			b.ReportMetric(last.Result.Times.Total, "virtual_s")
+		})
+	}
+}
+
+// --- E6: shared-memory model ---
+
+func BenchmarkSharedMemorySpeedup(b *testing.B) {
+	scale := experiments.SmallScale()
+	for _, p := range scale.Procs {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			var last *experiments.RunOutcome
+			for i := 0; i < b.N; i++ {
+				last = runSim(b, experiments.RunConfig{
+					Scale: scale, Workers: p, Granularity: 3, Replication: 1,
+					Network: experiments.NetShared,
+				})
+			}
+			b.ReportMetric(last.Result.Times.Total, "virtual_s")
+		})
+	}
+}
+
+// --- E7: regeneration under attack ---
+
+func BenchmarkRegeneration(b *testing.B) {
+	scale := experiments.SmallScale()
+	plan := &failure.Plan{Events: []failure.Event{
+		failure.KillReplica(1.0, 1, 0),
+		failure.KillReplica(1.5, 2, 1),
+	}}
+	var last *experiments.RunOutcome
+	for i := 0; i < b.N; i++ {
+		last = runSim(b, experiments.RunConfig{
+			Scale: scale, Workers: 4, Granularity: 2,
+			Replication: 2, Regenerate: true, Plan: plan,
+			RequestTimeout: 1e4,
+		})
+	}
+	b.ReportMetric(last.Result.Times.Total, "virtual_s")
+	b.ReportMetric(float64(last.Regenerations), "regenerations")
+}
+
+// --- A5: replication level scaling ---
+
+func BenchmarkReplicationLevels(b *testing.B) {
+	scale := experiments.SmallScale()
+	for _, r := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("R=%d", r), func(b *testing.B) {
+			var last *experiments.RunOutcome
+			for i := 0; i < b.N; i++ {
+				last = runSim(b, experiments.RunConfig{
+					Scale: scale, Workers: 4, Granularity: 2,
+					Replication: r, Regenerate: r > 1,
+				})
+			}
+			b.ReportMetric(last.Result.Times.Total, "virtual_s")
+		})
+	}
+}
+
+// --- A2: communication/computation overlap ---
+
+func BenchmarkAblationPrefetch(b *testing.B) {
+	scale := experiments.SmallScale()
+	for _, pf := range []int{-1, 1} {
+		name := "overlap"
+		if pf < 0 {
+			name = "no-overlap"
+		}
+		b.Run(name, func(b *testing.B) {
+			var last *experiments.RunOutcome
+			for i := 0; i < b.N; i++ {
+				last = runSim(b, experiments.RunConfig{
+					Scale: scale, Workers: 4, Granularity: 3, Replication: 1,
+					Prefetch: pf,
+				})
+			}
+			b.ReportMetric(last.Result.Times.Total, "virtual_s")
+		})
+	}
+}
+
+// --- A3: shared bus vs switched fabric ---
+
+func BenchmarkAblationNetworkModel(b *testing.B) {
+	scale := experiments.SmallScale()
+	for _, net := range []struct {
+		name string
+		n    experiments.Network
+	}{{"bus", experiments.NetBus}, {"switched", experiments.NetSwitched}} {
+		b.Run(net.name, func(b *testing.B) {
+			var last *experiments.RunOutcome
+			for i := 0; i < b.N; i++ {
+				last = runSim(b, experiments.RunConfig{
+					Scale: scale, Workers: 8, Granularity: 2, Replication: 1,
+					Network: net.n,
+				})
+			}
+			b.ReportMetric(last.Result.Times.Total, "virtual_s")
+		})
+	}
+}
+
+// --- A1: spectral screening vs plain PCT ---
+
+func BenchmarkAblationScreening(b *testing.B) {
+	c := cube(b)
+	for _, disable := range []bool{false, true} {
+		name := "screening"
+		if disable {
+			name = "plain-pct"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := pct.Run(c, pct.Options{Threshold: 0.03, DisableScreening: disable}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- A4: eigensolvers at the paper's band counts ---
+
+func BenchmarkEigenSolvers(b *testing.B) {
+	for _, n := range []int{105, 210} {
+		m := randomCovariance(n)
+		for _, solver := range []linalg.EigenSolver{linalg.SolverTridiagQL, linalg.SolverJacobi} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, solver), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := linalg.EigenSymWith(m, solver); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func randomCovariance(n int) *linalg.Matrix {
+	base := linalg.NewMatrix(n, n)
+	for i := range base.Data {
+		base.Data[i] = float64((i*2654435761)%1000)/500 - 1
+	}
+	bt := base.Transpose()
+	m, err := base.Mul(bt)
+	if err != nil {
+		panic(err)
+	}
+	m.Symmetrize()
+	return m
+}
+
+// --- Kernels ---
+
+func BenchmarkScreen(b *testing.B) {
+	c := cube(b)
+	sub, err := hsi.Extract(c, hsi.RowRange{Y0: 0, Y1: c.Height / 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	vectors := sub.PixelVectors()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := spectral.Screen(vectors, 0.03); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCovarianceSum(b *testing.B) {
+	c := cube(b)
+	u, _, err := spectral.Screen((&hsi.SubCube{Range: hsi.RowRange{Y1: c.Height}, Cube: c}).PixelVectors(), 0.03)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mean, err := pct.MeanOf(u.Members)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pct.CovarianceSum(u.Members, mean); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTransformCube(b *testing.B) {
+	c := cube(b)
+	res, err := pct.Run(c, pct.Options{Threshold: 0.03})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pct.TransformCube(c, res.Transform, res.Mean); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCubeCodec(b *testing.B) {
+	c := cube(b)
+	b.Run("encode", func(b *testing.B) {
+		b.SetBytes(c.EncodedSize())
+		for i := 0; i < b.N; i++ {
+			var sink countWriter
+			if _, err := c.WriteTo(&sink); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+type countWriter int64
+
+func (w *countWriter) Write(p []byte) (int, error) {
+	*w += countWriter(len(p))
+	return len(p), nil
+}
+
+// --- Real-runtime end-to-end (true parallelism on the host) ---
+
+func BenchmarkRealRuntimeFusion(b *testing.B) {
+	c := cube(b)
+	for _, p := range []int{1, 2} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Fuse(scplib.NewRealSystem(), c, core.Options{
+					Workers: p, Granularity: 2, Threshold: 0.03,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

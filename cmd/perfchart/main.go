@@ -1,0 +1,131 @@
+// Command perfchart regenerates the paper's evaluation figures on the
+// simulated cluster and prints them as tables (optionally CSV).
+//
+//	perfchart -fig 4            Figure 4: time vs processors, ±resiliency
+//	perfchart -fig 4 -speedup   derived speedups + overhead decomposition
+//	perfchart -fig 5            Figure 5: granularity control
+//	perfchart -fig 5b           sub-cube count sweep (tail-off past ~32)
+//	perfchart -sharedmem        shared-memory model (≈5%-of-linear claim)
+//	perfchart -regen            attack + regeneration experiment
+//	perfchart -all              everything
+//
+// -scale small runs a reduced configuration in a few seconds; the default
+// paper scale reproduces §4's 320×320×105 cube on 16 nodes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"resilientfusion/internal/experiments"
+	"resilientfusion/internal/metrics"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("perfchart: ")
+	var (
+		fig       = flag.String("fig", "", "figure to regenerate: 4, 5, or 5b")
+		speedup   = flag.Bool("speedup", false, "with -fig 4: print derived speedup table")
+		sharedmem = flag.Bool("sharedmem", false, "run the shared-memory (zero-communication) sweep")
+		regen     = flag.Bool("regen", false, "run the attack/regeneration experiment")
+		all       = flag.Bool("all", false, "run every experiment")
+		scaleName = flag.String("scale", "paper", "experiment scale: paper or small")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "paper":
+		scale = experiments.PaperScale()
+	case "small":
+		scale = experiments.SmallScale()
+	default:
+		log.Fatalf("unknown scale %q", *scaleName)
+	}
+
+	emit := func(t *metrics.Table) {
+		var err error
+		if *csv {
+			err = t.CSV(os.Stdout)
+		} else {
+			err = t.Write(os.Stdout)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+
+	ran := false
+	if *all || *fig == "4" {
+		ran = true
+		log.Printf("running Figure 4 sweep (%s scale)...", scale.Name)
+		f4, err := experiments.RunFig4(scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(f4.Table())
+		if *speedup || *all {
+			emit(f4.SpeedupTable())
+			fmt.Printf("worst shortfall from linear (no resiliency): %.1f%%\n",
+				100*metrics.WithinOfLinear(f4.SpeedupBase, f4.Procs))
+			fmt.Printf("mean overhead beyond replication factor: %.1f%%\n\n",
+				100*metrics.Mean(f4.OverheadBeyondReplication))
+		}
+	}
+	if *all || *fig == "5" {
+		ran = true
+		log.Printf("running Figure 5 sweep (%s scale)...", scale.Name)
+		f5, err := experiments.RunFig5(scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(f5.Table())
+	}
+	if *all || *fig == "5b" {
+		ran = true
+		log.Printf("running sub-cube sweep (%s scale)...", scale.Name)
+		sw, err := experiments.RunSubCubeSweep(scale, []int{1, 2, 3, 4, 6, 8})
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(sw.Table())
+	}
+	if *all || *sharedmem {
+		ran = true
+		log.Printf("running shared-memory sweep (%s scale)...", scale.Name)
+		sm, err := experiments.RunSharedMemory(scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(sm.Table())
+		fmt.Printf("worst shortfall from linear: %.1f%%\n\n", 100*sm.WorstShortfall)
+	}
+	if *all || *regen {
+		ran = true
+		log.Printf("running regeneration experiment (%s scale)...", scale.Name)
+		workers := scale.Procs[len(scale.Procs)-1] / 2
+		if workers < 2 {
+			workers = 2
+		}
+		rg, err := experiments.RunRegeneration(scale, workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("# Regeneration under attack (P=%d, replication 2)\n", workers)
+		fmt.Printf("failure-free time:        %10.2f s\n", rg.BaselineTime)
+		fmt.Printf("attacked time:            %10.2f s (+%.1f%%)\n", rg.AttackedTime, rg.SlowdownPct)
+		fmt.Printf("failures detected:        %10d\n", rg.Detections)
+		fmt.Printf("replicas regenerated:     %10d\n", rg.Regenerations)
+		fmt.Printf("mean detection latency:   %10.2f s\n", rg.MeanDetectLatency)
+		fmt.Printf("mean regeneration latency:%10.2f s\n\n", rg.MeanRegenLatency)
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

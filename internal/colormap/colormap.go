@@ -1,0 +1,170 @@
+// Package colormap implements step 8 of the paper's algorithm: human-
+// centered color mapping of the first three principal components into a
+// color-composite image. PC1 drives the achromatic (luminance) channel,
+// PC2 the red-green opponency and PC3 the blue-yellow opponency, matching
+// the spatial-spectral sensitivity of the human visual system (Boynton;
+// Poirson & Wandell).
+package colormap
+
+import (
+	"errors"
+	"fmt"
+	"image"
+	"image/color"
+	"math"
+	"sort"
+
+	"resilientfusion/internal/hsi"
+	"resilientfusion/internal/linalg"
+)
+
+// OpponentMatrix is the 3×3 opponent-to-RGB transform from the paper:
+//
+//	R   ( 0.4387  0.4972  0.0641) (C1−128)
+//	G = ( 0.4972  0.1403 −0.0795)·(C2−128) + 128
+//	B   (−0.1355  0.0116 −0.4972) (C3−128)
+//
+// where C1..C3 are the stretched principal components. The entries are
+// transcribed from the paper's equation for step 8 (sign placement per the
+// authors' companion journal paper).
+var OpponentMatrix = [3][3]float64{
+	{0.4387, 0.4972, 0.0641},
+	{0.4972, 0.1403, -0.0795},
+	{-0.1355, 0.0116, -0.4972},
+}
+
+// ErrNeedThreeComponents is returned when a composite is requested from a
+// cube that does not carry at least three bands.
+var ErrNeedThreeComponents = errors.New("colormap: composite needs a 3-component cube")
+
+// Stretch maps a raw principal-component value into display range [0,255]
+// with 128 at the component mean. The paper performs this per worker, so
+// the parameters must not require a global pass over transformed data;
+// VarianceStretch derives them from the eigenvalues the manager already
+// broadcast.
+type Stretch struct {
+	// Center is subtracted before scaling (the component's expected mean).
+	Center float64
+	// Scale multiplies the centered value; the result is offset to 128
+	// and clamped to [0, 255].
+	Scale float64
+}
+
+// Apply maps v into [0, 255].
+func (s Stretch) Apply(v float64) float64 {
+	x := 128 + (v-s.Center)*s.Scale
+	if x < 0 {
+		return 0
+	}
+	if x > 255 {
+		return 255
+	}
+	return x
+}
+
+// VarianceStretch builds per-component stretches from eigenvalues: a
+// component with variance λ spans ±kσ across the display range, so
+// scale = 128/(k·√λ). k=3 keeps 99.7% of a Gaussian component in range.
+// Components are zero-centered because pixels are mean-subtracted before
+// projection.
+func VarianceStretch(eigenvalues linalg.Vector, k float64) []Stretch {
+	if k <= 0 {
+		k = 3
+	}
+	out := make([]Stretch, len(eigenvalues))
+	for i, ev := range eigenvalues {
+		sigma := math.Sqrt(math.Max(ev, 0))
+		scale := 0.0
+		if sigma > 0 {
+			scale = 128 / (k * sigma)
+		}
+		out[i] = Stretch{Center: 0, Scale: scale}
+	}
+	return out
+}
+
+// PercentileStretch computes a stretch from the data itself, mapping the
+// lo and hi percentiles of plane onto the display extremes. Used by the
+// sequential tooling for band renderings (paper Figure 2); the distributed
+// pipeline prefers VarianceStretch (no global pass required).
+func PercentileStretch(plane []float64, lo, hi float64) Stretch {
+	if len(plane) == 0 || lo >= hi {
+		return Stretch{Center: 0, Scale: 0}
+	}
+	lov, hiv := percentiles(plane, lo, hi)
+	if hiv <= lov {
+		return Stretch{Center: lov, Scale: 0}
+	}
+	// Map [lov, hiv] → [0, 255]: center at midpoint, scale to span 255.
+	return Stretch{
+		Center: (lov + hiv) / 2,
+		Scale:  255 / (hiv - lov),
+	}
+}
+
+// percentiles returns the lo-th and hi-th percentile values (0..1) using a
+// copy-and-select; planes are small (≤ a few MB) so sorting cost is fine.
+func percentiles(plane []float64, lo, hi float64) (float64, float64) {
+	cp := append([]float64(nil), plane...)
+	sort.Float64s(cp)
+	idx := func(p float64) int {
+		i := int(p * float64(len(cp)-1))
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(cp) {
+			i = len(cp) - 1
+		}
+		return i
+	}
+	return cp[idx(lo)], cp[idx(hi)]
+}
+
+// Compose maps a 3-component cube into an RGB image using the opponent
+// matrix — algorithm step 8. stretches must have one entry per component
+// used (extra entries are ignored).
+func Compose(components *hsi.Cube, stretches []Stretch) (*image.RGBA, error) {
+	if components.Bands < 3 {
+		return nil, fmt.Errorf("%w: got %d bands", ErrNeedThreeComponents, components.Bands)
+	}
+	if len(stretches) < 3 {
+		return nil, errors.New("colormap: need 3 stretches")
+	}
+	img := image.NewRGBA(image.Rect(0, 0, components.Width, components.Height))
+	var c [3]float64
+	for y := 0; y < components.Height; y++ {
+		for x := 0; x < components.Width; x++ {
+			s := components.Spectrum(x, y)
+			for k := 0; k < 3; k++ {
+				c[k] = stretches[k].Apply(float64(s[k]))
+			}
+			r, g, b := MapPixel(c)
+			img.SetRGBA(x, y, color.RGBA{R: r, G: g, B: b, A: 255})
+		}
+	}
+	return img, nil
+}
+
+// MapPixel applies the opponent transform to one stretched component
+// triple (each in [0,255]) and returns 8-bit RGB.
+func MapPixel(c [3]float64) (r, g, b uint8) {
+	var out [3]float64
+	for i := 0; i < 3; i++ {
+		acc := 128.0
+		for j := 0; j < 3; j++ {
+			acc += OpponentMatrix[i][j] * (c[j] - 128)
+		}
+		out[i] = acc
+	}
+	return clampByte(out[0]), clampByte(out[1]), clampByte(out[2])
+}
+
+func clampByte(v float64) uint8 {
+	if v <= 0 {
+		return 0
+	}
+	if v >= 255 {
+		return 255
+	}
+	return uint8(v + 0.5)
+}

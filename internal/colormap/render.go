@@ -1,0 +1,77 @@
+package colormap
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"os"
+
+	"resilientfusion/internal/hsi"
+)
+
+// RenderBand renders one spectral band of a cube as a contrast-stretched
+// grayscale image — how the paper's Figure 2 frames (400 nm and 1998 nm)
+// are produced.
+func RenderBand(c *hsi.Cube, band int) (*image.Gray, error) {
+	plane, err := c.Band(band)
+	if err != nil {
+		return nil, err
+	}
+	st := PercentileStretch(plane, 0.02, 0.98)
+	img := image.NewGray(image.Rect(0, 0, c.Width, c.Height))
+	for i, v := range plane {
+		img.Pix[i] = clampByte(st.Apply(v))
+	}
+	return img, nil
+}
+
+// RenderBandNearest renders the band closest to the given wavelength.
+func RenderBandNearest(c *hsi.Cube, nm float64) (*image.Gray, int, error) {
+	b, err := c.NearestBand(nm)
+	if err != nil {
+		return nil, 0, err
+	}
+	img, err := RenderBand(c, b)
+	return img, b, err
+}
+
+// RenderTruth renders a ground-truth material map with a fixed palette,
+// for visual inspection of synthetic scenes.
+func RenderTruth(truth []hsi.Material, width, height int) (*image.RGBA, error) {
+	if len(truth) != width*height {
+		return nil, fmt.Errorf("colormap: truth length %d for %dx%d", len(truth), width, height)
+	}
+	palette := map[hsi.Material]color.RGBA{
+		hsi.MaterialForest:     {16, 92, 30, 255},
+		hsi.MaterialField:      {150, 180, 70, 255},
+		hsi.MaterialRoad:       {150, 120, 90, 255},
+		hsi.MaterialVehicle:    {220, 40, 40, 255},
+		hsi.MaterialCamouflage: {240, 200, 60, 255},
+		hsi.MaterialShadow:     {30, 30, 50, 255},
+	}
+	img := image.NewRGBA(image.Rect(0, 0, width, height))
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			c, ok := palette[truth[y*width+x]]
+			if !ok {
+				c = color.RGBA{255, 0, 255, 255}
+			}
+			img.SetRGBA(x, y, c)
+		}
+	}
+	return img, nil
+}
+
+// WritePNG writes any image to path as PNG.
+func WritePNG(path string, img image.Image) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := png.Encode(f, img); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

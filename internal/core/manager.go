@@ -1,0 +1,438 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"image"
+
+	"resilientfusion/internal/colormap"
+	"resilientfusion/internal/hsi"
+	"resilientfusion/internal/linalg"
+	"resilientfusion/internal/pct"
+	"resilientfusion/internal/resilient"
+	"resilientfusion/internal/spectral"
+)
+
+// ManagerID is the manager's logical thread ID; workers are 1..P.
+const ManagerID resilient.LogicalID = 0
+
+// PhaseTimes records when each algorithm phase completed, in runtime
+// seconds (virtual on the simulated cluster).
+type PhaseTimes struct {
+	Screen     float64 // steps 1–2 complete (includes merge)
+	Statistics float64 // steps 3–5 complete
+	Eigen      float64 // step 6 complete
+	Transform  float64 // steps 7–8 complete
+	Total      float64
+}
+
+// Result is the outcome of a distributed fusion run.
+type Result struct {
+	// Image is the fused color composite (paper Figure 3).
+	Image *image.RGBA
+	// UniqueSetSize is K after the global merge.
+	UniqueSetSize int
+	// Mean and Eigenvalues summarize the statistics the transform used.
+	Mean        linalg.Vector
+	Eigenvalues linalg.Vector
+	// Transform is the 3×n projection matrix.
+	Transform *linalg.Matrix
+	// Times are the phase completion stamps.
+	Times PhaseTimes
+	// SubCubes is the number of screening sub-problems (granularity).
+	SubCubes int
+	// Reissues counts timeout-driven retransmissions of sub-problems.
+	Reissues int
+	// CacheMisses counts transform requests that needed a data resend.
+	CacheMisses int
+
+	completed bool
+}
+
+// managerBody drives the 8 steps from the manager thread.
+func managerBody(rt *resilient.Runtime, cube *hsi.Cube, opts Options, res *Result) resilient.RBody {
+	return func(env resilient.REnv) error {
+		defer rt.Shutdown()
+		m := &manager{rt: rt, env: env, cube: cube, opts: opts, res: res}
+		if err := m.run(); err != nil {
+			return fmt.Errorf("manager: %w", err)
+		}
+		res.completed = true
+		return nil
+	}
+}
+
+type manager struct {
+	rt   *resilient.Runtime
+	env  resilient.REnv
+	cube *hsi.Cube
+	opts Options
+	res  *Result
+
+	ranges []hsi.RowRange
+	// owner[i] is the worker group that screened (and caches) sub-cube i.
+	owner []resilient.LogicalID
+}
+
+func (m *manager) run() error {
+	t0 := m.env.Now()
+	opts := m.opts
+
+	subCubes := opts.Granularity * opts.Workers
+	if subCubes > m.cube.Height {
+		subCubes = m.cube.Height
+	}
+	m.ranges = hsi.Partition(m.cube.Height, subCubes)
+	m.owner = make([]resilient.LogicalID, len(m.ranges))
+	m.res.SubCubes = subCubes
+
+	// Steps 1–2: distributed screening, then sequential merge.
+	uniqueSets, err := m.screenPhase()
+	if err != nil {
+		return fmt.Errorf("screen phase: %w", err)
+	}
+	merged, err := m.mergePhase(uniqueSets)
+	if err != nil {
+		return fmt.Errorf("merge phase: %w", err)
+	}
+	m.res.UniqueSetSize = merged.Len()
+	m.res.Times.Screen = m.env.Now() - t0
+
+	// Step 3: mean vector over the unique set (manager; cost ∝ K·n).
+	mean, err := pct.MeanOf(merged.Members)
+	if err != nil {
+		return err
+	}
+	if err := m.env.Compute(opts.Cost.MeanFlops(merged.Len(), m.cube.Bands)); err != nil {
+		return err
+	}
+	// Steps 4–5: distributed covariance partial sums, combined here.
+	cov, err := m.covariancePhase(merged.Members, mean)
+	if err != nil {
+		return fmt.Errorf("covariance phase: %w", err)
+	}
+	m.res.Mean = mean
+	m.res.Times.Statistics = m.env.Now() - t0
+
+	// Step 6: transformation matrix (sequential at the manager: its
+	// complexity depends on the band count, not the image size).
+	eig, err := linalg.EigenSymWith(cov, opts.Solver)
+	if err != nil {
+		return err
+	}
+	if err := m.env.Compute(opts.Cost.EigenFlops(m.cube.Bands)); err != nil {
+		return err
+	}
+	transform, err := eig.TransformMatrix(opts.Components)
+	if err != nil {
+		return err
+	}
+	stretches := colormap.VarianceStretch(eig.Values[:opts.Components], 3)
+	m.res.Eigenvalues = eig.Values
+	m.res.Transform = transform
+	m.res.Times.Eigen = m.env.Now() - t0
+
+	// Steps 7–8: distributed transform + color mapping over cached
+	// sub-cubes, assembled into the composite.
+	img, err := m.transformPhase(mean, transform, stretches)
+	if err != nil {
+		return fmt.Errorf("transform phase: %w", err)
+	}
+	m.res.Image = img
+	m.res.Times.Transform = m.env.Now() - t0
+	m.res.Times.Total = m.env.Now() - t0
+
+	// Graceful worker shutdown.
+	for w := 1; w <= opts.Workers; w++ {
+		if err := m.env.Send(resilient.LogicalID(w), KindStop, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sendScreen ships sub-cube idx to a worker.
+func (m *manager) sendScreen(idx int, to resilient.LogicalID) error {
+	sub, err := hsi.Extract(m.cube, m.ranges[idx])
+	if err != nil {
+		return err
+	}
+	payload, err := EncodeScreenReq(&ScreenReq{Range: m.ranges[idx], Cube: sub.Cube})
+	if err != nil {
+		return err
+	}
+	m.owner[idx] = to
+	return m.env.Send(to, KindScreenReq, payload)
+}
+
+// screenPhase distributes sub-cubes dynamically: each worker starts with
+// 1+Prefetch sub-problems so it always has the next one queued while
+// computing the current one ("a worker overlaps the request for its next
+// sub-problem with the calculation associated with the current
+// sub-problem"). Returns per-sub-cube unique sets, indexed.
+func (m *manager) screenPhase() ([][]linalg.Vector, error) {
+	S := len(m.ranges)
+	uniq := make([][]linalg.Vector, S)
+	next := 0 // next unassigned sub-cube
+	outstanding := make(map[int]bool)
+	reissues := 0
+
+	// Initial fill, breadth-first: every worker gets one sub-problem
+	// before anyone gets a prefetched second, so small decompositions
+	// still use all processors.
+	for q := 0; q <= m.opts.Prefetch && next < S; q++ {
+		for w := 1; w <= m.opts.Workers && next < S; w++ {
+			if err := m.sendScreen(next, resilient.LogicalID(w)); err != nil {
+				return nil, err
+			}
+			outstanding[next] = true
+			next++
+		}
+	}
+	done := 0
+	for done < S {
+		msg, err := m.env.RecvTimeout(m.opts.RequestTimeout)
+		if errors.Is(err, resilient.ErrTimeout) {
+			reissues++
+			m.res.Reissues++
+			if reissues > m.opts.MaxReissues {
+				return nil, fmt.Errorf("screening stalled after %d reissues (%d/%d done)", reissues, done, S)
+			}
+			for _, idx := range sortedKeys(outstanding) {
+				if err := m.sendScreen(idx, m.owner[idx]); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		if msg.Kind != KindScreenResp {
+			continue // stale traffic from an earlier phase/reissue
+		}
+		resp, err := DecodeScreenResp(msg.Payload)
+		if err != nil {
+			return nil, err
+		}
+		if resp.Index < 0 || resp.Index >= S || uniq[resp.Index] != nil {
+			continue // duplicate (reissue raced the original)
+		}
+		uniq[resp.Index] = resp.Vectors
+		if len(resp.Vectors) == 0 {
+			uniq[resp.Index] = []linalg.Vector{} // mark done distinctly from nil
+		}
+		delete(outstanding, resp.Index)
+		done++
+		// Keep the responding worker busy with the next sub-problem.
+		if next < S {
+			if err := m.sendScreen(next, msg.From); err != nil {
+				return nil, err
+			}
+			outstanding[next] = true
+			next++
+		}
+	}
+	return uniq, nil
+}
+
+// mergePhase is algorithm step 2: the manager combines per-sub-cube
+// unique sets in deterministic index order.
+func (m *manager) mergePhase(uniq [][]linalg.Vector) (*spectral.UniqueSet, error) {
+	parts := make([]*spectral.UniqueSet, 0, len(uniq))
+	for _, vectors := range uniq {
+		// Merge only walks Members, so a bare set suffices.
+		parts = append(parts, &spectral.UniqueSet{Threshold: m.opts.Threshold, Members: vectors})
+	}
+	merged, st, err := spectral.Merge(parts, m.opts.Threshold)
+	if err != nil {
+		return nil, err
+	}
+	return merged, m.env.Compute(m.opts.Cost.ScreenFlops(st, m.cube.Bands))
+}
+
+// covariancePhase is algorithm steps 4–5: the unique set is split into P
+// parts, each worker forms a partial sum, and the manager averages them.
+func (m *manager) covariancePhase(members []linalg.Vector, mean linalg.Vector) (*linalg.Matrix, error) {
+	P := m.opts.Workers
+	parts := splitVectors(members, P)
+	partials := make([]*linalg.Matrix, P)
+	outstanding := make(map[int]bool)
+	send := func(p int) error {
+		req := &CovReq{Part: p, Mean: mean, Vectors: parts[p]}
+		return m.env.Send(resilient.LogicalID(p%P+1), KindCovReq, EncodeCovReq(req))
+	}
+	for p := 0; p < P; p++ {
+		if err := send(p); err != nil {
+			return nil, err
+		}
+		outstanding[p] = true
+	}
+	reissues := 0
+	for done := 0; done < P; {
+		msg, err := m.env.RecvTimeout(m.opts.RequestTimeout)
+		if errors.Is(err, resilient.ErrTimeout) {
+			reissues++
+			m.res.Reissues++
+			if reissues > m.opts.MaxReissues {
+				return nil, fmt.Errorf("covariance stalled after %d reissues", reissues)
+			}
+			for _, p := range sortedKeys(outstanding) {
+				if err := send(p); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		if msg.Kind != KindCovResp {
+			continue
+		}
+		resp, err := DecodeCovResp(msg.Payload)
+		if err != nil {
+			return nil, err
+		}
+		if resp.Part < 0 || resp.Part >= P || partials[resp.Part] != nil {
+			continue
+		}
+		partials[resp.Part] = resp.Sum
+		delete(outstanding, resp.Part)
+		done++
+	}
+	cov, err := pct.Covariance(partials, len(members))
+	if err != nil {
+		return nil, err
+	}
+	return cov, m.env.Compute(m.opts.Cost.CovCombineFlops(P, m.cube.Bands))
+}
+
+// transformPhase is algorithm steps 7–8: workers transform and color-map
+// their cached sub-cubes; the manager assembles the composite image.
+func (m *manager) transformPhase(mean linalg.Vector, transform *linalg.Matrix, stretches []colormap.Stretch) (*image.RGBA, error) {
+	S := len(m.ranges)
+	img := image.NewRGBA(image.Rect(0, 0, m.cube.Width, m.cube.Height))
+	doneIdx := make([]bool, S)
+	outstanding := make(map[int]bool)
+
+	send := func(idx int, withData bool) error {
+		req := &TransformReq{
+			Range:     m.ranges[idx],
+			Mean:      mean,
+			Transform: transform,
+			Stretches: stretches,
+		}
+		if withData {
+			sub, err := hsi.Extract(m.cube, m.ranges[idx])
+			if err != nil {
+				return err
+			}
+			req.Cube = sub.Cube
+		}
+		payload, err := EncodeTransformReq(req)
+		if err != nil {
+			return err
+		}
+		return m.env.Send(m.owner[idx], KindTransformReq, payload)
+	}
+	for idx := range m.ranges {
+		if err := send(idx, false); err != nil {
+			return nil, err
+		}
+		outstanding[idx] = true
+	}
+	reissues := 0
+	for done := 0; done < S; {
+		msg, err := m.env.RecvTimeout(m.opts.RequestTimeout)
+		if errors.Is(err, resilient.ErrTimeout) {
+			reissues++
+			m.res.Reissues++
+			if reissues > m.opts.MaxReissues {
+				return nil, fmt.Errorf("transform stalled after %d reissues (%d/%d done)", reissues, done, S)
+			}
+			for _, idx := range sortedKeys(outstanding) {
+				if err := send(idx, true); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch msg.Kind {
+		case KindCacheMiss:
+			idx, err := DecodeCacheMiss(msg.Payload)
+			if err != nil {
+				return nil, err
+			}
+			if idx >= 0 && idx < S && !doneIdx[idx] {
+				m.res.CacheMisses++
+				if err := send(idx, true); err != nil {
+					return nil, err
+				}
+			}
+		case KindTransformResp:
+			resp, err := DecodeTransformResp(msg.Payload)
+			if err != nil {
+				return nil, err
+			}
+			idx := resp.Range.Index
+			if idx < 0 || idx >= S || doneIdx[idx] {
+				continue
+			}
+			blitRGB(img, resp)
+			doneIdx[idx] = true
+			delete(outstanding, idx)
+			done++
+		}
+	}
+	return img, nil
+}
+
+// blitRGB copies a worker's RGB slab into the composite.
+func blitRGB(img *image.RGBA, resp *TransformResp) {
+	for row := 0; row < resp.Range.Rows(); row++ {
+		y := resp.Range.Y0 + row
+		for x := 0; x < resp.Width; x++ {
+			src := (row*resp.Width + x) * 3
+			dst := img.PixOffset(x, y)
+			img.Pix[dst] = resp.RGB[src]
+			img.Pix[dst+1] = resp.RGB[src+1]
+			img.Pix[dst+2] = resp.RGB[src+2]
+			img.Pix[dst+3] = 0xFF
+		}
+	}
+}
+
+// splitVectors divides vs into parts contiguous, balanced slices.
+func splitVectors(vs []linalg.Vector, parts int) [][]linalg.Vector {
+	out := make([][]linalg.Vector, parts)
+	base := len(vs) / parts
+	extra := len(vs) % parts
+	off := 0
+	for p := 0; p < parts; p++ {
+		n := base
+		if p < extra {
+			n++
+		}
+		out[p] = vs[off : off+n]
+		off += n
+	}
+	return out
+}
+
+// sortedKeys returns map keys in ascending order (deterministic reissue).
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"resilientfusion/internal/hsi"
+	"resilientfusion/internal/linalg"
+	"resilientfusion/internal/perfmodel"
+	"resilientfusion/internal/resilient"
+	"resilientfusion/internal/scplib"
+	"resilientfusion/internal/spectral"
+)
+
+// Options configures a distributed fusion run.
+type Options struct {
+	// Workers is P, the number of worker threads (one per cluster node;
+	// the manager occupies node 0).
+	Workers int
+	// Granularity sets the sub-cube count to Granularity×Workers — the
+	// knob of the paper's Figure 5 (default 2).
+	Granularity int
+	// Prefetch is how many extra sub-problems each worker holds queued
+	// (default 1: the paper's communication/computation overlap;
+	// 0 disables overlap for ablation A2).
+	Prefetch int
+	// Threshold is the spectral-angle screening threshold (0 → default).
+	Threshold float64
+	// Components retained by the PCT (default 3).
+	Components int
+	// Solver selects the eigensolver (default tridiagonal QL).
+	Solver linalg.EigenSolver
+	// Replication is the resiliency level: 1 runs bare workers (the
+	// paper's "no resiliency" series), 2 replicates every worker.
+	Replication int
+	// Regenerate enables dynamic replica regeneration.
+	Regenerate bool
+	// HeartbeatPeriod and FailTimeout tune the failure detector
+	// (seconds; virtual on the simulated cluster).
+	HeartbeatPeriod float64
+	FailTimeout     float64
+	// RequestTimeout is the manager's reissue timeout per wait (seconds).
+	RequestTimeout float64
+	// MaxReissues bounds timeout-driven retransmissions per phase.
+	MaxReissues int
+	// Cost is the performance model charged to the cluster.
+	Cost perfmodel.Model
+}
+
+// ErrBadOptions reports invalid fusion options.
+var ErrBadOptions = errors.New("core: bad options")
+
+func (o Options) withDefaults() Options {
+	if o.Granularity == 0 {
+		o.Granularity = 2
+	}
+	if o.Prefetch == 0 {
+		o.Prefetch = 1
+	} else if o.Prefetch < 0 {
+		o.Prefetch = 0
+	}
+	if o.Threshold == 0 {
+		o.Threshold = spectral.DefaultThreshold
+	}
+	if o.Components == 0 {
+		o.Components = 3
+	}
+	if o.Replication == 0 {
+		o.Replication = 1
+	}
+	if o.HeartbeatPeriod == 0 {
+		o.HeartbeatPeriod = 2
+	}
+	if o.FailTimeout == 0 {
+		o.FailTimeout = 4 * o.HeartbeatPeriod
+	}
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = 300
+	}
+	if o.MaxReissues == 0 {
+		o.MaxReissues = 8
+	}
+	if o.Cost == (perfmodel.Model{}) {
+		o.Cost = perfmodel.Default()
+	}
+	return o
+}
+
+// Job is a configured fusion run bound to a system. Failure plans may be
+// armed against Runtime() before calling Run.
+type Job struct {
+	sys  scplib.System
+	rt   *resilient.Runtime
+	opts Options
+	res  *Result
+}
+
+// NewJob wires the manager and workers onto the system and starts the
+// resiliency runtime (threads begin executing when the system runs).
+//
+// Node layout: node 0 hosts the manager (the paper's sensor machine) and
+// the guardian; worker i's primary replica runs on node i, and replica k
+// on node 1+((i-1+k) mod Workers) — with replication 2 every worker node
+// hosts exactly two replicas, which is how the paper's "factor of two"
+// replication cost arises.
+func NewJob(sys scplib.System, cube *hsi.Cube, opts Options) (*Job, error) {
+	opts = opts.withDefaults()
+	if err := cube.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Workers < 1 {
+		return nil, fmt.Errorf("%w: Workers=%d", ErrBadOptions, opts.Workers)
+	}
+	if opts.Replication < 1 {
+		return nil, fmt.Errorf("%w: Replication=%d", ErrBadOptions, opts.Replication)
+	}
+	if opts.Components < 3 {
+		return nil, fmt.Errorf("%w: need >=3 components for color mapping", ErrBadOptions)
+	}
+
+	rcfg := resilient.Config{
+		Nodes:           opts.Workers + 1,
+		Replication:     opts.Replication,
+		HeartbeatPeriod: opts.HeartbeatPeriod,
+		FailTimeout:     opts.FailTimeout,
+		Regenerate:      opts.Regenerate,
+		GuardianNode:    0,
+	}
+	rt, err := resilient.New(sys, rcfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	if err := rt.AddSingleton(ManagerID, "manager", 0, managerBody(rt, cube, opts, res)); err != nil {
+		return nil, err
+	}
+	for w := 1; w <= opts.Workers; w++ {
+		lid := resilient.LogicalID(w)
+		name := fmt.Sprintf("worker%d", w)
+		body := workerBody(ManagerID, opts.Threshold, opts.Cost)
+		if opts.Replication == 1 {
+			if err := rt.AddSingleton(lid, name, w, body); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		placements := make([]int, opts.Replication)
+		for k := 0; k < opts.Replication; k++ {
+			placements[k] = 1 + (w-1+k)%opts.Workers
+		}
+		if err := rt.AddGroup(lid, name, placements, body); err != nil {
+			return nil, err
+		}
+	}
+	if err := rt.Start(); err != nil {
+		return nil, err
+	}
+	return &Job{sys: sys, rt: rt, opts: opts, res: res}, nil
+}
+
+// Runtime exposes the resiliency runtime for failure injection.
+func (j *Job) Runtime() *resilient.Runtime { return j.rt }
+
+// Run drives the system to completion and returns the fusion result.
+func (j *Job) Run() (*Result, error) {
+	if err := j.sys.Run(); err != nil {
+		return nil, err
+	}
+	if !j.res.completed {
+		return nil, errors.New("core: fusion did not complete")
+	}
+	return j.res, nil
+}
+
+// Fuse is the one-call convenience API: build a job and run it.
+func Fuse(sys scplib.System, cube *hsi.Cube, opts Options) (*Result, error) {
+	job, err := NewJob(sys, cube, opts)
+	if err != nil {
+		return nil, err
+	}
+	return job.Run()
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"image"
+
+	"resilientfusion/internal/colormap"
+	"resilientfusion/internal/hsi"
+	"resilientfusion/internal/linalg"
+	"resilientfusion/internal/pct"
+	"resilientfusion/internal/spectral"
+)
+
+// Sequential executes the identical algorithm — same partitioning, same
+// per-part kernels, same deterministic merge and summation order — on one
+// thread with no messaging. Its output is bit-identical to the
+// distributed pipeline's for the same Options, which is the correctness
+// oracle the distributed tests check against. (Only Workers, Granularity,
+// Threshold, Components and Solver influence the result.)
+func Sequential(cube *hsi.Cube, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := cube.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+
+	subCubes := opts.Granularity * opts.Workers
+	if subCubes > cube.Height {
+		subCubes = cube.Height
+	}
+	ranges := hsi.Partition(cube.Height, subCubes)
+	res.SubCubes = subCubes
+
+	// Steps 1–2.
+	parts := make([]*spectral.UniqueSet, len(ranges))
+	subs := make([]*hsi.SubCube, len(ranges))
+	for i, rr := range ranges {
+		sub, err := hsi.Extract(cube, rr)
+		if err != nil {
+			return nil, err
+		}
+		subs[i] = sub
+		u, _, err := spectral.Screen(sub.PixelVectors(), opts.Threshold)
+		if err != nil {
+			return nil, err
+		}
+		parts[i] = u
+	}
+	merged, _, err := spectral.Merge(parts, opts.Threshold)
+	if err != nil {
+		return nil, err
+	}
+	res.UniqueSetSize = merged.Len()
+
+	// Step 3.
+	mean, err := pct.MeanOf(merged.Members)
+	if err != nil {
+		return nil, err
+	}
+	res.Mean = mean
+
+	// Steps 4–5 with the distributed pipeline's part structure.
+	vparts := splitVectors(merged.Members, opts.Workers)
+	partials := make([]*linalg.Matrix, len(vparts))
+	for p, vs := range vparts {
+		sum, err := pct.CovarianceSum(vs, mean)
+		if err != nil {
+			return nil, err
+		}
+		partials[p] = sum
+	}
+	cov, err := pct.Covariance(partials, merged.Len())
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 6.
+	eig, err := linalg.EigenSymWith(cov, opts.Solver)
+	if err != nil {
+		return nil, err
+	}
+	transform, err := eig.TransformMatrix(opts.Components)
+	if err != nil {
+		return nil, err
+	}
+	stretches := colormap.VarianceStretch(eig.Values[:opts.Components], 3)
+	res.Eigenvalues = eig.Values
+	res.Transform = transform
+
+	// Steps 7–8 per sub-cube, assembled exactly like the manager does.
+	img := image.NewRGBA(image.Rect(0, 0, cube.Width, cube.Height))
+	for _, sub := range subs {
+		req := &TransformReq{
+			Range:     sub.Range,
+			Mean:      mean,
+			Transform: transform,
+			Stretches: stretches,
+		}
+		resp, _, err := transformSlab(sub, req, opts.Cost)
+		if err != nil {
+			return nil, err
+		}
+		blitRGB(img, resp)
+	}
+	res.Image = img
+	res.completed = true
+	return res, nil
+}

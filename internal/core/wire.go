@@ -1,0 +1,459 @@
+// Package core implements the paper's primary contribution: the
+// distributed, intrusion-tolerant spectral-screening PCT fusion pipeline.
+// A manager thread partitions the hyper-spectral cube into sub-cubes and
+// drives replicated workers through the 8 algorithm steps over the
+// resilient layer; workers overlap communication with computation by
+// holding prefetched sub-problems, and the sub-cube count (granularity)
+// is a tunable multiple of the worker count, exactly as evaluated in the
+// paper's Figures 4 and 5.
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"resilientfusion/internal/colormap"
+	"resilientfusion/internal/hsi"
+	"resilientfusion/internal/linalg"
+)
+
+// Application message kinds (all below resilient.CtrlBase).
+const (
+	// KindScreenReq carries a sub-cube to screen (step 1).
+	KindScreenReq uint16 = iota + 1
+	// KindScreenResp returns a sub-cube's unique set.
+	KindScreenResp
+	// KindCovReq carries a unique-set part and the mean (step 4).
+	KindCovReq
+	// KindCovResp returns a covariance partial sum.
+	KindCovResp
+	// KindTransformReq asks a worker to transform + color-map a cached
+	// sub-cube (steps 7–8); it carries the data too on cache misses.
+	KindTransformReq
+	// KindTransformResp returns a color-mapped image slab.
+	KindTransformResp
+	// KindCacheMiss reports that a worker no longer holds a sub-cube
+	// (it was regenerated); the manager resends with data.
+	KindCacheMiss
+	// KindStop shuts a worker down gracefully.
+	KindStop
+)
+
+// ErrWire reports malformed fusion payloads.
+var ErrWire = errors.New("core: malformed wire payload")
+
+// --- primitives ---
+
+func putU32(b *bytes.Buffer, v uint32) {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], v)
+	b.Write(tmp[:])
+}
+
+func putF64s(b *bytes.Buffer, vs []float64) {
+	var tmp [8]byte
+	for _, v := range vs {
+		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v))
+		b.Write(tmp[:])
+	}
+}
+
+type reader struct {
+	b   []byte
+	off int
+}
+
+func (r *reader) u32() (uint32, error) {
+	if r.off+4 > len(r.b) {
+		return 0, ErrWire
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *reader) f64s(n int) ([]float64, error) {
+	if n < 0 || r.off+8*n > len(r.b) {
+		return nil, ErrWire
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(r.b[r.off:]))
+		r.off += 8
+	}
+	return out, nil
+}
+
+func (r *reader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.off+n > len(r.b) {
+		return nil, ErrWire
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out, nil
+}
+
+// --- ScreenReq: index, y0, y1, cube ---
+
+// ScreenReq is a screening sub-problem.
+type ScreenReq struct {
+	Range hsi.RowRange
+	Cube  *hsi.Cube
+}
+
+// EncodeScreenReq serializes a screening request.
+func EncodeScreenReq(req *ScreenReq) ([]byte, error) {
+	var b bytes.Buffer
+	putU32(&b, uint32(req.Range.Index))
+	putU32(&b, uint32(req.Range.Y0))
+	putU32(&b, uint32(req.Range.Y1))
+	if _, err := req.Cube.WriteTo(&b); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// DecodeScreenReq parses a screening request.
+func DecodeScreenReq(p []byte) (*ScreenReq, error) {
+	r := &reader{b: p}
+	idx, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	y0, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	y1, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	cube, err := hsi.ReadCube(bytes.NewReader(p[r.off:]))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrWire, err)
+	}
+	return &ScreenReq{
+		Range: hsi.RowRange{Index: int(idx), Y0: int(y0), Y1: int(y1)},
+		Cube:  cube,
+	}, nil
+}
+
+// --- ScreenResp: index, K, n, vectors ---
+
+// ScreenResp carries a sub-cube's unique set back to the manager.
+type ScreenResp struct {
+	Index   int
+	Vectors []linalg.Vector
+}
+
+// EncodeScreenResp serializes a screening response.
+func EncodeScreenResp(resp *ScreenResp) []byte {
+	n := 0
+	if len(resp.Vectors) > 0 {
+		n = len(resp.Vectors[0])
+	}
+	var b bytes.Buffer
+	putU32(&b, uint32(resp.Index))
+	putU32(&b, uint32(len(resp.Vectors)))
+	putU32(&b, uint32(n))
+	for _, v := range resp.Vectors {
+		putF64s(&b, v)
+	}
+	return b.Bytes()
+}
+
+// DecodeScreenResp parses a screening response.
+func DecodeScreenResp(p []byte) (*ScreenResp, error) {
+	r := &reader{b: p}
+	idx, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	k, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if k > 1<<24 || n > 1<<20 {
+		return nil, ErrWire
+	}
+	out := &ScreenResp{Index: int(idx), Vectors: make([]linalg.Vector, k)}
+	for i := range out.Vectors {
+		vs, err := r.f64s(int(n))
+		if err != nil {
+			return nil, err
+		}
+		out.Vectors[i] = vs
+	}
+	return out, nil
+}
+
+// --- CovReq: part, count, n, mean, vectors ---
+
+// CovReq asks a worker for a covariance partial sum over a slice of the
+// unique set.
+type CovReq struct {
+	Part    int
+	Mean    linalg.Vector
+	Vectors []linalg.Vector
+}
+
+// EncodeCovReq serializes a covariance request.
+func EncodeCovReq(req *CovReq) []byte {
+	var b bytes.Buffer
+	putU32(&b, uint32(req.Part))
+	putU32(&b, uint32(len(req.Vectors)))
+	putU32(&b, uint32(len(req.Mean)))
+	putF64s(&b, req.Mean)
+	for _, v := range req.Vectors {
+		putF64s(&b, v)
+	}
+	return b.Bytes()
+}
+
+// DecodeCovReq parses a covariance request.
+func DecodeCovReq(p []byte) (*CovReq, error) {
+	r := &reader{b: p}
+	part, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	count, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if count > 1<<24 || n > 1<<20 {
+		return nil, ErrWire
+	}
+	mean, err := r.f64s(int(n))
+	if err != nil {
+		return nil, err
+	}
+	out := &CovReq{Part: int(part), Mean: mean, Vectors: make([]linalg.Vector, count)}
+	for i := range out.Vectors {
+		vs, err := r.f64s(int(n))
+		if err != nil {
+			return nil, err
+		}
+		out.Vectors[i] = vs
+	}
+	return out, nil
+}
+
+// --- CovResp: part, n, matrix ---
+
+// CovResp returns a covariance partial sum.
+type CovResp struct {
+	Part int
+	Sum  *linalg.Matrix
+}
+
+// EncodeCovResp serializes a covariance response.
+func EncodeCovResp(resp *CovResp) []byte {
+	var b bytes.Buffer
+	putU32(&b, uint32(resp.Part))
+	putU32(&b, uint32(resp.Sum.Rows))
+	putF64s(&b, resp.Sum.Data)
+	return b.Bytes()
+}
+
+// DecodeCovResp parses a covariance response.
+func DecodeCovResp(p []byte) (*CovResp, error) {
+	r := &reader{b: p}
+	part, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<16 {
+		return nil, ErrWire
+	}
+	data, err := r.f64s(int(n) * int(n))
+	if err != nil {
+		return nil, err
+	}
+	return &CovResp{Part: int(part), Sum: linalg.NewMatrixFrom(int(n), int(n), data)}, nil
+}
+
+// --- TransformReq: index, flags, n, comps, mean, transform, stretches, [cube] ---
+
+// TransformReq asks for steps 7–8 on a sub-cube. When Cube is nil the
+// worker uses its cached copy from the screening phase; the manager
+// resends data after a cache miss or reissue.
+type TransformReq struct {
+	Range     hsi.RowRange
+	Mean      linalg.Vector
+	Transform *linalg.Matrix // comps×n
+	Stretches []colormap.Stretch
+	Cube      *hsi.Cube // optional
+}
+
+// EncodeTransformReq serializes a transform request.
+func EncodeTransformReq(req *TransformReq) ([]byte, error) {
+	var b bytes.Buffer
+	putU32(&b, uint32(req.Range.Index))
+	putU32(&b, uint32(req.Range.Y0))
+	putU32(&b, uint32(req.Range.Y1))
+	hasData := uint32(0)
+	if req.Cube != nil {
+		hasData = 1
+	}
+	putU32(&b, hasData)
+	putU32(&b, uint32(len(req.Mean)))
+	putU32(&b, uint32(req.Transform.Rows))
+	putF64s(&b, req.Mean)
+	putF64s(&b, req.Transform.Data)
+	for _, s := range req.Stretches {
+		putF64s(&b, []float64{s.Center, s.Scale})
+	}
+	if req.Cube != nil {
+		if _, err := req.Cube.WriteTo(&b); err != nil {
+			return nil, err
+		}
+	}
+	return b.Bytes(), nil
+}
+
+// DecodeTransformReq parses a transform request.
+func DecodeTransformReq(p []byte) (*TransformReq, error) {
+	r := &reader{b: p}
+	idx, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	y0, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	y1, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	hasData, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	comps, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<20 || comps > 64 {
+		return nil, ErrWire
+	}
+	mean, err := r.f64s(int(n))
+	if err != nil {
+		return nil, err
+	}
+	tdata, err := r.f64s(int(comps) * int(n))
+	if err != nil {
+		return nil, err
+	}
+	out := &TransformReq{
+		Range:     hsi.RowRange{Index: int(idx), Y0: int(y0), Y1: int(y1)},
+		Mean:      mean,
+		Transform: linalg.NewMatrixFrom(int(comps), int(n), tdata),
+	}
+	for i := 0; i < int(comps); i++ {
+		cs, err := r.f64s(2)
+		if err != nil {
+			return nil, err
+		}
+		out.Stretches = append(out.Stretches, colormap.Stretch{Center: cs[0], Scale: cs[1]})
+	}
+	if hasData == 1 {
+		cube, err := hsi.ReadCube(bytes.NewReader(p[r.off:]))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrWire, err)
+		}
+		out.Cube = cube
+	}
+	return out, nil
+}
+
+// --- TransformResp: index, y0, y1, width, rgb ---
+
+// TransformResp returns the color-mapped slab for a sub-cube: 3 bytes
+// per pixel, row-major.
+type TransformResp struct {
+	Range hsi.RowRange
+	Width int
+	RGB   []byte
+}
+
+// EncodeTransformResp serializes a transform response.
+func EncodeTransformResp(resp *TransformResp) []byte {
+	var b bytes.Buffer
+	putU32(&b, uint32(resp.Range.Index))
+	putU32(&b, uint32(resp.Range.Y0))
+	putU32(&b, uint32(resp.Range.Y1))
+	putU32(&b, uint32(resp.Width))
+	b.Write(resp.RGB)
+	return b.Bytes()
+}
+
+// DecodeTransformResp parses a transform response.
+func DecodeTransformResp(p []byte) (*TransformResp, error) {
+	r := &reader{b: p}
+	idx, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	y0, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	y1, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	w, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if w > 1<<20 || y1 < y0 {
+		return nil, ErrWire
+	}
+	rows := int(y1) - int(y0)
+	rgb, err := r.bytes(rows * int(w) * 3)
+	if err != nil {
+		return nil, err
+	}
+	return &TransformResp{
+		Range: hsi.RowRange{Index: int(idx), Y0: int(y0), Y1: int(y1)},
+		Width: int(w),
+		RGB:   append([]byte(nil), rgb...),
+	}, nil
+}
+
+// --- CacheMiss: index ---
+
+// EncodeCacheMiss serializes a cache-miss notice.
+func EncodeCacheMiss(index int) []byte {
+	var b bytes.Buffer
+	putU32(&b, uint32(index))
+	return b.Bytes()
+}
+
+// DecodeCacheMiss parses a cache-miss notice.
+func DecodeCacheMiss(p []byte) (int, error) {
+	r := &reader{b: p}
+	idx, err := r.u32()
+	return int(idx), err
+}

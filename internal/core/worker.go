@@ -1,0 +1,145 @@
+package core
+
+import (
+	"bytes"
+
+	"resilientfusion/internal/colormap"
+	"resilientfusion/internal/hsi"
+	"resilientfusion/internal/linalg"
+	"resilientfusion/internal/pct"
+	"resilientfusion/internal/perfmodel"
+	"resilientfusion/internal/resilient"
+	"resilientfusion/internal/spectral"
+)
+
+// workerBody executes the worker side of the 8-step algorithm. It is a
+// deterministic function of its message stream, so replicas stay in
+// lockstep (the resilient layer's requirement). Sub-cubes received for
+// screening are cached for the transform phase, preserving the paper's
+// locality: step 7 reuses step 1's data placement.
+func workerBody(manager resilient.LogicalID, threshold float64, cost perfmodel.Model) resilient.RBody {
+	return func(env resilient.REnv) error {
+		cache := make(map[int]*hsi.SubCube)
+		screened := make(map[int][]byte) // encoded ScreenResp by sub-cube
+		for {
+			m, err := env.Recv()
+			if err != nil {
+				return err
+			}
+			switch m.Kind {
+			case KindStop:
+				return nil
+
+			case KindScreenReq:
+				req, err := DecodeScreenReq(m.Payload)
+				if err != nil {
+					return err
+				}
+				// Reissued requests (manager timeout races) are answered
+				// from the result cache instead of re-screening.
+				if enc, ok := screened[req.Range.Index]; ok {
+					if err := env.Send(manager, KindScreenResp, enc); err != nil {
+						return err
+					}
+					continue
+				}
+				sub := &hsi.SubCube{Range: req.Range, Cube: req.Cube}
+				cache[req.Range.Index] = sub
+				// Step 1: form the sub-cube's unique spectral set.
+				u, st, err := spectral.Screen(sub.PixelVectors(), threshold)
+				if err != nil {
+					return err
+				}
+				if err := env.Compute(cost.ScreenFlops(st, req.Cube.Bands)); err != nil {
+					return err
+				}
+				enc := EncodeScreenResp(&ScreenResp{Index: req.Range.Index, Vectors: u.Members})
+				screened[req.Range.Index] = enc
+				if err := env.Send(manager, KindScreenResp, enc); err != nil {
+					return err
+				}
+
+			case KindCovReq:
+				req, err := DecodeCovReq(m.Payload)
+				if err != nil {
+					return err
+				}
+				// Step 4: covariance partial sum over this part.
+				sum, err := pct.CovarianceSum(req.Vectors, req.Mean)
+				if err != nil {
+					return err
+				}
+				if err := env.Compute(cost.CovPartialFlops(len(req.Vectors), len(req.Mean))); err != nil {
+					return err
+				}
+				if err := env.Send(manager, KindCovResp, EncodeCovResp(&CovResp{Part: req.Part, Sum: sum})); err != nil {
+					return err
+				}
+
+			case KindTransformReq:
+				req, err := DecodeTransformReq(m.Payload)
+				if err != nil {
+					return err
+				}
+				sub := cache[req.Range.Index]
+				if req.Cube != nil {
+					sub = &hsi.SubCube{Range: req.Range, Cube: req.Cube}
+					cache[req.Range.Index] = sub
+				}
+				if sub == nil {
+					// Regenerated replica without the cached sub-cube:
+					// ask the manager to resend with data.
+					if err := env.Send(manager, KindCacheMiss, EncodeCacheMiss(req.Range.Index)); err != nil {
+						return err
+					}
+					continue
+				}
+				resp, flops, err := transformSlab(sub, req, cost)
+				if err != nil {
+					return err
+				}
+				if err := env.Compute(flops); err != nil {
+					return err
+				}
+				if err := env.Send(manager, KindTransformResp, EncodeTransformResp(resp)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+}
+
+// transformSlab runs steps 7 (PCT projection) and 8 (human-centered
+// color mapping) on one cached sub-cube, returning the RGB slab and the
+// modeled cost.
+func transformSlab(sub *hsi.SubCube, req *TransformReq, cost perfmodel.Model) (*TransformResp, float64, error) {
+	cube := sub.Cube
+	comps := req.Transform.Rows
+	pixels := cube.Pixels()
+
+	in := make(linalg.Vector, cube.Bands)
+	dev := make(linalg.Vector, cube.Bands)
+	pc := make(linalg.Vector, comps)
+	rgb := make([]byte, pixels*3)
+	var c [3]float64
+	for i := 0; i < pixels; i++ {
+		cube.PixelAt(i, in)
+		in.Sub(req.Mean, dev)
+		req.Transform.MulVecInto(dev, pc)
+		for k := 0; k < 3 && k < comps; k++ {
+			c[k] = req.Stretches[k].Apply(pc[k])
+		}
+		r, g, b := colormap.MapPixel(c)
+		rgb[i*3], rgb[i*3+1], rgb[i*3+2] = r, g, b
+	}
+	flops := cost.TransformFlops(pixels, cube.Bands, comps) + cost.ColorMapFlops(pixels)
+	return &TransformResp{Range: sub.Range, Width: cube.Width, RGB: rgb}, flops, nil
+}
+
+// subCubeBytes returns the serialized size of a sub-cube message (used
+// by tests asserting the performance model's byte accounting).
+func subCubeBytes(sub *hsi.SubCube) int64 {
+	var b bytes.Buffer
+	_, _ = sub.Cube.WriteTo(&b)
+	return int64(b.Len()) + 12
+}

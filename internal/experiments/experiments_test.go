@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"resilientfusion/internal/metrics"
+)
+
+// The shape assertions here mirror EXPERIMENTS.md's criteria at the
+// reduced scale; cmd/perfchart checks the same shapes at paper scale.
+
+func TestFig4Shapes(t *testing.T) {
+	f4, err := RunFig4(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Times strictly decrease with processors in both series.
+	for i := 1; i < len(f4.Procs); i++ {
+		if f4.Base[i] >= f4.Base[i-1] {
+			t.Fatalf("base time not decreasing at P=%d: %v", f4.Procs[i], f4.Base)
+		}
+		if f4.Resilient[i] >= f4.Resilient[i-1] {
+			t.Fatalf("resilient time not decreasing at P=%d: %v", f4.Procs[i], f4.Resilient)
+		}
+	}
+	// E5: speedup within ~25% of linear at the reduced scale (the paper
+	// reports 20% at full scale; small cubes pay proportionally more
+	// fixed overhead).
+	if worst := metrics.WithinOfLinear(f4.SpeedupBase, f4.Procs); worst > 0.30 {
+		t.Fatalf("speedup shortfall %.2f too large: %v", worst, f4.SpeedupBase)
+	}
+	// E4: resiliency costs ≈ the replication factor 2 plus a protocol
+	// overhead in the ±25% band ("approximately 10%" in the paper).
+	for i, p := range f4.Procs {
+		ratio := f4.Resilient[i] / f4.Base[i]
+		if ratio < 1.6 || ratio > 2.8 {
+			t.Fatalf("P=%d resiliency ratio %.2f outside [1.6, 2.8]", p, ratio)
+		}
+	}
+}
+
+func TestFig5Shapes(t *testing.T) {
+	f5, err := RunFig5(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// E2: more sub-cubes than processors helps — granularity ×2 beats ×1
+	// on average across the P axis (balance + overlap).
+	m1 := metrics.Mean(f5.Times[1])
+	m2 := metrics.Mean(f5.Times[2])
+	if m2 >= m1 {
+		t.Fatalf("granularity x2 (%.2f) not better than x1 (%.2f)", m2, m1)
+	}
+	// ×3 stays close to ×2 (the paper's curves nearly coincide).
+	m3 := metrics.Mean(f5.Times[3])
+	if m3 > m1 {
+		t.Fatalf("granularity x3 (%.2f) worse than x1 (%.2f)", m3, m1)
+	}
+}
+
+func TestSubCubeSweepTailOff(t *testing.T) {
+	sw, err := RunSubCubeSweep(SmallScale(), []int{1, 2, 4, 8, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// E2b: a minimum exists after which time grows again.
+	minIdx := 0
+	for i, v := range sw.Times {
+		if v < sw.Times[minIdx] {
+			minIdx = i
+		}
+	}
+	if minIdx == 0 {
+		t.Fatalf("no benefit from any extra granularity: %v", sw.Times)
+	}
+	if minIdx == len(sw.Times)-1 {
+		t.Fatalf("no tail-off observed: %v", sw.Times)
+	}
+	if sw.Times[len(sw.Times)-1] <= sw.Times[minIdx]*1.01 {
+		t.Fatalf("tail-off too weak: %v", sw.Times)
+	}
+}
+
+func TestSharedMemoryCloserToLinear(t *testing.T) {
+	scale := SmallScale()
+	sm, err := RunSharedMemory(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f4, err := RunFig4(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// E6: zero-communication speedup beats the networked speedup and is
+	// close to linear.
+	pMax := len(scale.Procs) - 1
+	if sm.Speedups[pMax] <= f4.SpeedupBase[pMax] {
+		t.Fatalf("shared-memory speedup %.2f not better than bus %.2f",
+			sm.Speedups[pMax], f4.SpeedupBase[pMax])
+	}
+	if sm.WorstShortfall > 0.20 {
+		t.Fatalf("shared-memory shortfall %.2f too large", sm.WorstShortfall)
+	}
+}
+
+func TestRegenerationExperiment(t *testing.T) {
+	rg, err := RunRegeneration(SmallScale(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rg.Detections < 2 || rg.Regenerations < 2 {
+		t.Fatalf("detections=%d regenerations=%d", rg.Detections, rg.Regenerations)
+	}
+	if rg.AttackedTime < rg.BaselineTime {
+		t.Fatalf("attack made the run faster? %.2f < %.2f", rg.AttackedTime, rg.BaselineTime)
+	}
+	// Detection latency bounded by the configured timeout plus slack.
+	cfgTimeout := SmallScale().HeartbeatPeriod*4 + SmallScale().HeartbeatPeriod
+	if rg.MeanDetectLatency > cfgTimeout+2 {
+		t.Fatalf("mean detection latency %.2f too large", rg.MeanDetectLatency)
+	}
+	if rg.Table() == nil {
+		t.Fatal("nil table")
+	}
+}
+
+func TestRunConfigNetworkVariants(t *testing.T) {
+	scale := SmallScale()
+	for _, n := range []Network{NetBus, NetSwitched, NetShared} {
+		out, err := Run(RunConfig{Scale: scale, Workers: 2, Granularity: 2, Replication: 1, Network: n})
+		if err != nil {
+			t.Fatalf("network %d: %v", n, err)
+		}
+		if out.Result.Times.Total <= 0 {
+			t.Fatalf("network %d: no time recorded", n)
+		}
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	scale := SmallScale()
+	f4, err := RunFig4(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := f4.Table().Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := f4.SpeedupTable().Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Figure 4", "no resiliency", "resiliency level 2", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q", want)
+		}
+	}
+	f5, err := RunFig5(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := f5.Table().Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "#sub-cube = #proc x 3") {
+		t.Fatal("figure 5 table incomplete")
+	}
+}
+
+func TestScalesSane(t *testing.T) {
+	for _, s := range []Scale{PaperScale(), SmallScale()} {
+		if s.Scene.Width <= 0 || s.NodeRate <= 0 || len(s.Procs) == 0 {
+			t.Fatalf("bad scale %+v", s)
+		}
+		if s.Procs[0] != 1 {
+			t.Fatalf("%s: Procs must start at 1 for speedup baselines", s.Name)
+		}
+		for i := 1; i < len(s.Procs); i++ {
+			if s.Procs[i]%s.Procs[i-1] != 0 {
+				t.Fatalf("%s: Procs must be multiplicative for fixed-S granularity", s.Name)
+			}
+		}
+	}
+	if math.Abs(PaperScale().Threshold-0.03) > 1e-12 {
+		t.Fatal("paper threshold drifted from the documented calibration")
+	}
+}

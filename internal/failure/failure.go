@@ -1,0 +1,83 @@
+// Package failure scripts fault and attack injection against a resilient
+// runtime: replica kills (the paper's information-warfare attack model)
+// and whole-node crashes, scheduled in virtual time on the simulated
+// cluster or wall-clock time on the real runtime.
+package failure
+
+import (
+	"fmt"
+	"time"
+
+	"resilientfusion/internal/resilient"
+	"resilientfusion/internal/simnet"
+)
+
+// Event is one scripted fault.
+type Event struct {
+	// At is the injection time in seconds (virtual or wall-clock).
+	At float64
+	// KillLID/KillSlot destroy one replica of a logical thread when
+	// Kill is true.
+	Kill     bool
+	KillLID  resilient.LogicalID
+	KillSlot int
+	// FailNode crashes an entire cluster node (simulated runtime only)
+	// when >= 0.
+	FailNode int
+}
+
+// KillReplica builds a replica-kill event.
+func KillReplica(at float64, lid resilient.LogicalID, slot int) Event {
+	return Event{At: at, Kill: true, KillLID: lid, KillSlot: slot, FailNode: -1}
+}
+
+// CrashNode builds a node-crash event.
+func CrashNode(at float64, node int) Event {
+	return Event{At: at, FailNode: node}
+}
+
+func (e Event) String() string {
+	if e.Kill {
+		return fmt.Sprintf("t=%.2fs kill worker %d replica %d", e.At, e.KillLID, e.KillSlot)
+	}
+	return fmt.Sprintf("t=%.2fs crash node %d", e.At, e.FailNode)
+}
+
+// Plan is an ordered fault schedule.
+type Plan struct {
+	Events []Event
+}
+
+// Arm schedules the plan on a simulated cluster. nodes may be nil if the
+// plan contains no node crashes.
+func (p Plan) Arm(x *simnet.Exec, rt *resilient.Runtime, nodes []*simnet.Node) error {
+	for _, e := range p.Events {
+		e := e
+		if !e.Kill && (e.FailNode < 0 || e.FailNode >= len(nodes)) {
+			return fmt.Errorf("failure: bad node %d in %s", e.FailNode, e)
+		}
+		x.Schedule(e.At, func() {
+			if e.Kill {
+				rt.KillReplica(e.KillLID, e.KillSlot)
+			} else {
+				nodes[e.FailNode].Fail()
+			}
+		})
+	}
+	return nil
+}
+
+// ArmReal schedules replica kills on wall-clock timers for the real
+// runtime. Node crashes are not supported there (the host is the node).
+func (p Plan) ArmReal(rt *resilient.Runtime) error {
+	for _, e := range p.Events {
+		if !e.Kill {
+			return fmt.Errorf("failure: node crash unsupported on real runtime: %s", e)
+		}
+		e := e
+		time.AfterFunc(time.Duration(e.At*float64(time.Second)), func() {
+			rt.KillReplica(e.KillLID, e.KillSlot)
+		})
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+package hsi
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Binary cube format ("HSIC"):
+//
+//	magic   [4]byte  "HSIC"
+//	version uint16   currently 1
+//	flags   uint16   bit 0: wavelength table present
+//	width   uint32
+//	height  uint32
+//	bands   uint32
+//	[wavelengths]  bands × float64 (if flag bit 0)
+//	data    width·height·bands × float32
+//
+// All fields little-endian. The format is deliberately trivial: the paper's
+// pipeline streams raw sub-cubes between machines, so the on-disk format
+// mirrors the wire representation.
+
+var (
+	cubeMagic = [4]byte{'H', 'S', 'I', 'C'}
+
+	// ErrBadFormat is returned when decoding malformed cube bytes.
+	ErrBadFormat = errors.New("hsi: bad cube format")
+)
+
+const (
+	codecVersion       = 1
+	flagHasWavelengths = 1 << 0
+	// maxReasonableDim guards against allocating absurd buffers from
+	// corrupt headers.
+	maxReasonableDim = 1 << 20
+)
+
+// WriteTo serializes the cube to w, returning the number of bytes written.
+func (c *Cube) WriteTo(w io.Writer) (int64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var n int64
+
+	var flags uint16
+	if c.Wavelengths != nil {
+		flags |= flagHasWavelengths
+	}
+	hdr := make([]byte, 0, 20)
+	hdr = append(hdr, cubeMagic[:]...)
+	hdr = binary.LittleEndian.AppendUint16(hdr, codecVersion)
+	hdr = binary.LittleEndian.AppendUint16(hdr, flags)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(c.Width))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(c.Height))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(c.Bands))
+	if _, err := bw.Write(hdr); err != nil {
+		return n, err
+	}
+	n += int64(len(hdr))
+
+	if c.Wavelengths != nil {
+		buf := make([]byte, 8*len(c.Wavelengths))
+		for i, wl := range c.Wavelengths {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(wl))
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return n, err
+		}
+		n += int64(len(buf))
+	}
+
+	// Stream sample data in chunks to bound the scratch buffer.
+	const chunk = 1 << 14
+	buf := make([]byte, 4*chunk)
+	for off := 0; off < len(c.Data); off += chunk {
+		end := off + chunk
+		if end > len(c.Data) {
+			end = len(c.Data)
+		}
+		b := buf[:4*(end-off)]
+		for i, v := range c.Data[off:end] {
+			binary.LittleEndian.PutUint32(b[i*4:], math.Float32bits(v))
+		}
+		if _, err := bw.Write(b); err != nil {
+			return n, err
+		}
+		n += int64(len(b))
+	}
+	return n, bw.Flush()
+}
+
+// ReadCube deserializes a cube from r.
+func ReadCube(r io.Reader) (*Cube, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	hdr := make([]byte, 20)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrBadFormat, err)
+	}
+	if [4]byte(hdr[:4]) != cubeMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:]); v != codecVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, v)
+	}
+	flags := binary.LittleEndian.Uint16(hdr[6:])
+	width := int(binary.LittleEndian.Uint32(hdr[8:]))
+	height := int(binary.LittleEndian.Uint32(hdr[12:]))
+	bands := int(binary.LittleEndian.Uint32(hdr[16:]))
+	if width <= 0 || height <= 0 || bands <= 0 ||
+		width > maxReasonableDim || height > maxReasonableDim || bands > maxReasonableDim {
+		return nil, fmt.Errorf("%w: dims %dx%dx%d", ErrBadFormat, width, height, bands)
+	}
+
+	c := &Cube{Width: width, Height: height, Bands: bands}
+	if flags&flagHasWavelengths != 0 {
+		buf := make([]byte, 8*bands)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("%w: wavelengths: %v", ErrBadFormat, err)
+		}
+		c.Wavelengths = make([]float64, bands)
+		for i := range c.Wavelengths {
+			c.Wavelengths[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+		}
+	}
+
+	c.Data = make([]float32, width*height*bands)
+	const chunk = 1 << 14
+	buf := make([]byte, 4*chunk)
+	for off := 0; off < len(c.Data); off += chunk {
+		end := off + chunk
+		if end > len(c.Data) {
+			end = len(c.Data)
+		}
+		b := buf[:4*(end-off)]
+		if _, err := io.ReadFull(br, b); err != nil {
+			return nil, fmt.Errorf("%w: samples: %v", ErrBadFormat, err)
+		}
+		for i := range c.Data[off:end] {
+			c.Data[off+i] = math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:]))
+		}
+	}
+	return c, nil
+}
+
+// SaveFile writes the cube to path in HSIC format.
+func (c *Cube) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := c.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a cube in HSIC format from path.
+func LoadFile(path string) (*Cube, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCube(f)
+}
+
+// EncodedSize returns the exact number of bytes WriteTo will produce,
+// used by the performance model to charge network transfer costs.
+func (c *Cube) EncodedSize() int64 {
+	n := int64(20)
+	if c.Wavelengths != nil {
+		n += int64(8 * len(c.Wavelengths))
+	}
+	return n + int64(4*len(c.Data))
+}

@@ -1,0 +1,179 @@
+package hsi
+
+import (
+	"math"
+
+	"resilientfusion/internal/linalg"
+)
+
+// Material identifies the ground-truth class of a scene pixel. The set
+// mirrors the paper's HYDICE foliated scenes: forest, open fields, roads,
+// mechanized vehicles in the open, and vehicles under camouflage nets.
+type Material uint8
+
+const (
+	MaterialForest Material = iota
+	MaterialField
+	MaterialRoad
+	MaterialVehicle
+	MaterialCamouflage
+	MaterialShadow
+	numMaterials
+)
+
+// Materials lists every material class in signature order.
+func Materials() []Material {
+	out := make([]Material, numMaterials)
+	for i := range out {
+		out[i] = Material(i)
+	}
+	return out
+}
+
+func (m Material) String() string {
+	switch m {
+	case MaterialForest:
+		return "forest"
+	case MaterialField:
+		return "field"
+	case MaterialRoad:
+		return "road"
+	case MaterialVehicle:
+		return "vehicle"
+	case MaterialCamouflage:
+		return "camouflage"
+	case MaterialShadow:
+		return "shadow"
+	default:
+		return "unknown"
+	}
+}
+
+// DefaultWavelengths returns band centres evenly spaced over the HYDICE
+// range, 400 nm to 2500 nm.
+func DefaultWavelengths(bands int) []float64 {
+	if bands <= 0 {
+		return nil
+	}
+	out := make([]float64, bands)
+	if bands == 1 {
+		out[0] = 400
+		return out
+	}
+	const lo, hi = 400.0, 2500.0
+	step := (hi - lo) / float64(bands-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	return out
+}
+
+// gauss is a Gaussian bump centred at c with width w and height h.
+func gauss(x, c, w, h float64) float64 {
+	d := (x - c) / w
+	return h * math.Exp(-d*d/2)
+}
+
+// sigmoid is a smooth step rising from 0 to 1 around c with slope scale w.
+func sigmoid(x, c, w float64) float64 {
+	return 1 / (1 + math.Exp(-(x-c)/w))
+}
+
+// reflectance returns the idealized reflectance of material m at
+// wavelength nm (nanometres), in [0, 1]. Shapes follow standard spectral
+// libraries qualitatively:
+//
+//   - Vegetation (forest, field): chlorophyll absorption wells at 450 and
+//     670 nm, green peak at 550 nm, sharp red edge near 720 nm, NIR plateau,
+//     leaf-water absorption wells at 1450 and 1940 nm.
+//   - Road/soil: monotone rise into the SWIR with mild clay features.
+//   - Vehicle (olive-drab paint over metal): low, flat, *no red edge* and
+//     no water bands — exactly the discriminant that makes the vehicle's
+//     signature rare, which spectral screening is designed to preserve.
+//   - Camouflage net: attempts to mimic vegetation in the visible but has
+//     a weak red edge and lacks the deep water absorption, so it separates
+//     from true canopy in the SWIR.
+func reflectance(m Material, nm float64) float64 { return reflectanceMoisture(m, nm, 1.0) }
+
+// reflectanceMoisture scales the material's canonical moisture content by
+// f (the scene generator varies f smoothly across the image to model
+// within-class water-content variability).
+func reflectanceMoisture(m Material, nm, f float64) float64 {
+	switch m {
+	case MaterialForest:
+		return vegetationReflectance(nm, 1.0*f)
+	case MaterialField:
+		// Grassland: brighter NIR plateau, slightly drier (shallower
+		// water bands) than canopy.
+		v := vegetationReflectance(nm, 0.8*f)
+		return v*0.9 + 0.08
+	case MaterialRoad:
+		base := 0.12 + 0.18*sigmoid(nm, 1000, 400)
+		base += gauss(nm, 2200, 60, -0.04) // clay absorption
+		return clamp01(base)
+	case MaterialVehicle:
+		// Olive drab paint: dull, slight green reflectance, flat in NIR.
+		base := 0.08 + gauss(nm, 550, 60, 0.04) + 0.03*sigmoid(nm, 900, 300)
+		return clamp01(base)
+	case MaterialCamouflage:
+		// Weak vegetation mimicry.
+		veg := vegetationReflectance(nm, 0.45*f)
+		paint := 0.10 + gauss(nm, 550, 70, 0.05)
+		mix := 0.55*veg + 0.45*paint
+		// Refill the water bands the net does not have.
+		mix += gauss(nm, 1450, 45, 0.06) + gauss(nm, 1940, 55, 0.05)
+		return clamp01(mix)
+	case MaterialShadow:
+		return 0.25 * vegetationReflectance(nm, 1.0*f)
+	default:
+		return 0
+	}
+}
+
+// vegetationReflectance models a green-leaf spectrum; moisture in [0,1]
+// scales the depth of the leaf-water absorption features.
+func vegetationReflectance(nm, moisture float64) float64 {
+	vis := 0.05 + gauss(nm, 550, 40, 0.07) // green peak
+	vis -= gauss(nm, 450, 30, 0.02)        // chlorophyll a
+	vis -= gauss(nm, 670, 25, 0.03)        // chlorophyll b
+	redEdge := 0.42 * sigmoid(nm, 720, 15) // sharp NIR shoulder
+	swirDecay := 1 - 0.5*sigmoid(nm, 1300, 250)
+	r := (vis + redEdge) * swirDecay
+	r -= moisture * gauss(nm, 1450, 45, 0.16) // water absorption
+	r -= moisture * gauss(nm, 1940, 55, 0.20) // water absorption
+	return clamp01(r)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// SignatureFor samples the idealized reflectance of m at each wavelength,
+// returning a pixel-vector-shaped signature scaled to sensor counts.
+func SignatureFor(m Material, wavelengths []float64) linalg.Vector {
+	v := make(linalg.Vector, len(wavelengths))
+	for i, nm := range wavelengths {
+		v[i] = reflectance(m, nm) * sensorFullScale
+	}
+	return v
+}
+
+// signatureMoisture samples a material signature at a given moisture
+// scaling (used by the scene generator's moisture field).
+func signatureMoisture(m Material, wavelengths []float64, f float64) []float64 {
+	v := make([]float64, len(wavelengths))
+	for i, nm := range wavelengths {
+		v[i] = reflectanceMoisture(m, nm, f) * sensorFullScale
+	}
+	return v
+}
+
+// sensorFullScale converts unit reflectance into 12-bit-like sensor counts,
+// matching HYDICE's radiometric range.
+const sensorFullScale = 4095.0

@@ -1,0 +1,279 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// checkEigen verifies the fundamental eigendecomposition invariants:
+// residual, orthonormality, descending order, trace preservation.
+func checkEigen(t *testing.T, a *Matrix, e *Eigen) {
+	t.Helper()
+	n := a.Rows
+	scale := 1 + a.FrobeniusNorm()
+
+	// A·v_k = λ_k·v_k
+	for k := 0; k < n; k++ {
+		v := e.Vectors.Col(k)
+		av, err := a.MulVec(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lv := v.Scale(e.Values[k], v.Clone())
+		if !av.Equal(lv, 1e-8*scale) {
+			t.Fatalf("eigenpair %d: |A·v - λ·v| too large (λ=%g)", k, e.Values[k])
+		}
+	}
+	// Vᵀ·V = I
+	vt := e.Vectors.Transpose()
+	prod, err := vt.Mul(e.Vectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prod.Equal(Identity(n), 1e-8) {
+		t.Fatal("eigenvectors not orthonormal")
+	}
+	// Sorted descending.
+	for k := 1; k < n; k++ {
+		if e.Values[k] > e.Values[k-1]+1e-10*scale {
+			t.Fatalf("eigenvalues not descending: %v", e.Values)
+		}
+	}
+	// Trace preserved.
+	var sum float64
+	for _, l := range e.Values {
+		sum += l
+	}
+	if math.Abs(sum-a.Trace()) > 1e-8*scale {
+		t.Fatalf("trace %g != eigenvalue sum %g", a.Trace(), sum)
+	}
+}
+
+func TestEigenSymKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := NewMatrixFrom(2, 2, []float64{2, 1, 1, 2})
+	for _, solver := range []EigenSolver{SolverTridiagQL, SolverJacobi} {
+		e, err := EigenSymWith(a, solver)
+		if err != nil {
+			t.Fatalf("%v: %v", solver, err)
+		}
+		if math.Abs(e.Values[0]-3) > 1e-12 || math.Abs(e.Values[1]-1) > 1e-12 {
+			t.Fatalf("%v: eigenvalues = %v, want [3 1]", solver, e.Values)
+		}
+		checkEigen(t, a, e)
+	}
+}
+
+func TestEigenSymDiagonal(t *testing.T) {
+	a := NewMatrixFrom(3, 3, []float64{-1, 0, 0, 0, 5, 0, 0, 0, 2})
+	e, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Vector{5, 2, -1}
+	if !e.Values.Equal(want, 1e-12) {
+		t.Fatalf("eigenvalues = %v, want %v", e.Values, want)
+	}
+	checkEigen(t, a, e)
+}
+
+func TestEigenSym1x1(t *testing.T) {
+	a := NewMatrixFrom(1, 1, []float64{-7})
+	for _, solver := range []EigenSolver{SolverTridiagQL, SolverJacobi} {
+		e, err := EigenSymWith(a, solver)
+		if err != nil {
+			t.Fatalf("%v: %v", solver, err)
+		}
+		if e.Values[0] != -7 {
+			t.Fatalf("%v: values = %v", solver, e.Values)
+		}
+		if math.Abs(math.Abs(e.Vectors.At(0, 0))-1) > 1e-15 {
+			t.Fatalf("%v: vector = %v", solver, e.Vectors)
+		}
+	}
+}
+
+func TestEigenSymZeroMatrix(t *testing.T) {
+	a := NewMatrix(4, 4)
+	e, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range e.Values {
+		if l != 0 {
+			t.Fatalf("zero matrix eigenvalues = %v", e.Values)
+		}
+	}
+	checkEigen(t, a, e)
+}
+
+func TestEigenSymRepeatedEigenvalues(t *testing.T) {
+	// 2·I has eigenvalue 2 with multiplicity 3.
+	a := Identity(3)
+	a.Scale(2)
+	e, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range e.Values {
+		if math.Abs(l-2) > 1e-12 {
+			t.Fatalf("eigenvalues = %v", e.Values)
+		}
+	}
+	checkEigen(t, a, e)
+}
+
+func TestEigenSymRandomBothSolvers(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(12)
+		a := randomSymmetric(rng, n)
+		for _, solver := range []EigenSolver{SolverTridiagQL, SolverJacobi} {
+			e, err := EigenSymWith(a, solver)
+			if err != nil {
+				t.Fatalf("n=%d %v: %v", n, solver, err)
+			}
+			checkEigen(t, a, e)
+		}
+	}
+}
+
+func TestEigenSolversAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + rng.Intn(10)
+		a := randomSymmetric(rng, n)
+		e1, err := EigenSymWith(a, SolverTridiagQL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e2, err := EigenSymWith(a, SolverJacobi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !e1.Values.Equal(e2.Values, 1e-7*(1+a.FrobeniusNorm())) {
+			t.Fatalf("solver eigenvalues disagree:\n%v\n%v", e1.Values, e2.Values)
+		}
+	}
+}
+
+func TestEigenSymPSD(t *testing.T) {
+	// Covariance-like matrices (B·Bᵀ) must have non-negative eigenvalues.
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(8)
+		b := randomMatrix(rng, n, n+3)
+		bt := b.Transpose()
+		a, err := b.Mul(bt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Symmetrize()
+		e, err := EigenSym(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range e.Values {
+			if l < -1e-8*(1+a.FrobeniusNorm()) {
+				t.Fatalf("PSD matrix has negative eigenvalue %g", l)
+			}
+		}
+		checkEigen(t, a, e)
+	}
+}
+
+func TestEigenSymRejectsNonSymmetric(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{1, 2, 3, 4})
+	if _, err := EigenSym(a); !errors.Is(err, ErrNotSymmetric) {
+		t.Fatalf("err = %v, want ErrNotSymmetric", err)
+	}
+}
+
+func TestEigenSymRejectsNonSquare(t *testing.T) {
+	a := NewMatrix(2, 3)
+	if _, err := EigenSym(a); !errors.Is(err, ErrDimension) {
+		t.Fatalf("err = %v, want ErrDimension", err)
+	}
+}
+
+func TestEigenDoesNotModifyInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	a := randomSymmetric(rng, 6)
+	before := a.Clone()
+	if _, err := EigenSym(a); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(before, 0) {
+		t.Fatal("EigenSym modified its input")
+	}
+}
+
+func TestSignCanonicalization(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	a := randomSymmetric(rng, 7)
+	e, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 7; c++ {
+		bestAbs, best := -1.0, 0.0
+		for r := 0; r < 7; r++ {
+			if ab := math.Abs(e.Vectors.At(r, c)); ab > bestAbs {
+				bestAbs, best = ab, e.Vectors.At(r, c)
+			}
+		}
+		if best < 0 {
+			t.Fatalf("column %d: largest-magnitude entry is negative", c)
+		}
+	}
+}
+
+func TestTransformMatrix(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{2, 1, 1, 2})
+	e, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := e.TransformMatrix(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.Rows != 1 || tm.Cols != 2 {
+		t.Fatalf("TransformMatrix dims %dx%d", tm.Rows, tm.Cols)
+	}
+	// Leading eigenvector of [[2,1],[1,2]] is (1,1)/√2.
+	want := 1 / math.Sqrt2
+	if math.Abs(tm.At(0, 0)-want) > 1e-12 || math.Abs(tm.At(0, 1)-want) > 1e-12 {
+		t.Fatalf("TransformMatrix = %v", tm)
+	}
+	if _, err := e.TransformMatrix(0); !errors.Is(err, ErrDimension) {
+		t.Fatalf("k=0 error = %v", err)
+	}
+	if _, err := e.TransformMatrix(3); !errors.Is(err, ErrDimension) {
+		t.Fatalf("k=3 error = %v", err)
+	}
+}
+
+func TestEigenLargerMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rng := rand.New(rand.NewSource(47))
+	a := randomSymmetric(rng, 64)
+	e, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEigen(t, a, e)
+}
+
+func TestEigenSolverString(t *testing.T) {
+	if SolverTridiagQL.String() != "tridiag-ql" || SolverJacobi.String() != "jacobi" {
+		t.Fatal("EigenSolver.String mismatch")
+	}
+	if EigenSolver(99).String() == "" {
+		t.Fatal("unknown solver String empty")
+	}
+}

@@ -1,0 +1,238 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len = Rows*Cols, row-major
+}
+
+// NewMatrix returns a zero Rows×Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("linalg: negative matrix dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// NewMatrixFrom builds a matrix from a row-major slice, which is used
+// directly (not copied). It panics if len(data) != rows*cols.
+func NewMatrixFrom(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("linalg: NewMatrixFrom: %d elements for %dx%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a Vector sharing the matrix storage.
+func (m *Matrix) Row(i int) Vector { return Vector(m.Data[i*m.Cols : (i+1)*m.Cols]) }
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) Vector {
+	v := make(Vector, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		v[i] = m.Data[i*m.Cols+j]
+	}
+	return v
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Transpose returns a new matrix that is the transpose of m.
+func (m *Matrix) Transpose() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			t.Data[j*t.Cols+i] = v
+		}
+	}
+	return t
+}
+
+// Mul returns m·b as a new matrix.
+func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
+	if m.Cols != b.Rows {
+		return nil, fmt.Errorf("%w: Mul %dx%d by %dx%d", ErrDimension, m.Rows, m.Cols, b.Rows, b.Cols)
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		arow := m.Data[i*m.Cols : (i+1)*m.Cols]
+		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for k, a := range arow {
+			if a == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += a * bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns m·v as a new vector.
+func (m *Matrix) MulVec(v Vector) (Vector, error) {
+	if m.Cols != len(v) {
+		return nil, fmt.Errorf("%w: MulVec %dx%d by %d", ErrDimension, m.Rows, m.Cols, len(v))
+	}
+	out := make(Vector, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = Vector(m.Data[i*m.Cols : (i+1)*m.Cols]).Dot(v)
+	}
+	return out, nil
+}
+
+// MulVecInto computes dst = m·v without allocating. dst must have length
+// m.Rows and must not alias v.
+func (m *Matrix) MulVecInto(v, dst Vector) {
+	if m.Cols != len(v) || m.Rows != len(dst) {
+		panic("linalg: MulVecInto dimension mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		dst[i] = Vector(m.Data[i*m.Cols : (i+1)*m.Cols]).Dot(v)
+	}
+}
+
+// Add accumulates m += b elementwise.
+func (m *Matrix) Add(b *Matrix) error {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		return fmt.Errorf("%w: Add %dx%d and %dx%d", ErrDimension, m.Rows, m.Cols, b.Rows, b.Cols)
+	}
+	for i, v := range b.Data {
+		m.Data[i] += v
+	}
+	return nil
+}
+
+// Scale multiplies every element of m by a in place.
+func (m *Matrix) Scale(a float64) {
+	for i := range m.Data {
+		m.Data[i] *= a
+	}
+}
+
+// AddOuter accumulates m += v·vᵀ (symmetric rank-1 update).
+// It panics if m is not len(v)×len(v).
+func (m *Matrix) AddOuter(v Vector) {
+	n := len(v)
+	if m.Rows != n || m.Cols != n {
+		panic("linalg: AddOuter dimension mismatch")
+	}
+	for i := 0; i < n; i++ {
+		vi := v[i]
+		if vi == 0 {
+			continue
+		}
+		row := m.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			row[j] += vi * v[j]
+		}
+	}
+}
+
+// IsSymmetric reports whether m is square and symmetric within tol.
+func (m *Matrix) IsSymmetric(tol float64) bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := i + 1; j < m.Cols; j++ {
+			if math.Abs(m.At(i, j)-m.At(j, i)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Symmetrize replaces m with (m+mᵀ)/2, repairing asymmetry introduced by
+// floating-point accumulation order. It panics if m is not square.
+func (m *Matrix) Symmetrize() {
+	if m.Rows != m.Cols {
+		panic("linalg: Symmetrize on non-square matrix")
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := i + 1; j < m.Cols; j++ {
+			v := (m.At(i, j) + m.At(j, i)) / 2
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+}
+
+// Trace returns the sum of diagonal elements. It panics if m is not square.
+func (m *Matrix) Trace() float64 {
+	if m.Rows != m.Cols {
+		panic("linalg: Trace on non-square matrix")
+	}
+	var t float64
+	for i := 0; i < m.Rows; i++ {
+		t += m.At(i, i)
+	}
+	return t
+}
+
+// FrobeniusNorm returns the Frobenius norm of m.
+func (m *Matrix) FrobeniusNorm() float64 { return Vector(m.Data).Norm() }
+
+// MaxAbsOffDiag returns the largest |m[i][j]|, i≠j. Zero for n<2.
+func (m *Matrix) MaxAbsOffDiag() float64 {
+	var mx float64
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if i == j {
+				continue
+			}
+			if a := math.Abs(m.At(i, j)); a > mx {
+				mx = a
+			}
+		}
+	}
+	return mx
+}
+
+// Equal reports whether m and b agree elementwise within tol.
+func (m *Matrix) Equal(b *Matrix, tol float64) bool {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		return false
+	}
+	return Vector(m.Data).Equal(Vector(b.Data), tol)
+}
+
+// String renders a small matrix for debugging.
+func (m *Matrix) String() string {
+	s := fmt.Sprintf("Matrix %dx%d [", m.Rows, m.Cols)
+	for i := 0; i < m.Rows && i < 6; i++ {
+		s += "\n "
+		for j := 0; j < m.Cols && j < 8; j++ {
+			s += fmt.Sprintf("% .4g ", m.At(i, j))
+		}
+	}
+	return s + "\n]"
+}

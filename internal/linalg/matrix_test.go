@@ -1,0 +1,235 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func randomSymmetric(rng *rand.Rand, n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+func TestAtSetRowCol(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 42)
+	if m.At(1, 2) != 42 {
+		t.Fatal("At/Set roundtrip failed")
+	}
+	if got := m.Row(1); got[2] != 42 {
+		t.Fatalf("Row = %v", got)
+	}
+	if got := m.Col(2); got[1] != 42 {
+		t.Fatalf("Col = %v", got)
+	}
+	// Row shares storage; Col copies.
+	m.Row(1)[2] = 7
+	if m.At(1, 2) != 7 {
+		t.Fatal("Row does not share storage")
+	}
+	c := m.Col(2)
+	c[1] = 100
+	if m.At(1, 2) != 7 {
+		t.Fatal("Col should copy")
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if id.At(i, j) != want {
+				t.Fatalf("Identity(3)[%d][%d] = %g", i, j, id.At(i, j))
+			}
+		}
+	}
+}
+
+func TestMulAgainstHandComputed(t *testing.T) {
+	a := NewMatrixFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := NewMatrixFrom(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	got, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewMatrixFrom(2, 2, []float64{58, 64, 139, 154})
+	if !got.Equal(want, 0) {
+		t.Fatalf("Mul = %v", got)
+	}
+}
+
+func TestMulDimensionError(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(2, 3)
+	if _, err := a.Mul(b); !errors.Is(err, ErrDimension) {
+		t.Fatalf("Mul error = %v, want ErrDimension", err)
+	}
+	if _, err := a.MulVec(NewVector(2)); !errors.Is(err, ErrDimension) {
+		t.Fatalf("MulVec error = %v, want ErrDimension", err)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomMatrix(rng, 5, 5)
+	got, err := a.Mul(Identity(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(a, 1e-15) {
+		t.Fatal("A·I != A")
+	}
+}
+
+func TestMulVecMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomMatrix(rng, 4, 6)
+	v := make(Vector, 6)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	got, err := a.MulVec(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewMatrixFrom(6, 1, v.Clone())
+	prod, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(Vector(prod.Data), 1e-12) {
+		t.Fatalf("MulVec = %v, Mul column = %v", got, prod.Data)
+	}
+	dst := NewVector(4)
+	a.MulVecInto(v, dst)
+	if !dst.Equal(got, 0) {
+		t.Fatal("MulVecInto differs from MulVec")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := NewMatrixFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	at := a.Transpose()
+	if at.Rows != 3 || at.Cols != 2 {
+		t.Fatalf("Transpose dims %dx%d", at.Rows, at.Cols)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if a.At(i, j) != at.At(j, i) {
+				t.Fatalf("transpose mismatch at %d,%d", i, j)
+			}
+		}
+	}
+	if !a.Transpose().Transpose().Equal(a, 0) {
+		t.Fatal("double transpose is not identity")
+	}
+}
+
+func TestAddOuterMatchesDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	v := make(Vector, 5)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	m := NewMatrix(5, 5)
+	m.AddOuter(v)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if math.Abs(m.At(i, j)-v[i]*v[j]) > 1e-15 {
+				t.Fatalf("AddOuter[%d][%d] = %g, want %g", i, j, m.At(i, j), v[i]*v[j])
+			}
+		}
+	}
+	if !m.IsSymmetric(0) {
+		t.Fatal("outer product not symmetric")
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	m := NewMatrixFrom(2, 2, []float64{1, 2, 4, 3})
+	m.Symmetrize()
+	if !m.IsSymmetric(0) {
+		t.Fatal("Symmetrize failed")
+	}
+	if m.At(0, 1) != 3 {
+		t.Fatalf("Symmetrize average = %g, want 3", m.At(0, 1))
+	}
+}
+
+func TestTraceAndNorms(t *testing.T) {
+	m := NewMatrixFrom(2, 2, []float64{3, -4, 0, 5})
+	if got := m.Trace(); got != 8 {
+		t.Fatalf("Trace = %g", got)
+	}
+	if got := m.FrobeniusNorm(); math.Abs(got-math.Sqrt(9+16+25)) > 1e-12 {
+		t.Fatalf("FrobeniusNorm = %g", got)
+	}
+	if got := m.MaxAbsOffDiag(); got != 4 {
+		t.Fatalf("MaxAbsOffDiag = %g", got)
+	}
+}
+
+func TestAddAndScale(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{1, 2, 3, 4})
+	b := NewMatrixFrom(2, 2, []float64{10, 20, 30, 40})
+	if err := a.Add(b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(NewMatrixFrom(2, 2, []float64{11, 22, 33, 44}), 0) {
+		t.Fatalf("Add = %v", a)
+	}
+	a.Scale(0.5)
+	if !a.Equal(NewMatrixFrom(2, 2, []float64{5.5, 11, 16.5, 22}), 0) {
+		t.Fatalf("Scale = %v", a)
+	}
+	if err := a.Add(NewMatrix(3, 2)); !errors.Is(err, ErrDimension) {
+		t.Fatalf("Add dim error = %v", err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := NewMatrixFrom(1, 2, []float64{1, 2})
+	c := a.Clone()
+	c.Data[0] = 9
+	if a.Data[0] != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestMulAssociativityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 25; trial++ {
+		n1, n2, n3, n4 := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(6)
+		a := randomMatrix(rng, n1, n2)
+		b := randomMatrix(rng, n2, n3)
+		c := randomMatrix(rng, n3, n4)
+		ab, _ := a.Mul(b)
+		abc1, _ := ab.Mul(c)
+		bc, _ := b.Mul(c)
+		abc2, _ := a.Mul(bc)
+		if !abc1.Equal(abc2, 1e-9) {
+			t.Fatalf("(AB)C != A(BC) for dims %d,%d,%d,%d", n1, n2, n3, n4)
+		}
+	}
+}

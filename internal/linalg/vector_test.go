@@ -1,0 +1,166 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDot(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{4, -5, 6}
+	if got, want := v.Dot(w), 1.0*4-2*5+3*6; got != want {
+		t.Fatalf("Dot = %g, want %g", got, want)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot with mismatched lengths did not panic")
+		}
+	}()
+	Vector{1}.Dot(Vector{1, 2})
+}
+
+func TestNorm(t *testing.T) {
+	cases := []struct {
+		v    Vector
+		want float64
+	}{
+		{Vector{}, 0},
+		{Vector{0, 0, 0}, 0},
+		{Vector{3, 4}, 5},
+		{Vector{-3, 4}, 5},
+		{Vector{1e200, 1e200}, 1e200 * math.Sqrt2}, // no overflow
+		{Vector{2}, 2},
+	}
+	for _, c := range cases {
+		if got := c.v.Norm(); math.Abs(got-c.want) > 1e-9*c.want {
+			t.Errorf("Norm(%v) = %g, want %g", c.v, got, c.want)
+		}
+	}
+}
+
+func TestNormMatchesNaive(t *testing.T) {
+	f := func(xs []float64) bool {
+		v := Vector(xs)
+		var ss float64
+		for _, x := range xs {
+			ss += x * x
+		}
+		want := math.Sqrt(ss)
+		got := v.Norm()
+		if math.IsInf(ss, 0) || math.IsNaN(ss) {
+			return true // naive overflowed; scaled version is the whole point
+		}
+		return math.Abs(got-want) <= 1e-9*(1+want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSubScaleAXPY(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{10, 20, 30}
+	dst := NewVector(3)
+
+	v.Add(w, dst)
+	if !dst.Equal(Vector{11, 22, 33}, 0) {
+		t.Errorf("Add = %v", dst)
+	}
+	v.Sub(w, dst)
+	if !dst.Equal(Vector{-9, -18, -27}, 0) {
+		t.Errorf("Sub = %v", dst)
+	}
+	v.Scale(2, dst)
+	if !dst.Equal(Vector{2, 4, 6}, 0) {
+		t.Errorf("Scale = %v", dst)
+	}
+	v.AXPY(3, dst) // dst = 2v + 3v = 5v
+	if !dst.Equal(Vector{5, 10, 15}, 0) {
+		t.Errorf("AXPY = %v", dst)
+	}
+}
+
+func TestAddAliasesSafely(t *testing.T) {
+	v := Vector{1, 2, 3}
+	v.Add(v, v)
+	if !v.Equal(Vector{2, 4, 6}, 0) {
+		t.Errorf("aliased Add = %v", v)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := Vector{3, 0, 4}
+	n := v.Normalize()
+	if n != 5 {
+		t.Fatalf("Normalize returned %g, want 5", n)
+	}
+	if math.Abs(v.Norm()-1) > 1e-12 {
+		t.Fatalf("normalized norm = %g", v.Norm())
+	}
+	z := Vector{0, 0}
+	if got := z.Normalize(); got != 0 {
+		t.Fatalf("zero Normalize = %g", got)
+	}
+	if !z.Equal(Vector{0, 0}, 0) {
+		t.Fatal("zero vector modified by Normalize")
+	}
+}
+
+func TestClone(t *testing.T) {
+	v := Vector{1, 2}
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestAngle(t *testing.T) {
+	cases := []struct {
+		a, b Vector
+		want float64
+	}{
+		{Vector{1, 0}, Vector{1, 0}, 0},
+		{Vector{1, 0}, Vector{0, 1}, math.Pi / 2},
+		{Vector{1, 0}, Vector{-1, 0}, math.Pi},
+		{Vector{1, 0}, Vector{5, 0}, 0},           // scale invariance
+		{Vector{0, 0}, Vector{1, 0}, math.Pi / 2}, // zero vector convention
+		{Vector{1, 1}, Vector{1, 1}, 0},           // clamp against rounding
+		{Vector{2, 2, 2}, Vector{-3, -3, -3}, math.Pi},
+	}
+	for _, c := range cases {
+		// acos has unbounded derivative near ±1, so allow 1e-7.
+		if got := Angle(c.a, c.b); math.Abs(got-c.want) > 1e-7 {
+			t.Errorf("Angle(%v, %v) = %g, want %g", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAngleProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		n := 1 + rng.Intn(16)
+		a, b := make(Vector, n), make(Vector, n)
+		for j := 0; j < n; j++ {
+			a[j] = rng.NormFloat64()
+			b[j] = rng.NormFloat64()
+		}
+		th := Angle(a, b)
+		if th < 0 || th > math.Pi {
+			t.Fatalf("Angle out of range: %g", th)
+		}
+		if sym := Angle(b, a); math.Abs(sym-th) > 1e-12 {
+			t.Fatalf("Angle not symmetric: %g vs %g", th, sym)
+		}
+		// Positive scaling leaves the angle unchanged.
+		s := 0.5 + rng.Float64()*10
+		if got := Angle(a.Scale(s, a.Clone()), b); math.Abs(got-th) > 1e-9 {
+			t.Fatalf("Angle not scale invariant: %g vs %g", got, th)
+		}
+	}
+}

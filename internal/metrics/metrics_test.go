@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSpeedup(t *testing.T) {
+	s := Speedup(100, []float64{100, 50, 25, 0})
+	if s[0] != 1 || s[1] != 2 || s[2] != 4 {
+		t.Fatalf("speedups = %v", s)
+	}
+	if !math.IsNaN(s[3]) {
+		t.Fatal("zero time should give NaN")
+	}
+}
+
+func TestEfficiencyAndLinearity(t *testing.T) {
+	sp := []float64{1, 1.9, 3.6}
+	procs := []int{1, 2, 4}
+	eff := Efficiency(sp, procs)
+	if math.Abs(eff[1]-0.95) > 1e-12 {
+		t.Fatalf("eff = %v", eff)
+	}
+	worst := WithinOfLinear(sp, procs)
+	if math.Abs(worst-0.1) > 1e-12 {
+		t.Fatalf("worst shortfall = %g", worst)
+	}
+	if WithinOfLinear([]float64{math.NaN()}, []int{1}) != 0 {
+		t.Fatal("NaN handling")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean")
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("empty mean should be NaN")
+	}
+}
+
+func TestTableWriteAndCSV(t *testing.T) {
+	tab := &Table{
+		Title:  "Figure 4",
+		XLabel: "processors",
+		X:      []float64{1, 2, 4},
+		YUnit:  "s",
+	}
+	tab.Add("no resiliency", []float64{100, 51, 26})
+	tab.Add("resiliency level 2", []float64{210, 107}) // short series OK
+
+	var buf bytes.Buffer
+	if err := tab.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 4", "processors", "no resiliency", "resiliency level 2", "100.000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Missing value rendered as '-'.
+	if !strings.Contains(out, "-") {
+		t.Fatal("missing-value marker absent")
+	}
+
+	buf.Reset()
+	if err := tab.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if lines[0] != "processors,no resiliency,resiliency level 2" {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[3], "4,26,") {
+		t.Fatalf("csv row = %q", lines[3])
+	}
+}

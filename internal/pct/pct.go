@@ -1,0 +1,162 @@
+package pct
+
+import (
+	"fmt"
+
+	"resilientfusion/internal/hsi"
+	"resilientfusion/internal/linalg"
+	"resilientfusion/internal/spectral"
+)
+
+// Options configures the spectral-screening PCT.
+type Options struct {
+	// Threshold is the spectral-angle screening threshold in radians;
+	// 0 selects spectral.DefaultThreshold.
+	Threshold float64
+	// Components is the number of principal components to retain;
+	// 0 selects 3 (the color-composite default).
+	Components int
+	// Solver selects the eigendecomposition algorithm.
+	Solver linalg.EigenSolver
+	// DisableScreening computes statistics over every pixel instead of
+	// the unique set — the plain-PCT baseline of ablation A1.
+	DisableScreening bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Threshold == 0 {
+		o.Threshold = spectral.DefaultThreshold
+	}
+	if o.Components == 0 {
+		o.Components = 3
+	}
+	return o
+}
+
+// Result is the outcome of the spectral-screening PCT on a cube.
+type Result struct {
+	// Components is the transformed cube: same width/height, Components
+	// bands, band k holding principal component k of each pixel.
+	Components *hsi.Cube
+	// Mean is the unique-set mean vector (step 3).
+	Mean linalg.Vector
+	// Covariance is the unique-set covariance matrix (step 5).
+	Covariance *linalg.Matrix
+	// Eigen is the full eigendecomposition (step 6).
+	Eigen *linalg.Eigen
+	// Transform is the Components×Bands transformation matrix A.
+	Transform *linalg.Matrix
+	// UniqueSetSize is K, the number of unique pixel vectors.
+	UniqueSetSize int
+	// ScreenStats records the screening workload (for the perf model).
+	ScreenStats spectral.Stats
+}
+
+// Run executes the complete sequential spectral-screening PCT —
+// algorithm steps 1–7. Step 8 (color mapping) lives in internal/colormap
+// so the components remain available for analysis.
+func Run(cube *hsi.Cube, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := cube.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Components > cube.Bands {
+		return nil, fmt.Errorf("%w: %d components from %d bands", linalg.ErrDimension, opts.Components, cube.Bands)
+	}
+
+	// Steps 1–2: spectral screening to a unique set (or the whole image
+	// when screening is disabled).
+	var (
+		statVecs []linalg.Vector
+		stats    spectral.Stats
+		k        int
+	)
+	pixels := allPixelVectors(cube)
+	if opts.DisableScreening {
+		statVecs = pixels
+		k = len(pixels)
+	} else {
+		u, st, err := spectral.Screen(pixels, opts.Threshold)
+		if err != nil {
+			return nil, err
+		}
+		statVecs = u.Members
+		stats = st
+		k = u.Len()
+	}
+
+	// Step 3: mean vector of the unique set.
+	mean, err := MeanOf(statVecs)
+	if err != nil {
+		return nil, err
+	}
+	// Steps 4–5: covariance of the unique set.
+	sum, err := CovarianceSum(statVecs, mean)
+	if err != nil {
+		return nil, err
+	}
+	cov, err := Covariance([]*linalg.Matrix{sum}, k)
+	if err != nil {
+		return nil, err
+	}
+	// Step 6: transformation matrix from the eigendecomposition.
+	eig, err := linalg.EigenSymWith(cov, opts.Solver)
+	if err != nil {
+		return nil, err
+	}
+	transform, err := eig.TransformMatrix(opts.Components)
+	if err != nil {
+		return nil, err
+	}
+	// Step 7: transform every pixel of the original cube.
+	comps, err := TransformCube(cube, transform, mean)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Components:    comps,
+		Mean:          mean,
+		Covariance:    cov,
+		Eigen:         eig,
+		Transform:     transform,
+		UniqueSetSize: k,
+		ScreenStats:   stats,
+	}, nil
+}
+
+// TransformCube applies Cs = A·(Is − mean) to every pixel — algorithm
+// step 7, the kernel each worker runs over its sub-cube.
+func TransformCube(cube *hsi.Cube, transform *linalg.Matrix, mean linalg.Vector) (*hsi.Cube, error) {
+	if transform.Cols != cube.Bands || len(mean) != cube.Bands {
+		return nil, fmt.Errorf("%w: transform %dx%d, mean %d, bands %d",
+			linalg.ErrDimension, transform.Rows, transform.Cols, len(mean), cube.Bands)
+	}
+	out, err := hsi.NewCube(cube.Width, cube.Height, transform.Rows)
+	if err != nil {
+		return nil, err
+	}
+	in := make(linalg.Vector, cube.Bands)
+	dev := make(linalg.Vector, cube.Bands)
+	pc := make(linalg.Vector, transform.Rows)
+	for i := 0; i < cube.Pixels(); i++ {
+		cube.PixelAt(i, in)
+		in.Sub(mean, dev)
+		transform.MulVecInto(dev, pc)
+		off := i * out.Bands
+		for b, v := range pc {
+			out.Data[off+b] = float32(v)
+		}
+	}
+	return out, nil
+}
+
+// allPixelVectors flattens the cube into float64 pixel vectors in
+// row-major order.
+func allPixelVectors(cube *hsi.Cube) []linalg.Vector {
+	n := cube.Pixels()
+	out := make([]linalg.Vector, n)
+	for i := 0; i < n; i++ {
+		out[i] = cube.PixelAt(i, make(linalg.Vector, cube.Bands))
+	}
+	return out
+}

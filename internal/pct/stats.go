@@ -1,0 +1,94 @@
+// Package pct implements the sequential spectral-screening Principal
+// Component Transform — the reference implementation of the paper's
+// 8-step algorithm against which every distributed configuration is
+// validated. The distributed pipeline in internal/core reuses these
+// kernels inside its workers.
+package pct
+
+import (
+	"errors"
+	"fmt"
+
+	"resilientfusion/internal/linalg"
+)
+
+// ErrEmptySet is returned when statistics are requested over no vectors.
+var ErrEmptySet = errors.New("pct: empty vector set")
+
+// MeanOf computes the per-band mean of a set of pixel vectors —
+// algorithm step 3.
+func MeanOf(vectors []linalg.Vector) (linalg.Vector, error) {
+	if len(vectors) == 0 {
+		return nil, ErrEmptySet
+	}
+	n := len(vectors[0])
+	mean := make(linalg.Vector, n)
+	for _, v := range vectors {
+		if len(v) != n {
+			return nil, fmt.Errorf("%w: ragged vector set", linalg.ErrDimension)
+		}
+		mean.Add(v, mean)
+	}
+	mean.Scale(1/float64(len(vectors)), mean)
+	return mean, nil
+}
+
+// CovarianceSum accumulates Σ (v−mean)(v−mean)ᵀ over the given vectors —
+// the per-worker kernel of algorithm step 4. The caller owns normalization
+// (step 5 divides by the global count).
+func CovarianceSum(vectors []linalg.Vector, mean linalg.Vector) (*linalg.Matrix, error) {
+	n := len(mean)
+	sum := linalg.NewMatrix(n, n)
+	dev := make(linalg.Vector, n)
+	for _, v := range vectors {
+		if len(v) != n {
+			return nil, fmt.Errorf("%w: vector length %d vs mean %d", linalg.ErrDimension, len(v), n)
+		}
+		v.Sub(mean, dev)
+		sum.AddOuter(dev)
+	}
+	return sum, nil
+}
+
+// Covariance combines partial covariance sums into the covariance matrix —
+// algorithm step 5, executed sequentially by the manager. count is the
+// total number of vectors contributing to the partial sums.
+func Covariance(partials []*linalg.Matrix, count int) (*linalg.Matrix, error) {
+	if len(partials) == 0 || count <= 0 {
+		return nil, ErrEmptySet
+	}
+	n := partials[0].Rows
+	cov := linalg.NewMatrix(n, n)
+	for _, p := range partials {
+		if p == nil {
+			continue
+		}
+		if err := cov.Add(p); err != nil {
+			return nil, err
+		}
+	}
+	cov.Scale(1 / float64(count))
+	// Outer-product accumulation is symmetric in exact arithmetic; repair
+	// the few ulps of float drift so the eigensolver's symmetry check and
+	// the distributed/sequential equality tests are exact.
+	cov.Symmetrize()
+	return cov, nil
+}
+
+// CovarianceOf is the single-shot covariance of a vector set about its own
+// mean — the sequential composition of steps 3–5.
+func CovarianceOf(vectors []linalg.Vector) (*linalg.Matrix, linalg.Vector, error) {
+	mean, err := MeanOf(vectors)
+	if err != nil {
+		return nil, nil, err
+	}
+	sum, err := CovarianceSum(vectors, mean)
+	if err != nil {
+		return nil, nil, err
+	}
+	cov, err := Covariance([]*linalg.Matrix{sum}, len(vectors))
+	if err != nil {
+		return nil, nil, err
+	}
+	return cov, mean, nil
+}

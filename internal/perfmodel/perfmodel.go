@@ -1,0 +1,109 @@
+// Package perfmodel holds the operation-count cost formulas that the
+// distributed fusion pipeline charges to the simulated cluster. Costs are
+// functions of the *actual* data (screening comparison counts, unique-set
+// sizes, pixel counts), not curve fits, so the performance figures emerge
+// from algorithm behaviour rather than being baked in.
+package perfmodel
+
+import (
+	"resilientfusion/internal/spectral"
+)
+
+// Model contains the per-operation flop weights.
+type Model struct {
+	// AcosFlops is the cost of one arccosine evaluation (range reduction
+	// + polynomial) in flops.
+	AcosFlops float64
+	// CompareOverheadFlops is the fixed per-comparison implementation
+	// overhead of the 1999 pipeline (per-pair function dispatch, strided
+	// loads, no vectorization, interpreted Mathweb glue around the
+	// kernels). The paper's absolute times imply a large constant that
+	// cannot be recovered from the text; this single scalar is
+	// calibrated so the sequential time reproduces the paper's reported
+	// magnitude (≈350 s at P=2 for the 320×320×105 cube). Every claim
+	// we reproduce is a ratio and is insensitive to it (see
+	// EXPERIMENTS.md).
+	CompareOverheadFlops float64
+	// PixelOverheadFlops is the same implementation constant for the
+	// per-pixel transform loop of step 7.
+	PixelOverheadFlops float64
+	// EigenFlopsPerN3 is the constant c in c·n³ for the tridiagonal-QL
+	// eigendecomposition of an n×n symmetric matrix.
+	EigenFlopsPerN3 float64
+	// ColorMapFlopsPerPixel covers the 3 stretches, 3×3 opponent
+	// transform and clamps of algorithm step 8.
+	ColorMapFlopsPerPixel float64
+}
+
+// Default returns the calibrated model. Weights follow the obvious
+// operation counts; see EXPERIMENTS.md for the calibration discussion.
+func Default() Model {
+	return Model{
+		AcosFlops:             20,
+		CompareOverheadFlops:  8000,
+		PixelOverheadFlops:    500,
+		EigenFlopsPerN3:       9,
+		ColorMapFlopsPerPixel: 40,
+	}
+}
+
+// EffectiveWorkstationRate is the sustained flop rate charged per
+// cluster node. The paper's machines are 300 MHz UltraSPARC-class
+// workstations; dense pixel-vector code of the era sustained a few
+// percent of peak (strided access, no blocking, interpreted glue around
+// the kernels in the authors' Mathweb suite), so the *effective* rate is
+// calibrated to 12 MFLOPS, which reproduces the magnitude of the paper's
+// reported times (hundreds of seconds at small P for a 320×320×105 cube).
+// Only ratios matter for every claim we reproduce.
+const EffectiveWorkstationRate = 12e6
+
+// ScreenFlops is the cost of a screening pass: one norm per scanned
+// vector plus a dot product, an arccosine and the implementation
+// overhead per comparison (algorithm step 1, and the manager's merge in
+// step 2).
+func (m Model) ScreenFlops(st spectral.Stats, bands int) float64 {
+	n := float64(bands)
+	return float64(st.Scanned)*2*n + float64(st.Comparisons)*(2*n+m.AcosFlops+m.CompareOverheadFlops)
+}
+
+// MeanFlops is the cost of the unique-set mean (step 3): K·n adds plus n
+// divides.
+func (m Model) MeanFlops(k, bands int) float64 {
+	return float64(k)*float64(bands) + float64(bands)
+}
+
+// CovPartialFlops is a worker's cost for a covariance partial sum over k
+// vectors (step 4): per vector an n-element subtraction and a rank-1
+// update of n² multiply-adds.
+func (m Model) CovPartialFlops(k, bands int) float64 {
+	n := float64(bands)
+	return float64(k) * (n + 2*n*n)
+}
+
+// CovCombineFlops is the manager's cost to average P partial matrices
+// (step 5).
+func (m Model) CovCombineFlops(parts, bands int) float64 {
+	n := float64(bands)
+	return float64(parts)*n*n + n*n
+}
+
+// EigenFlops is the manager's cost for the eigendecomposition (step 6).
+func (m Model) EigenFlops(bands int) float64 {
+	n := float64(bands)
+	return m.EigenFlopsPerN3 * n * n * n
+}
+
+// TransformFlops is a worker's cost to project pixels onto comps
+// components (step 7): per pixel an n-element mean subtraction plus
+// comps dot products of 2n flops, plus the per-pixel implementation
+// overhead.
+func (m Model) TransformFlops(pixels, bands, comps int) float64 {
+	n := float64(bands)
+	return float64(pixels) * (n + 2*n*float64(comps) + m.PixelOverheadFlops)
+}
+
+// ColorMapFlops is a worker's cost for the color mapping of its portion
+// (step 8).
+func (m Model) ColorMapFlops(pixels int) float64 {
+	return float64(pixels) * m.ColorMapFlopsPerPixel
+}

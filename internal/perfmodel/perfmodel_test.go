@@ -1,0 +1,60 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"resilientfusion/internal/spectral"
+)
+
+func TestScreenFlopsScalesWithWork(t *testing.T) {
+	m := Default()
+	small := m.ScreenFlops(spectral.Stats{Comparisons: 10, Scanned: 10}, 100)
+	big := m.ScreenFlops(spectral.Stats{Comparisons: 1000, Scanned: 10}, 100)
+	if big <= small {
+		t.Fatal("more comparisons must cost more")
+	}
+	// A comparison costs a 2n dot product, an acos, and the calibrated
+	// implementation overhead.
+	one := m.ScreenFlops(spectral.Stats{Comparisons: 1}, 100)
+	if one != 2*100+m.AcosFlops+m.CompareOverheadFlops {
+		t.Fatalf("single comparison = %g", one)
+	}
+	if m.ScreenFlops(spectral.Stats{}, 100) != 0 {
+		t.Fatal("empty stats should cost nothing")
+	}
+}
+
+func TestCovAndTransformFormulas(t *testing.T) {
+	m := Default()
+	// Covariance partial: k(n + 2n²).
+	if got := m.CovPartialFlops(3, 10); got != 3*(10+200) {
+		t.Fatalf("CovPartialFlops = %g", got)
+	}
+	if got := m.CovCombineFlops(4, 10); got != 4*100+100 {
+		t.Fatalf("CovCombineFlops = %g", got)
+	}
+	// Transform: pixels(n + 2n·comps + overhead).
+	if got := m.TransformFlops(5, 10, 3); got != 5*(10+60+m.PixelOverheadFlops) {
+		t.Fatalf("TransformFlops = %g", got)
+	}
+	if got := m.ColorMapFlops(7); got != 7*m.ColorMapFlopsPerPixel {
+		t.Fatalf("ColorMapFlops = %g", got)
+	}
+	if got := m.MeanFlops(100, 10); got != 1010 {
+		t.Fatalf("MeanFlops = %g", got)
+	}
+}
+
+func TestEigenCubic(t *testing.T) {
+	m := Default()
+	r := m.EigenFlops(210) / m.EigenFlops(105)
+	if r < 7.9 || r > 8.1 {
+		t.Fatalf("eigen cost ratio for 2x bands = %g, want 8", r)
+	}
+}
+
+func TestEffectiveRatePositive(t *testing.T) {
+	if EffectiveWorkstationRate <= 0 {
+		t.Fatal("bad rate")
+	}
+}

@@ -1,0 +1,206 @@
+// Package postproc implements the post-processing the paper sketches
+// after fusion: edge detection on the color composite and structural
+// target detection ("detect edges in the image and use structural
+// information to detect and classify the vehicles", §3).
+package postproc
+
+import (
+	"errors"
+	"image"
+	"math"
+)
+
+// ErrEmptyImage is returned for degenerate inputs.
+var ErrEmptyImage = errors.New("postproc: empty image")
+
+// Luminance converts an RGBA composite to a float64 luminance plane
+// (Rec. 601 weights).
+func Luminance(img *image.RGBA) ([]float64, int, int, error) {
+	b := img.Bounds()
+	w, h := b.Dx(), b.Dy()
+	if w == 0 || h == 0 {
+		return nil, 0, 0, ErrEmptyImage
+	}
+	out := make([]float64, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			c := img.RGBAAt(b.Min.X+x, b.Min.Y+y)
+			out[y*w+x] = 0.299*float64(c.R) + 0.587*float64(c.G) + 0.114*float64(c.B)
+		}
+	}
+	return out, w, h, nil
+}
+
+// Sobel computes gradient magnitude with the 3×3 Sobel operator,
+// replicating edge pixels at the border.
+func Sobel(plane []float64, w, h int) ([]float64, error) {
+	if len(plane) != w*h || w == 0 || h == 0 {
+		return nil, ErrEmptyImage
+	}
+	at := func(x, y int) float64 {
+		if x < 0 {
+			x = 0
+		}
+		if x >= w {
+			x = w - 1
+		}
+		if y < 0 {
+			y = 0
+		}
+		if y >= h {
+			y = h - 1
+		}
+		return plane[y*w+x]
+	}
+	out := make([]float64, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			gx := -at(x-1, y-1) + at(x+1, y-1) +
+				-2*at(x-1, y) + 2*at(x+1, y) +
+				-at(x-1, y+1) + at(x+1, y+1)
+			gy := -at(x-1, y-1) - 2*at(x, y-1) - at(x+1, y-1) +
+				at(x-1, y+1) + 2*at(x, y+1) + at(x+1, y+1)
+			out[y*w+x] = math.Hypot(gx, gy)
+		}
+	}
+	return out, nil
+}
+
+// EdgeMap thresholds a gradient plane at the given quantile (0..1),
+// returning a binary mask.
+func EdgeMap(grad []float64, w, h int, quantile float64) ([]bool, error) {
+	if len(grad) != w*h || w == 0 || h == 0 {
+		return nil, ErrEmptyImage
+	}
+	if quantile < 0 {
+		quantile = 0
+	}
+	if quantile > 1 {
+		quantile = 1
+	}
+	sorted := append([]float64(nil), grad...)
+	insertionSort(sorted)
+	idx := int(quantile * float64(len(sorted)-1))
+	thresh := sorted[idx]
+	out := make([]bool, len(grad))
+	for i, g := range grad {
+		out[i] = g > thresh
+	}
+	return out, nil
+}
+
+// insertionSort avoids importing sort for a hot-free path; planes are
+// sorted once per detection pass.
+func insertionSort(xs []float64) {
+	// Shell sort: fine for the plane sizes involved and allocation-free.
+	n := len(xs)
+	for gap := n / 2; gap > 0; gap /= 2 {
+		for i := gap; i < n; i++ {
+			v := xs[i]
+			j := i
+			for ; j >= gap && xs[j-gap] > v; j -= gap {
+				xs[j] = xs[j-gap]
+			}
+			xs[j] = v
+		}
+	}
+}
+
+// Blob is a connected component of an edge/interest mask.
+type Blob struct {
+	MinX, MinY, MaxX, MaxY int
+	Pixels                 int
+}
+
+// Width returns the blob's bounding-box width.
+func (b Blob) Width() int { return b.MaxX - b.MinX + 1 }
+
+// Height returns the blob's bounding-box height.
+func (b Blob) Height() int { return b.MaxY - b.MinY + 1 }
+
+// CenterX returns the bounding-box centre x.
+func (b Blob) CenterX() int { return (b.MinX + b.MaxX) / 2 }
+
+// CenterY returns the bounding-box centre y.
+func (b Blob) CenterY() int { return (b.MinY + b.MaxY) / 2 }
+
+// Components labels 4-connected components of mask, ignoring those
+// smaller than minPixels.
+func Components(mask []bool, w, h, minPixels int) ([]Blob, error) {
+	if len(mask) != w*h || w == 0 || h == 0 {
+		return nil, ErrEmptyImage
+	}
+	seen := make([]bool, len(mask))
+	var blobs []Blob
+	var stack []int
+	for start := range mask {
+		if !mask[start] || seen[start] {
+			continue
+		}
+		blob := Blob{MinX: w, MinY: h, MaxX: -1, MaxY: -1}
+		stack = append(stack[:0], start)
+		seen[start] = true
+		for len(stack) > 0 {
+			i := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			x, y := i%w, i/w
+			blob.Pixels++
+			if x < blob.MinX {
+				blob.MinX = x
+			}
+			if x > blob.MaxX {
+				blob.MaxX = x
+			}
+			if y < blob.MinY {
+				blob.MinY = y
+			}
+			if y > blob.MaxY {
+				blob.MaxY = y
+			}
+			for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+				nx, ny := x+d[0], y+d[1]
+				if nx < 0 || nx >= w || ny < 0 || ny >= h {
+					continue
+				}
+				j := ny*w + nx
+				if mask[j] && !seen[j] {
+					seen[j] = true
+					stack = append(stack, j)
+				}
+			}
+		}
+		if blob.Pixels >= minPixels {
+			blobs = append(blobs, blob)
+		}
+	}
+	return blobs, nil
+}
+
+// DetectVehicles runs the full §3 post-processing chain on a fused
+// composite: luminance → Sobel → quantile edge map → connected
+// components filtered to vehicle-scale boxes.
+func DetectVehicles(img *image.RGBA, minSize, maxSize int) ([]Blob, error) {
+	plane, w, h, err := Luminance(img)
+	if err != nil {
+		return nil, err
+	}
+	grad, err := Sobel(plane, w, h)
+	if err != nil {
+		return nil, err
+	}
+	mask, err := EdgeMap(grad, w, h, 0.92)
+	if err != nil {
+		return nil, err
+	}
+	blobs, err := Components(mask, w, h, minSize)
+	if err != nil {
+		return nil, err
+	}
+	var out []Blob
+	for _, b := range blobs {
+		if b.Width() <= maxSize && b.Height() <= maxSize {
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}

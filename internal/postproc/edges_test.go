@@ -1,0 +1,157 @@
+package postproc
+
+import (
+	"image"
+	"image/color"
+	"testing"
+
+	"resilientfusion/internal/colormap"
+	"resilientfusion/internal/core"
+	"resilientfusion/internal/hsi"
+)
+
+func flatImage(w, h int, c color.RGBA) *image.RGBA {
+	img := image.NewRGBA(image.Rect(0, 0, w, h))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			img.SetRGBA(x, y, c)
+		}
+	}
+	return img
+}
+
+func TestLuminance(t *testing.T) {
+	img := flatImage(4, 3, color.RGBA{R: 255, G: 255, B: 255, A: 255})
+	plane, w, h, err := Luminance(img)
+	if err != nil || w != 4 || h != 3 {
+		t.Fatalf("%v %d %d", err, w, h)
+	}
+	for _, v := range plane {
+		if v < 254.9 || v > 255.1 {
+			t.Fatalf("white luminance = %g", v)
+		}
+	}
+	if _, _, _, err := Luminance(image.NewRGBA(image.Rect(0, 0, 0, 0))); err == nil {
+		t.Fatal("empty image accepted")
+	}
+}
+
+func TestSobelFindsStep(t *testing.T) {
+	// Vertical step edge at x=4.
+	w, h := 8, 8
+	plane := make([]float64, w*h)
+	for y := 0; y < h; y++ {
+		for x := 4; x < w; x++ {
+			plane[y*w+x] = 100
+		}
+	}
+	grad, err := Sobel(plane, w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gradient peaks along the step, zero far away.
+	if grad[3*w+4] == 0 || grad[3*w+3] == 0 {
+		t.Fatal("no gradient at the step")
+	}
+	if grad[3*w+1] != 0 || grad[3*w+6] != 0 {
+		t.Fatal("gradient in flat region")
+	}
+	if _, err := Sobel(plane, 3, 3); err == nil {
+		t.Fatal("bad dims accepted")
+	}
+}
+
+func TestEdgeMapQuantile(t *testing.T) {
+	grad := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	mask, err := EdgeMap(grad, 10, 1, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, m := range mask {
+		if m {
+			count++
+		}
+	}
+	if count != 2 { // 8 and 9 exceed the 0.8-quantile value 7
+		t.Fatalf("mask count = %d", count)
+	}
+	// Clamped quantiles.
+	if _, err := EdgeMap(grad, 10, 1, -3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EdgeMap(grad, 2, 1, 0.5); err == nil {
+		t.Fatal("bad dims accepted")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	// Two blobs: a 2x2 square and a single pixel.
+	w, h := 6, 4
+	mask := make([]bool, w*h)
+	mask[1*w+1], mask[1*w+2], mask[2*w+1], mask[2*w+2] = true, true, true, true
+	mask[0*w+5] = true
+	blobs, err := Components(mask, w, h, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blobs) != 2 {
+		t.Fatalf("blobs = %d", len(blobs))
+	}
+	big := blobs[0]
+	if blobs[1].Pixels > big.Pixels {
+		big = blobs[1]
+	}
+	if big.Pixels != 4 || big.Width() != 2 || big.Height() != 2 {
+		t.Fatalf("big blob %+v", big)
+	}
+	if big.CenterX() != 1 || big.CenterY() != 1 {
+		t.Fatalf("center %d,%d", big.CenterX(), big.CenterY())
+	}
+	// minPixels filter.
+	blobs, err = Components(mask, w, h, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blobs) != 1 {
+		t.Fatalf("filtered blobs = %d", len(blobs))
+	}
+}
+
+func TestDetectVehiclesOnFusedScene(t *testing.T) {
+	scene, err := hsi.GenerateScene(hsi.SceneSpec{
+		Width: 64, Height: 64, Bands: 32, Seed: 21,
+		NoiseSigma: 3, Illumination: 0.08,
+		OpenVehicles: 1, CamouflagedVehicles: 0,
+		SpectralVariability: 0.08,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Sequential(scene.Cube, core.Options{Workers: 2, Threshold: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blobs, err := DetectVehicles(res.Image, 4, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blobs) == 0 {
+		t.Fatal("no structures detected in fused composite")
+	}
+	// At least one detection overlaps a true vehicle pixel.
+	found := false
+	for _, b := range blobs {
+		for y := b.MinY; y <= b.MaxY && !found; y++ {
+			for x := b.MinX; x <= b.MaxX && !found; x++ {
+				if scene.TruthAt(x, y) == hsi.MaterialVehicle {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no detection overlaps the vehicle")
+	}
+	_ = colormap.OpponentMatrix // the chain consumes colormap output
+}

@@ -1,0 +1,76 @@
+package resilient
+
+// dedupe tracks, per logical sender, which logical sequence numbers have
+// already been delivered to the application. Replicated senders emit one
+// copy per replica with the same lseq; the first to arrive wins. Because
+// transport is FIFO per physical pair but replicas interleave, copies may
+// arrive out of order relative to each other, so a high-water mark plus a
+// sparse set of early arrivals above it is kept per sender.
+type dedupe struct {
+	peers map[LogicalID]*peerState
+}
+
+type peerState struct {
+	epoch     uint32          // group incarnation of the peer
+	highWater uint64          // all lseq <= highWater have been delivered
+	above     map[uint64]bool // delivered lseq > highWater
+}
+
+func newDedupe() *dedupe { return &dedupe{peers: make(map[LogicalID]*peerState)} }
+
+// accept reports whether (from, epoch, lseq) is new, recording it if so.
+// lseq numbering starts at 1 within each epoch; 0 never arrives.
+//
+// Epochs handle whole-group regeneration: a group restarted from scratch
+// (no survivor to inherit counters from) gets a higher epoch, which resets
+// the receiver's sequence space for that peer. Traffic from an older
+// epoch — a zombie replica that escaped its kill — is discarded outright.
+func (d *dedupe) accept(from LogicalID, epoch uint32, lseq uint64) bool {
+	p := d.peers[from]
+	if p == nil {
+		p = &peerState{epoch: epoch, above: make(map[uint64]bool)}
+		d.peers[from] = p
+	}
+	switch {
+	case epoch < p.epoch:
+		return false // stale incarnation
+	case epoch > p.epoch:
+		p.epoch = epoch
+		p.highWater = 0
+		clear(p.above)
+	}
+	if lseq <= p.highWater || p.above[lseq] {
+		return false
+	}
+	p.above[lseq] = true
+	// Compact: advance the high-water mark over contiguous deliveries.
+	for p.above[p.highWater+1] {
+		p.highWater++
+		delete(p.above, p.highWater)
+	}
+	return true
+}
+
+// snapshotInto exports per-peer epochs and high-water marks (the
+// compacted state) for state transfer. Sparse out-of-order entries above
+// the mark are deliberately not transferred: re-delivery of those few
+// messages to a fresh replica is idempotent at the application protocol
+// level, and the bounded loss keeps the snapshot small and the protocol
+// simple.
+func (d *dedupe) snapshotInto(s *snapshot) {
+	for lid, p := range d.peers {
+		s.HighWater[lid] = p.highWater
+		s.PeerEpoch[lid] = p.epoch
+	}
+}
+
+// restore seeds epochs and high-water marks from a snapshot.
+func (d *dedupe) restore(s *snapshot) {
+	for lid, hw := range s.HighWater {
+		d.peers[lid] = &peerState{
+			epoch:     s.PeerEpoch[lid],
+			highWater: hw,
+			above:     make(map[uint64]bool),
+		}
+	}
+}

@@ -1,0 +1,302 @@
+package resilient
+
+import (
+	"fmt"
+	"sync"
+
+	"resilientfusion/internal/scplib"
+)
+
+// Runtime layers resiliency over a scplib.System. Define the logical
+// configuration with AddSingleton/AddGroup, call Start to spawn the
+// guardian and all replicas, then drive the underlying system with Run.
+type Runtime struct {
+	sys scplib.System
+	cfg Config
+
+	mu       sync.Mutex
+	started  bool
+	stopped  bool
+	groups   []*group // ordered for deterministic protocols
+	byLID    map[LogicalID]*group
+	nextPhys scplib.ThreadID
+	viewNum  uint32
+	deadNode map[int]bool
+
+	guardianPhys scplib.ThreadID
+	nextCourier  int32
+
+	stats Stats
+}
+
+// Stats reports the resiliency layer's protocol activity.
+type Stats struct {
+	Detections    int // replica failures detected by heartbeat timeout
+	Regenerations int // replacement replicas spawned
+	Migrations    int // proactive replica relocations (mobility)
+	ViewChanges   int // view broadcasts issued
+	// DetectionLatency and RegenerationLatency record, per event, the
+	// seconds between the (approximate) failure instant — last heartbeat
+	// seen — and detection / replacement spawn.
+	DetectionLatency    []float64
+	RegenerationLatency []float64
+}
+
+type group struct {
+	lid       LogicalID
+	name      string
+	body      RBody
+	singleton bool
+	monitored bool
+	// epoch is the group's incarnation number: bumped when the group is
+	// regenerated with no surviving replica, so receivers reset the
+	// group's logical sequence space instead of discarding the restarted
+	// group's traffic as duplicates.
+	epoch   uint32
+	members []*member // slot-indexed; slots persist across regeneration
+}
+
+type member struct {
+	phys  scplib.ThreadID
+	node  int
+	alive bool
+}
+
+// New creates a resiliency runtime over a system.
+func New(sys scplib.System, cfg Config) (*Runtime, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("%w: Nodes=%d", ErrBadConfig, cfg.Nodes)
+	}
+	return &Runtime{
+		sys:      sys,
+		cfg:      cfg,
+		byLID:    make(map[LogicalID]*group),
+		nextPhys: 1, // 0 is the guardian
+		deadNode: make(map[int]bool),
+	}, nil
+}
+
+// Config returns the effective configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// Stats returns a copy of the protocol statistics.
+func (rt *Runtime) Stats() Stats {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	s := rt.stats
+	s.DetectionLatency = append([]float64(nil), rt.stats.DetectionLatency...)
+	s.RegenerationLatency = append([]float64(nil), rt.stats.RegenerationLatency...)
+	return s
+}
+
+// AddSingleton defines an unreplicated, unmonitored logical thread — the
+// paper's manager ("the sensor itself was not replicated").
+func (rt *Runtime) AddSingleton(lid LogicalID, name string, node int, body RBody) error {
+	return rt.add(lid, name, []int{node}, body, true)
+}
+
+// AddGroup defines a replicated logical thread with explicit per-replica
+// placement. Replication level is len(placements).
+func (rt *Runtime) AddGroup(lid LogicalID, name string, placements []int, body RBody) error {
+	return rt.add(lid, name, placements, body, false)
+}
+
+func (rt *Runtime) add(lid LogicalID, name string, placements []int, body RBody, singleton bool) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.started {
+		return ErrStarted
+	}
+	if body == nil || len(placements) == 0 {
+		return fmt.Errorf("%w: group %q needs a body and placements", ErrBadConfig, name)
+	}
+	if _, dup := rt.byLID[lid]; dup {
+		return fmt.Errorf("%w: duplicate logical id %d", ErrBadConfig, lid)
+	}
+	for _, n := range placements {
+		if n < 0 || n >= rt.cfg.Nodes {
+			return fmt.Errorf("%w: placement node %d of %d", ErrBadConfig, n, rt.cfg.Nodes)
+		}
+	}
+	g := &group{
+		lid:       lid,
+		name:      name,
+		body:      body,
+		singleton: singleton,
+		monitored: !singleton,
+		epoch:     1,
+	}
+	for _, n := range placements {
+		g.members = append(g.members, &member{phys: rt.allocPhysLocked(), node: n, alive: true})
+	}
+	rt.groups = append(rt.groups, g)
+	rt.byLID[lid] = g
+	return nil
+}
+
+func (rt *Runtime) allocPhysLocked() scplib.ThreadID {
+	id := rt.nextPhys
+	rt.nextPhys++
+	return id
+}
+
+// currentViewLocked builds the view table from member state.
+func (rt *Runtime) currentViewLocked() *viewTable {
+	v := &viewTable{View: rt.viewNum}
+	for _, g := range rt.groups {
+		vg := viewGroup{LID: g.lid}
+		for _, m := range g.members {
+			vg.Members = append(vg.Members, viewMember{
+				Phys: m.phys, Node: int32(m.node), Alive: m.alive,
+			})
+		}
+		v.Groups = append(v.Groups, vg)
+	}
+	return v
+}
+
+// Start spawns the guardian and every configured replica. The caller then
+// drives the underlying system (sys.Run or Runtime.Run).
+func (rt *Runtime) Start() error {
+	rt.mu.Lock()
+	if rt.started {
+		rt.mu.Unlock()
+		return ErrStarted
+	}
+	rt.started = true
+	rt.viewNum = 1
+	view := rt.currentViewLocked()
+	groups := append([]*group(nil), rt.groups...)
+	rt.mu.Unlock()
+
+	if err := rt.sys.Spawn(scplib.ThreadSpec{
+		ID:   rt.guardianPhys, // 0
+		Name: "guardian",
+		Node: rt.cfg.GuardianNode,
+		Body: rt.guardianBody,
+	}); err != nil {
+		return err
+	}
+	for _, g := range groups {
+		for slot, m := range g.members {
+			if err := rt.spawnReplica(g, slot, m, view, false); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// spawnReplica creates the wrapper and spawns the physical thread.
+// view is the view table the replica starts from; awaitRestore makes the
+// replica hold application traffic until the guardian relays a state
+// snapshot from a surviving peer.
+func (rt *Runtime) spawnReplica(g *group, slot int, m *member, view *viewTable, awaitRestore bool) error {
+	w := newWrapper(rt, g, slot, view)
+	w.awaitRestore = awaitRestore
+	name := g.name
+	if !g.singleton {
+		name = fmt.Sprintf("%s/r%d", g.name, slot)
+	}
+	return rt.sys.Spawn(scplib.ThreadSpec{
+		ID:   m.phys,
+		Name: name,
+		Node: m.node,
+		Body: w.run,
+	})
+}
+
+// Run drives the underlying system to completion.
+func (rt *Runtime) Run() error { return rt.sys.Run() }
+
+// Shutdown terminates the resiliency control plane (and any replicas
+// still alive). Application drivers call this once their protocol has
+// completed so the guardian's monitoring loop stops.
+func (rt *Runtime) Shutdown() {
+	rt.mu.Lock()
+	if rt.stopped {
+		rt.mu.Unlock()
+		return
+	}
+	rt.stopped = true
+	var phys []scplib.ThreadID
+	for _, g := range rt.groups {
+		for _, m := range g.members {
+			if m.alive {
+				phys = append(phys, m.phys)
+			}
+		}
+	}
+	rt.mu.Unlock()
+
+	rt.sys.Kill(rt.guardianPhys)
+	for _, id := range phys {
+		rt.sys.Kill(id)
+	}
+}
+
+// KillReplica destroys one replica of a logical thread — the failure /
+// information-warfare-attack injection hook. It reports whether a live
+// replica was killed.
+func (rt *Runtime) KillReplica(lid LogicalID, slot int) bool {
+	rt.mu.Lock()
+	g := rt.byLID[lid]
+	if g == nil || slot < 0 || slot >= len(g.members) {
+		rt.mu.Unlock()
+		return false
+	}
+	phys := g.members[slot].phys
+	rt.mu.Unlock()
+	return rt.sys.Kill(phys)
+}
+
+// AliveReplicas returns how many replicas of lid are currently believed
+// alive (guardian's view).
+func (rt *Runtime) AliveReplicas(lid LogicalID) int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	g := rt.byLID[lid]
+	if g == nil {
+		return 0
+	}
+	n := 0
+	for _, m := range g.members {
+		if m.alive {
+			n++
+		}
+	}
+	return n
+}
+
+// physOf returns the live physical IDs for lid according to the
+// guardian's authoritative state (used by tests).
+func (rt *Runtime) physOf(lid LogicalID) []scplib.ThreadID {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	g := rt.byLID[lid]
+	if g == nil {
+		return nil
+	}
+	var out []scplib.ThreadID
+	for _, m := range g.members {
+		if m.alive {
+			out = append(out, m.phys)
+		}
+	}
+	return out
+}
+
+// allLivePhysLocked lists every live physical thread (view broadcast
+// fan-out). Caller holds mu.
+func (rt *Runtime) allLivePhysLocked() []scplib.ThreadID {
+	var out []scplib.ThreadID
+	for _, g := range rt.groups {
+		for _, m := range g.members {
+			if m.alive {
+				out = append(out, m.phys)
+			}
+		}
+	}
+	return out
+}

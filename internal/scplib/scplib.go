@@ -1,0 +1,177 @@
+// Package scplib is this repository's analog of the paper's SCPlib
+// concurrent programming library (Taylor et al., Watts et al.): distributed
+// applications are collections of named threads with an explicit,
+// machine-independent communication structure, exchanging asynchronous
+// reliable FIFO messages. The same application body runs unchanged on
+// every runtime:
+//
+//   - Real: goroutines and channels on the host (true parallelism).
+//   - Sim: simnet virtual-time cluster (reproduces the paper's
+//     16-workstation measurements deterministically).
+//
+// The resiliency layer (internal/resilient) builds replication, failure
+// detection and regeneration on top of this interface, exactly as the
+// paper layers its resiliency protocols over SCPlib.
+package scplib
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ThreadID identifies a thread within a System. IDs are assigned by the
+// application; the resilient layer maps logical thread identities onto
+// physical ThreadIDs.
+type ThreadID int32
+
+// Message is the unit of communication. Payload encoding is the
+// application's business (internal/core uses a hand-rolled binary codec so
+// message sizes are deterministic for the performance model).
+type Message struct {
+	From, To ThreadID
+	Kind     uint16
+	Seq      uint64 // transport sequence, per (sender) — diagnostics only
+	Payload  []byte
+}
+
+// WireHeaderBytes is the modeled size of the transport header framing each
+// message on the network (addresses, kind, sequence, length, checksum).
+const WireHeaderBytes = 32
+
+// WireSize returns the modeled on-the-wire size of the message.
+func (m *Message) WireSize() int64 { return WireHeaderBytes + int64(len(m.Payload)) }
+
+func (m *Message) String() string {
+	return fmt.Sprintf("msg{%d->%d kind=%d seq=%d %dB}", m.From, m.To, m.Kind, m.Seq, len(m.Payload))
+}
+
+// Errors shared by runtimes.
+var (
+	// ErrKilled unwinds the body of a thread destroyed by failure
+	// injection or an information-warfare attack.
+	ErrKilled = errors.New("scplib: thread killed")
+	// ErrTimeout is returned by RecvTimeout at its deadline.
+	ErrTimeout = errors.New("scplib: receive timeout")
+	// ErrStopped is returned when receiving after the system shut down.
+	ErrStopped = errors.New("scplib: system stopped")
+	// ErrDuplicateThread is returned when spawning an existing ThreadID.
+	ErrDuplicateThread = errors.New("scplib: duplicate thread id")
+	// ErrNoSuchNode is returned when a spec names an unknown node.
+	ErrNoSuchNode = errors.New("scplib: no such node")
+	// ErrNodeDown is returned when spawning onto a failed node.
+	ErrNodeDown = errors.New("scplib: node is down")
+)
+
+// Env is the execution environment handed to every thread body. All
+// blocking calls return ErrKilled once the thread has been killed; bodies
+// must propagate that error upward promptly (that is what makes threads
+// killable, mirroring how SCPlib threads synchronize at message receipt).
+type Env interface {
+	// Self returns this thread's ID.
+	Self() ThreadID
+	// Now returns the runtime's clock in seconds (virtual in Sim).
+	Now() float64
+	// Send asynchronously delivers a message. Sends to unknown or dead
+	// threads are dropped silently (stale replica views make these
+	// legitimate); the System counts drops for diagnostics.
+	Send(to ThreadID, kind uint16, payload []byte) error
+	// Recv blocks until the next message arrives.
+	Recv() (*Message, error)
+	// RecvTimeout blocks up to the given number of seconds.
+	RecvTimeout(seconds float64) (*Message, error)
+	// RecvMatch returns the oldest buffered or incoming message for
+	// which match returns true; non-matching messages are stashed and
+	// returned by later Recv* calls in arrival order.
+	RecvMatch(match func(*Message) bool) (*Message, error)
+	// RecvMatchTimeout is RecvMatch with a deadline.
+	RecvMatchTimeout(match func(*Message) bool, seconds float64) (*Message, error)
+	// Compute charges flops of computation to this thread's processor.
+	// On the Real runtime it is a no-op (the real work was just done);
+	// on Sim it advances virtual time under processor sharing.
+	Compute(flops float64) error
+	// Logf emits a diagnostic line through the system's logger.
+	Logf(format string, args ...any)
+}
+
+// Body is a thread's entry point.
+type Body func(env Env) error
+
+// ThreadSpec describes a thread to spawn.
+type ThreadSpec struct {
+	ID   ThreadID
+	Name string
+	// Node places the thread on a cluster node (Sim runtime); the Real
+	// runtime ignores placement.
+	Node int
+	Body Body
+}
+
+// System orchestrates a set of threads on some runtime.
+type System interface {
+	// Spawn adds a thread. It may be called before Run to define the
+	// initial configuration, or from inside a running thread to
+	// reconfigure dynamically (regeneration does this).
+	Spawn(spec ThreadSpec) error
+	// Kill destroys a thread, unblocking it with ErrKilled. It reports
+	// whether the thread existed and was alive.
+	Kill(id ThreadID) bool
+	// Run executes until every thread has returned. It returns the
+	// combined non-ErrKilled errors of all bodies.
+	Run() error
+	// Now returns the runtime clock in seconds.
+	Now() float64
+	// Dropped returns the count of messages dropped on send (unknown or
+	// dead destinations).
+	Dropped() int64
+	// BytesSent returns cumulative payload+header bytes accepted for
+	// transmission, for the performance model's accounting.
+	BytesSent() int64
+}
+
+// stash implements selective receive on top of a FIFO pull function: it
+// holds messages that did not match an earlier RecvMatch predicate and
+// replays them first. Both runtimes embed one per thread; it is only ever
+// touched by the owning thread, so it needs no locking.
+type stash struct {
+	buf []*Message
+}
+
+// next returns the oldest stashed message matching match (removing it),
+// or nil.
+func (s *stash) next(match func(*Message) bool) *Message {
+	for i, m := range s.buf {
+		if match == nil || match(m) {
+			s.buf = append(s.buf[:i], s.buf[i+1:]...)
+			return m
+		}
+	}
+	return nil
+}
+
+// keep appends a non-matching message for later delivery.
+func (s *stash) keep(m *Message) { s.buf = append(s.buf, m) }
+
+// matchAny accepts any message.
+func matchAny(*Message) bool { return true }
+
+// recvCommon implements Recv/RecvMatch semantics over a pull function.
+// pull blocks until a new message arrives or fails with the runtime's
+// error (killed/timeout/stopped).
+func recvCommon(s *stash, match func(*Message) bool, pull func() (*Message, error)) (*Message, error) {
+	if match == nil {
+		match = matchAny
+	}
+	if m := s.next(match); m != nil {
+		return m, nil
+	}
+	for {
+		m, err := pull()
+		if err != nil {
+			return nil, err
+		}
+		if match(m) {
+			return m, nil
+		}
+		s.keep(m)
+	}
+}

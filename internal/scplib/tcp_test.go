@@ -1,0 +1,161 @@
+package scplib
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func newTCP(t *testing.T) *TCPSystem {
+	t.Helper()
+	sys, err := NewTCPSystem("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestTCPPingPong(t *testing.T) {
+	sys := newTCP(t)
+	var got string
+	mustSpawn(t, sys, ThreadSpec{ID: 1, Name: "ping", Body: func(env Env) error {
+		if err := env.Send(2, 7, []byte("over tcp")); err != nil {
+			return err
+		}
+		m, err := env.Recv()
+		if err != nil {
+			return err
+		}
+		got = string(m.Payload)
+		return nil
+	}})
+	mustSpawn(t, sys, ThreadSpec{ID: 2, Name: "pong", Body: func(env Env) error {
+		m, err := env.Recv()
+		if err != nil {
+			return err
+		}
+		if m.Kind != 7 || string(m.Payload) != "over tcp" {
+			return fmt.Errorf("bad message %v", m)
+		}
+		return env.Send(m.From, 8, []byte("ack"))
+	}})
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != "ack" {
+		t.Fatalf("got %q", got)
+	}
+	if sys.Addr() == "" {
+		t.Fatal("no listener address")
+	}
+}
+
+func TestTCPFIFOAndLargePayloads(t *testing.T) {
+	sys := newTCP(t)
+	const n = 40
+	payload := make([]byte, 128*1024) // forces multi-buffer frames
+	var order []int
+	mustSpawn(t, sys, ThreadSpec{ID: 1, Name: "src", Body: func(env Env) error {
+		for i := 0; i < n; i++ {
+			payload[0] = byte(i)
+			if err := env.Send(2, 1, append([]byte{byte(i)}, payload...)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}})
+	mustSpawn(t, sys, ThreadSpec{ID: 2, Name: "dst", Body: func(env Env) error {
+		for i := 0; i < n; i++ {
+			m, err := env.Recv()
+			if err != nil {
+				return err
+			}
+			if len(m.Payload) != 1+len(payload) {
+				return fmt.Errorf("payload truncated: %d", len(m.Payload))
+			}
+			order = append(order, int(m.Payload[0]))
+		}
+		return nil
+	}})
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("out of order at %d: %v", i, order[:i+1])
+		}
+	}
+}
+
+func TestTCPDropsToDeadThread(t *testing.T) {
+	sys := newTCP(t)
+	mustSpawn(t, sys, ThreadSpec{ID: 1, Name: "src", Body: func(env Env) error {
+		if err := env.Send(42, 1, []byte("nobody home")); err != nil {
+			return err
+		}
+		// Give the dispatcher a moment to count the drop.
+		_, err := env.RecvTimeout(0.2)
+		if errors.Is(err, ErrTimeout) {
+			return nil
+		}
+		return err
+	}})
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Dropped() == 0 {
+		t.Fatal("drop not counted")
+	}
+}
+
+func TestTCPCloseIdempotent(t *testing.T) {
+	sys := newTCP(t)
+	mustSpawn(t, sys, ThreadSpec{ID: 1, Name: "t", Body: func(env Env) error { return nil }})
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	sys.Close()
+	sys.Close()
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	f := func(from, to int32, kind uint16, seq uint64, payload []byte) bool {
+		m := &Message{From: ThreadID(from), To: ThreadID(to), Kind: kind, Seq: seq, Payload: payload}
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, m); err != nil {
+			return false
+		}
+		got, err := readFrame(&buf)
+		if err != nil {
+			return false
+		}
+		return got.From == m.From && got.To == m.To && got.Kind == m.Kind &&
+			got.Seq == m.Seq && bytes.Equal(got.Payload, m.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameRejectsGarbage(t *testing.T) {
+	// Length word below the header size.
+	bad := []byte{3, 0, 0, 0, 1, 2, 3}
+	if _, err := readFrame(bytes.NewReader(bad)); err == nil {
+		t.Fatal("undersized frame accepted")
+	}
+	// Truncated body.
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, &Message{From: 1, To: 2, Payload: []byte("xyz")}); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-2]
+	if _, err := readFrame(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+	// Empty reader.
+	if _, err := readFrame(bytes.NewReader(nil)); err == nil {
+		t.Fatal("EOF not reported")
+	}
+}

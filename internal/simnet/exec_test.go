@@ -1,0 +1,402 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestSleepAdvancesVirtualTime(t *testing.T) {
+	x := NewExec()
+	var woke float64
+	x.SpawnNow("sleeper", func(p *Proc) error {
+		if err := p.Sleep(2.5); err != nil {
+			return err
+		}
+		woke = p.Now()
+		return nil
+	})
+	if err := x.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 2.5 {
+		t.Fatalf("woke at %g", woke)
+	}
+	if x.Now() != 2.5 {
+		t.Fatalf("final time %g", x.Now())
+	}
+}
+
+func TestEventOrderingDeterministic(t *testing.T) {
+	run := func() []string {
+		x := NewExec()
+		var order []string
+		for i := 0; i < 5; i++ {
+			name := fmt.Sprintf("p%d", i)
+			delay := float64(5 - i) // later spawns sleep less
+			x.SpawnNow(name, func(p *Proc) error {
+				if err := p.Sleep(delay); err != nil {
+					return err
+				}
+				order = append(order, p.Name())
+				return nil
+			})
+		}
+		// Two events at the same instant fire in schedule order.
+		x.Schedule(1, func() { order = append(order, "e1") })
+		x.Schedule(1, func() { order = append(order, "e2") })
+		if err := x.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != 7 {
+		t.Fatalf("order = %v", a)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic: %v vs %v", a, b)
+		}
+	}
+	if a[0] != "e1" || a[1] != "e2" {
+		t.Fatalf("same-time ordering: %v", a)
+	}
+	// p4 slept 1s... delays were 5,4,3,2,1 for p0..p4.
+	if a[2] != "p4" || a[6] != "p0" {
+		t.Fatalf("sleep ordering: %v", a)
+	}
+}
+
+func TestNegativeSleepClamps(t *testing.T) {
+	x := NewExec()
+	x.SpawnNow("p", func(p *Proc) error { return p.Sleep(-5) })
+	if err := x.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if x.Now() != 0 {
+		t.Fatalf("time %g", x.Now())
+	}
+}
+
+func TestCancelEvent(t *testing.T) {
+	x := NewExec()
+	fired := false
+	e := x.Schedule(1, func() { fired = true })
+	x.Cancel(e)
+	x.Cancel(nil) // no-op
+	if err := x.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestMailboxRoundTrip(t *testing.T) {
+	x := NewExec()
+	mb := NewMailbox[int](x)
+	var got []int
+	x.SpawnNow("recv", func(p *Proc) error {
+		for i := 0; i < 3; i++ {
+			v, err := RecvFrom(p, mb)
+			if err != nil {
+				return err
+			}
+			got = append(got, v)
+		}
+		return nil
+	})
+	mb.Deliver(1, 10)
+	mb.Deliver(3, 30)
+	mb.Deliver(2, 20)
+	if err := x.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 10 || got[1] != 20 || got[2] != 30 {
+		t.Fatalf("got %v", got)
+	}
+	if x.Now() != 3 {
+		t.Fatalf("time %g", x.Now())
+	}
+}
+
+func TestMailboxBlocksUntilDelivery(t *testing.T) {
+	x := NewExec()
+	mb := NewMailbox[string](x)
+	var at float64
+	x.SpawnNow("recv", func(p *Proc) error {
+		_, err := RecvFrom(p, mb)
+		at = p.Now()
+		return err
+	})
+	x.Schedule(7, func() { mb.Put("hello") })
+	if err := x.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 7 {
+		t.Fatalf("received at %g", at)
+	}
+}
+
+func TestMailboxTimeout(t *testing.T) {
+	x := NewExec()
+	mb := NewMailbox[int](x)
+	var timedOut bool
+	var at float64
+	x.SpawnNow("recv", func(p *Proc) error {
+		_, err := RecvTimeout(p, mb, 2)
+		timedOut = errors.Is(err, ErrTimeout)
+		at = p.Now()
+		return nil
+	})
+	if err := x.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !timedOut || at != 2 {
+		t.Fatalf("timedOut=%v at=%g", timedOut, at)
+	}
+}
+
+func TestMailboxTimeoutBeatenByDelivery(t *testing.T) {
+	x := NewExec()
+	mb := NewMailbox[int](x)
+	var v int
+	x.SpawnNow("recv", func(p *Proc) error {
+		got, err := RecvTimeout(p, mb, 10)
+		if err != nil {
+			return err
+		}
+		v = got
+		// The cancelled timeout must not corrupt a later wait.
+		return p.Sleep(20)
+	})
+	mb.Deliver(1, 99)
+	if err := x.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if v != 99 {
+		t.Fatalf("v = %d", v)
+	}
+	if x.Now() != 21 {
+		t.Fatalf("time %g", x.Now())
+	}
+}
+
+func TestMailboxClose(t *testing.T) {
+	x := NewExec()
+	mb := NewMailbox[int](x)
+	var errs []error
+	x.SpawnNow("recv", func(p *Proc) error {
+		for {
+			_, err := RecvFrom(p, mb)
+			if err != nil {
+				errs = append(errs, err)
+				return nil
+			}
+		}
+	})
+	mb.Deliver(1, 5)
+	x.Schedule(2, func() { mb.Close() })
+	if err := x.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(errs) != 1 || !errors.Is(errs[0], ErrMailboxClosed) {
+		t.Fatalf("errs = %v", errs)
+	}
+}
+
+func TestMultipleReceiversFIFO(t *testing.T) {
+	x := NewExec()
+	mb := NewMailbox[int](x)
+	var order []string
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf("r%d", i)
+		x.SpawnNow(name, func(p *Proc) error {
+			if _, err := RecvFrom(p, mb); err != nil {
+				return err
+			}
+			order = append(order, p.Name())
+			return nil
+		})
+	}
+	mb.Deliver(1, 1)
+	mb.Deliver(2, 2)
+	if err := x.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "r0" || order[1] != "r1" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	x := NewExec()
+	mb := NewMailbox[int](x)
+	x.SpawnNow("stuck", func(p *Proc) error {
+		_, err := RecvFrom(p, mb)
+		return err
+	})
+	err := x.Run()
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	if len(dl.Blocked) != 1 || dl.Blocked[0] != "stuck" {
+		t.Fatalf("blocked = %v", dl.Blocked)
+	}
+	if dl.Error() == "" {
+		t.Fatal("empty error text")
+	}
+}
+
+func TestKillUnblocksRecv(t *testing.T) {
+	x := NewExec()
+	mb := NewMailbox[int](x)
+	var gotErr error
+	victim := x.SpawnNow("victim", func(p *Proc) error {
+		_, err := RecvFrom(p, mb)
+		gotErr = err
+		return err
+	})
+	x.Schedule(3, func() { victim.Kill() })
+	if err := x.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(gotErr, ErrKilled) {
+		t.Fatalf("gotErr = %v", gotErr)
+	}
+	if !victim.Done() || !victim.Killed() {
+		t.Fatal("victim state wrong")
+	}
+	errs := x.Errors()
+	if len(errs) != 1 || !errors.Is(errs[0], ErrKilled) {
+		t.Fatalf("Errors() = %v", errs)
+	}
+}
+
+func TestKillDuringSleep(t *testing.T) {
+	x := NewExec()
+	var at float64
+	victim := x.SpawnNow("victim", func(p *Proc) error {
+		err := p.Sleep(100)
+		at = p.Now()
+		return err
+	})
+	x.Schedule(5, func() { victim.Kill() })
+	if err := x.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 5 {
+		t.Fatalf("unwound at %g", at)
+	}
+}
+
+func TestKillBeforeStart(t *testing.T) {
+	x := NewExec()
+	ran := false
+	p := x.Spawn("late", 10, func(p *Proc) error {
+		ran = true
+		return nil
+	})
+	x.Schedule(1, func() { p.Kill() })
+	if err := x.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("killed process body ran")
+	}
+	if !errors.Is(p.Err(), ErrKilled) {
+		t.Fatalf("err = %v", p.Err())
+	}
+}
+
+func TestKillIdempotentAndAfterDone(t *testing.T) {
+	x := NewExec()
+	p := x.SpawnNow("quick", func(p *Proc) error { return nil })
+	x.Schedule(1, func() { p.Kill(); p.Kill() })
+	if err := x.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Err() != nil {
+		t.Fatalf("err = %v", p.Err())
+	}
+}
+
+func TestProcPanicCaptured(t *testing.T) {
+	x := NewExec()
+	x.SpawnNow("boom", func(p *Proc) error { panic("kapow") })
+	if err := x.Run(); err != nil {
+		t.Fatal(err)
+	}
+	errs := x.Errors()
+	if len(errs) != 1 {
+		t.Fatalf("errs = %v", errs)
+	}
+	if msg := errs[0].Error(); !containsAll(msg, "boom", "kapow") {
+		t.Fatalf("panic error = %q", msg)
+	}
+}
+
+func containsAll(s string, subs ...string) bool {
+	for _, sub := range subs {
+		found := false
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSpawnAtFutureTime(t *testing.T) {
+	x := NewExec()
+	var started float64 = -1
+	x.Spawn("later", 4, func(p *Proc) error {
+		started = p.Now()
+		return nil
+	})
+	if err := x.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if started != 4 {
+		t.Fatalf("started at %g", started)
+	}
+}
+
+func TestTraceHook(t *testing.T) {
+	x := NewExec()
+	var lines int
+	x.Trace = func(tm float64, format string, args ...any) { lines++ }
+	p := x.SpawnNow("p", func(p *Proc) error { return p.Sleep(1) })
+	x.Schedule(0.5, func() { p.Kill() })
+	if err := x.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 {
+		t.Fatal("no trace output")
+	}
+}
+
+func TestNowMonotone(t *testing.T) {
+	x := NewExec()
+	last := math.Inf(-1)
+	for i := 0; i < 50; i++ {
+		d := float64((i * 37) % 11)
+		x.Schedule(d, func() {
+			if x.Now() < last {
+				t.Errorf("time went backwards: %g < %g", x.Now(), last)
+			}
+			last = x.Now()
+		})
+	}
+	if err := x.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

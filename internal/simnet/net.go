@@ -1,0 +1,139 @@
+package simnet
+
+// Network models message transport between nodes. Transfer schedules
+// deliver() to run at the arrival time of a bytes-sized message from one
+// node to another and returns that arrival time. Implementations must be
+// deterministic.
+type Network interface {
+	Transfer(from, to *Node, bytes int64, deliver func()) (arrival float64)
+}
+
+// Bus models the paper's shared 100BaseT segment: a single medium that
+// serializes all transfers first-come-first-served, plus a fixed
+// per-message latency (protocol stack + propagation). Local transfers
+// (from == to) bypass the medium and cost only LocalLatency.
+type Bus struct {
+	x *Exec
+	// BytesPerSec is the shared medium bandwidth (100BaseT ≈ 12.5e6
+	// minus framing; default uses EthernetBandwidth).
+	BytesPerSec float64
+	// Latency is the per-message fixed cost in seconds.
+	Latency float64
+	// LocalLatency is the cost of a loopback delivery (memcpy scale).
+	LocalLatency float64
+
+	free float64 // time the medium next becomes idle
+}
+
+// Reasonable defaults for the paper's 1999-era hardware.
+const (
+	// EthernetBandwidth is the effective payload bandwidth of 100BaseT
+	// after framing overhead: ~11.9 MB/s.
+	EthernetBandwidth = 11.9e6
+	// EthernetLatency covers interrupt + protocol stack + hub store-and-
+	// forward per message on period workstations.
+	EthernetLatency = 150e-6
+	// LocalLatency approximates an intra-node handoff.
+	LocalLatency = 5e-6
+	// WorkstationRate is a 300 MHz UltraSPARC-class machine sustaining
+	// roughly one flop per cycle on these dense kernels.
+	WorkstationRate = 300e6
+)
+
+// NewBus creates a shared-medium network with the given parameters; zero
+// values select the 100BaseT defaults.
+func (x *Exec) NewBus(bytesPerSec, latency float64) *Bus {
+	if bytesPerSec == 0 {
+		bytesPerSec = EthernetBandwidth
+	}
+	if latency == 0 {
+		latency = EthernetLatency
+	}
+	return &Bus{x: x, BytesPerSec: bytesPerSec, Latency: latency, LocalLatency: LocalLatency}
+}
+
+// Transfer serializes the message on the shared medium.
+func (b *Bus) Transfer(from, to *Node, bytes int64, deliver func()) float64 {
+	now := b.x.now
+	if from != nil && to != nil && from.ID == to.ID {
+		at := now + b.LocalLatency
+		b.x.Schedule(at, deliver)
+		return at
+	}
+	start := now
+	if b.free > start {
+		start = b.free
+	}
+	txTime := float64(bytes) / b.BytesPerSec
+	end := start + txTime
+	b.free = end
+	arrival := end + b.Latency
+	b.x.Schedule(arrival, deliver)
+	return arrival
+}
+
+// Switched models a full-duplex switched network: transfers serialize on
+// the sender's NIC only (ablation A3 contrasts this with the shared Bus).
+type Switched struct {
+	x            *Exec
+	BytesPerSec  float64
+	Latency      float64
+	LocalLatency float64
+	nicFree      map[int]float64
+}
+
+// NewSwitched creates a switched network; zero values select defaults.
+func (x *Exec) NewSwitched(bytesPerSec, latency float64) *Switched {
+	if bytesPerSec == 0 {
+		bytesPerSec = EthernetBandwidth
+	}
+	if latency == 0 {
+		latency = EthernetLatency
+	}
+	return &Switched{
+		x: x, BytesPerSec: bytesPerSec, Latency: latency,
+		LocalLatency: LocalLatency, nicFree: make(map[int]float64),
+	}
+}
+
+// Transfer serializes on the sending node's NIC.
+func (s *Switched) Transfer(from, to *Node, bytes int64, deliver func()) float64 {
+	now := s.x.now
+	if from != nil && to != nil && from.ID == to.ID {
+		at := now + s.LocalLatency
+		s.x.Schedule(at, deliver)
+		return at
+	}
+	key := -1
+	if from != nil {
+		key = from.ID
+	}
+	start := now
+	if f := s.nicFree[key]; f > start {
+		start = f
+	}
+	end := start + float64(bytes)/s.BytesPerSec
+	s.nicFree[key] = end
+	arrival := end + s.Latency
+	s.x.Schedule(arrival, deliver)
+	return arrival
+}
+
+// ZeroNet models the shared-memory multiprocessor of §4's closing remark:
+// communication is free. Used for experiment E6 (within 5% of linear).
+type ZeroNet struct{ x *Exec }
+
+// NewZeroNet creates a zero-cost network.
+func (x *Exec) NewZeroNet() *ZeroNet { return &ZeroNet{x: x} }
+
+// Transfer delivers immediately.
+func (z *ZeroNet) Transfer(from, to *Node, bytes int64, deliver func()) float64 {
+	z.x.Schedule(z.x.now, deliver)
+	return z.x.now
+}
+
+var (
+	_ Network = (*Bus)(nil)
+	_ Network = (*Switched)(nil)
+	_ Network = (*ZeroNet)(nil)
+)

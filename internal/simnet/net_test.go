@@ -1,0 +1,138 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBusSerializesTransfers(t *testing.T) {
+	x := NewExec()
+	bus := x.NewBus(1000, 0.01) // 1000 B/s, 10ms latency
+	a := x.NewNode(0, "a", 1)
+	b := x.NewNode(1, "b", 1)
+	c := x.NewNode(2, "c", 1)
+
+	var arrivals []float64
+	t1 := bus.Transfer(a, b, 500, func() { arrivals = append(arrivals, x.Now()) })
+	t2 := bus.Transfer(a, c, 500, func() { arrivals = append(arrivals, x.Now()) })
+	// First: tx 0..0.5, arrive 0.51. Second queues: tx 0.5..1.0, arrive 1.01.
+	if math.Abs(t1-0.51) > 1e-9 || math.Abs(t2-1.01) > 1e-9 {
+		t.Fatalf("arrival times %g, %g", t1, t2)
+	}
+	if err := x.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) != 2 || arrivals[0] != t1 || arrivals[1] != t2 {
+		t.Fatalf("arrivals = %v", arrivals)
+	}
+}
+
+func TestBusLocalBypass(t *testing.T) {
+	x := NewExec()
+	bus := x.NewBus(1000, 0.01)
+	a := x.NewNode(0, "a", 1)
+	at := bus.Transfer(a, a, 1e12, func() {})
+	if at > 1e-3 {
+		t.Fatalf("local transfer took %g", at)
+	}
+	// The medium must remain free for remote transfers.
+	b := x.NewNode(1, "b", 1)
+	if got := bus.Transfer(a, b, 1000, func() {}); math.Abs(got-1.01) > 1e-9 {
+		t.Fatalf("remote after local = %g", got)
+	}
+	if err := x.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBusDefaults(t *testing.T) {
+	x := NewExec()
+	bus := x.NewBus(0, 0)
+	if bus.BytesPerSec != EthernetBandwidth || bus.Latency != EthernetLatency {
+		t.Fatalf("defaults %g, %g", bus.BytesPerSec, bus.Latency)
+	}
+}
+
+func TestSwitchedParallelSenders(t *testing.T) {
+	x := NewExec()
+	sw := x.NewSwitched(1000, 0.01)
+	a := x.NewNode(0, "a", 1)
+	b := x.NewNode(1, "b", 1)
+	c := x.NewNode(2, "c", 1)
+	// Different senders do not serialize on each other.
+	t1 := sw.Transfer(a, c, 500, func() {})
+	t2 := sw.Transfer(b, c, 500, func() {})
+	if math.Abs(t1-0.51) > 1e-9 || math.Abs(t2-0.51) > 1e-9 {
+		t.Fatalf("switched arrivals %g, %g", t1, t2)
+	}
+	// The same sender serializes on its NIC.
+	t3 := sw.Transfer(a, b, 500, func() {})
+	if math.Abs(t3-1.01) > 1e-9 {
+		t.Fatalf("same-sender arrival %g", t3)
+	}
+	if err := x.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSwitchedLocalBypass(t *testing.T) {
+	x := NewExec()
+	sw := x.NewSwitched(1000, 0.01)
+	a := x.NewNode(0, "a", 1)
+	if at := sw.Transfer(a, a, 1e12, func() {}); at > 1e-3 {
+		t.Fatalf("local transfer took %g", at)
+	}
+	if err := x.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroNetImmediate(t *testing.T) {
+	x := NewExec()
+	zn := x.NewZeroNet()
+	a := x.NewNode(0, "a", 1)
+	b := x.NewNode(1, "b", 1)
+	delivered := false
+	if at := zn.Transfer(a, b, 1e12, func() { delivered = true }); at != 0 {
+		t.Fatalf("arrival %g", at)
+	}
+	if err := x.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !delivered {
+		t.Fatal("not delivered")
+	}
+}
+
+func TestBusFasterThanItLooksIsWrong(t *testing.T) {
+	// Sanity: shipping a paper-scale sub-cube (320×20×105 float32 ≈
+	// 2.7 MB) over 100BaseT takes ~0.23 s — the scale that makes the
+	// paper's communication overhead visible.
+	x := NewExec()
+	bus := x.NewBus(0, 0)
+	a := x.NewNode(0, "a", 1)
+	b := x.NewNode(1, "b", 1)
+	bytes := int64(320 * 20 * 105 * 4)
+	at := bus.Transfer(a, b, bytes, func() {})
+	if at < 0.2 || at > 0.3 {
+		t.Fatalf("sub-cube transfer %g s, expected ≈0.23", at)
+	}
+	if err := x.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransferWithNilNodes(t *testing.T) {
+	x := NewExec()
+	bus := x.NewBus(1000, 0.01)
+	if at := bus.Transfer(nil, nil, 100, func() {}); at <= 0 {
+		t.Fatalf("nil-node transfer arrival %g", at)
+	}
+	sw := x.NewSwitched(1000, 0.01)
+	if at := sw.Transfer(nil, nil, 100, func() {}); at <= 0 {
+		t.Fatalf("nil-node switched arrival %g", at)
+	}
+	if err := x.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,320 @@
+package simnet
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestComputeSingleJob(t *testing.T) {
+	x := NewExec()
+	n := x.NewNode(0, "w0", 100) // 100 flops/sec
+	var at float64
+	x.SpawnNow("p", func(p *Proc) error {
+		p.SetNode(n)
+		if err := n.Compute(p, 250); err != nil {
+			return err
+		}
+		at = p.Now()
+		return nil
+	})
+	if err := x.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(at-2.5) > 1e-9 {
+		t.Fatalf("finished at %g, want 2.5", at)
+	}
+}
+
+func TestProcessorSharingHalvesRate(t *testing.T) {
+	// Two identical jobs sharing one CPU must each take twice as long.
+	x := NewExec()
+	n := x.NewNode(0, "w0", 100)
+	finish := make(map[string]float64)
+	for _, name := range []string{"a", "b"} {
+		x.SpawnNow(name, func(p *Proc) error {
+			if err := n.Compute(p, 100); err != nil {
+				return err
+			}
+			finish[p.Name()] = p.Now()
+			return nil
+		})
+	}
+	if err := x.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for name, at := range finish {
+		if math.Abs(at-2.0) > 1e-6 {
+			t.Fatalf("%s finished at %g, want 2.0", name, at)
+		}
+	}
+}
+
+func TestProcessorSharingStaggered(t *testing.T) {
+	// Job A (100 flops) starts alone at t=0 on a 100 f/s node.
+	// Job B (100 flops) arrives at t=0.5.
+	// A runs alone 0..0.5 (50 done), shares 0.5.. (rate 50): 50 remaining
+	// → 1s more → A finishes at 1.5 with B having 50 remaining; B then
+	// runs alone at 100 f/s → finishes at 2.0.
+	x := NewExec()
+	n := x.NewNode(0, "w0", 100)
+	finish := make(map[string]float64)
+	x.SpawnNow("a", func(p *Proc) error {
+		if err := n.Compute(p, 100); err != nil {
+			return err
+		}
+		finish["a"] = p.Now()
+		return nil
+	})
+	x.SpawnNow("b", func(p *Proc) error {
+		if err := p.Sleep(0.5); err != nil {
+			return err
+		}
+		if err := n.Compute(p, 100); err != nil {
+			return err
+		}
+		finish["b"] = p.Now()
+		return nil
+	})
+	if err := x.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(finish["a"]-1.5) > 1e-6 {
+		t.Fatalf("a finished at %g, want 1.5", finish["a"])
+	}
+	if math.Abs(finish["b"]-2.0) > 1e-6 {
+		t.Fatalf("b finished at %g, want 2.0", finish["b"])
+	}
+}
+
+func TestProcessorSharingConservesWork(t *testing.T) {
+	// Total virtual CPU-seconds × rate must equal total flops issued,
+	// regardless of interleaving.
+	x := NewExec()
+	n := x.NewNode(0, "w0", 1000)
+	loads := []float64{300, 700, 150, 850, 500}
+	var makespan float64
+	for i, fl := range loads {
+		load := fl
+		delay := float64(i) * 0.1
+		x.SpawnNow("p", func(p *Proc) error {
+			if err := p.Sleep(delay); err != nil {
+				return err
+			}
+			if err := n.Compute(p, load); err != nil {
+				return err
+			}
+			if p.Now() > makespan {
+				makespan = p.Now()
+			}
+			return nil
+		})
+	}
+	if err := x.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, fl := range loads {
+		total += fl
+	}
+	// The CPU is busy from t=0 (first job) to makespan with no idle gaps
+	// (arrivals every 0.1s, work >> gaps), so makespan = total/rate.
+	want := total / 1000
+	if math.Abs(makespan-want) > 1e-6 {
+		t.Fatalf("makespan %g, want %g", makespan, want)
+	}
+}
+
+func TestComputeZeroFlops(t *testing.T) {
+	x := NewExec()
+	n := x.NewNode(0, "w0", 100)
+	x.SpawnNow("p", func(p *Proc) error { return n.Compute(p, 0) })
+	if err := x.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if x.Now() != 0 {
+		t.Fatalf("zero-flop compute advanced time to %g", x.Now())
+	}
+}
+
+func TestNodeFailKillsResidents(t *testing.T) {
+	x := NewExec()
+	n := x.NewNode(0, "w0", 100)
+	var got error
+	x.SpawnNow("p", func(p *Proc) error {
+		p.SetNode(n)
+		got = n.Compute(p, 1e9)
+		return got
+	})
+	x.Schedule(1, func() { n.Fail() })
+	if err := x.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(got, ErrKilled) {
+		t.Fatalf("compute err = %v", got)
+	}
+	if !n.Failed() {
+		t.Fatal("node not failed")
+	}
+	if n.Residents() != 0 {
+		t.Fatalf("residents = %d after death", n.Residents())
+	}
+}
+
+func TestComputeOnFailedNode(t *testing.T) {
+	x := NewExec()
+	n := x.NewNode(0, "w0", 100)
+	var got error
+	x.SpawnNow("p", func(p *Proc) error {
+		if err := p.Sleep(2); err != nil {
+			return err
+		}
+		got = n.Compute(p, 10)
+		return nil
+	})
+	x.Schedule(1, func() { n.Fail() })
+	if err := x.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(got, ErrNodeFailed) {
+		t.Fatalf("err = %v", got)
+	}
+}
+
+func TestKilledJobReleasesShare(t *testing.T) {
+	// Victim and survivor share the CPU; when the victim dies at t=1 the
+	// survivor speeds back up.
+	x := NewExec()
+	n := x.NewNode(0, "w0", 100)
+	var survivorDone float64
+	victim := x.SpawnNow("victim", func(p *Proc) error {
+		return n.Compute(p, 1e9)
+	})
+	x.SpawnNow("survivor", func(p *Proc) error {
+		if err := n.Compute(p, 150); err != nil {
+			return err
+		}
+		survivorDone = p.Now()
+		return nil
+	})
+	x.Schedule(1, func() { victim.Kill() })
+	if err := x.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Shared 0..1 (50 flops each done), survivor alone after: 100
+	// remaining at 100 f/s → finishes at 2.0.
+	if math.Abs(survivorDone-2.0) > 1e-6 {
+		t.Fatalf("survivor done at %g, want 2.0", survivorDone)
+	}
+}
+
+func TestNodeFailIdempotent(t *testing.T) {
+	x := NewExec()
+	n := x.NewNode(0, "w0", 100)
+	n.Fail()
+	n.Fail()
+	if !n.Failed() {
+		t.Fatal("not failed")
+	}
+}
+
+func TestNewNodePanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero rate")
+		}
+	}()
+	NewExec().NewNode(0, "bad", 0)
+}
+
+func TestSetNodeSwitch(t *testing.T) {
+	x := NewExec()
+	a := x.NewNode(0, "a", 100)
+	b := x.NewNode(1, "b", 100)
+	x.SpawnNow("p", func(p *Proc) error {
+		p.SetNode(a)
+		if a.Residents() != 1 || b.Residents() != 0 {
+			t.Error("residency wrong after first SetNode")
+		}
+		p.SetNode(b)
+		if a.Residents() != 0 || b.Residents() != 1 {
+			t.Error("residency wrong after switch")
+		}
+		if p.Node() != b {
+			t.Error("Node() wrong")
+		}
+		p.SetNode(nil)
+		if b.Residents() != 0 {
+			t.Error("residency wrong after detach")
+		}
+		return nil
+	})
+	if err := x.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiprocessorNode(t *testing.T) {
+	// A 2-core node runs two jobs at full per-core rate.
+	x := NewExec()
+	n := x.NewNode(0, "smp", 100)
+	n.Cores = 2
+	finish := make(map[string]float64)
+	for _, name := range []string{"a", "b"} {
+		x.SpawnNow(name, func(p *Proc) error {
+			if err := n.Compute(p, 100); err != nil {
+				return err
+			}
+			finish[p.Name()] = p.Now()
+			return nil
+		})
+	}
+	if err := x.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for name, at := range finish {
+		if math.Abs(at-1.0) > 1e-9 {
+			t.Fatalf("%s finished at %g, want 1.0 (no sharing on 2 cores)", name, at)
+		}
+	}
+}
+
+func TestInterferenceAppliesBeyondCores(t *testing.T) {
+	// Uniprocessor, 10% interference: 2 jobs of 100 flops at 100 f/s
+	// each run at 100/2*0.9 = 45 f/s → finish at ~2.22s.
+	x := NewExec()
+	n := x.NewNode(0, "w", 100)
+	n.Interference = 0.1
+	var at float64
+	x.SpawnNow("a", func(p *Proc) error {
+		err := n.Compute(p, 100)
+		at = p.Now()
+		return err
+	})
+	x.SpawnNow("b", func(p *Proc) error { return n.Compute(p, 100) })
+	if err := x.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := 100.0 / 45.0
+	if math.Abs(at-want) > 1e-9 {
+		t.Fatalf("finished at %g, want %g", at, want)
+	}
+	// A 2-core node with 2 jobs pays no interference.
+	x2 := NewExec()
+	smp := x2.NewNode(0, "smp", 100)
+	smp.Cores = 2
+	smp.Interference = 0.1
+	var at2 float64
+	x2.SpawnNow("a", func(p *Proc) error {
+		err := smp.Compute(p, 100)
+		at2 = p.Now()
+		return err
+	})
+	x2.SpawnNow("b", func(p *Proc) error { return smp.Compute(p, 100) })
+	if err := x2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(at2-1.0) > 1e-9 {
+		t.Fatalf("SMP finished at %g, want 1.0", at2)
+	}
+}

@@ -1,0 +1,88 @@
+package spectral
+
+import (
+	"errors"
+	"math"
+
+	"resilientfusion/internal/hsi"
+	"resilientfusion/internal/linalg"
+)
+
+// SAM is a Spectral Angle Mapper classifier: it assigns each pixel to the
+// library signature with the smallest spectral angle. The paper cites
+// Kruse et al.'s SIPS system as the source of the spectral-angle concept;
+// SAM here doubles as a post-processing step ("detect and classify the
+// vehicles") and as validation for the synthetic scene generator.
+type SAM struct {
+	Labels     []string
+	Signatures []linalg.Vector
+	norms      []float64
+}
+
+// ErrEmptyLibrary is returned when classifying with no signatures.
+var ErrEmptyLibrary = errors.New("spectral: SAM library is empty")
+
+// NewSAM builds a classifier from parallel label/signature slices.
+func NewSAM(labels []string, signatures []linalg.Vector) (*SAM, error) {
+	if len(labels) != len(signatures) {
+		return nil, errors.New("spectral: labels and signatures length mismatch")
+	}
+	if len(signatures) == 0 {
+		return nil, ErrEmptyLibrary
+	}
+	s := &SAM{Labels: labels, Signatures: signatures, norms: make([]float64, len(signatures))}
+	for i, sig := range signatures {
+		s.norms[i] = sig.Norm()
+	}
+	return s, nil
+}
+
+// Classify returns the index of the closest signature and the angle to it.
+func (s *SAM) Classify(v linalg.Vector) (int, float64) {
+	nv := v.Norm()
+	best, bestAngle := 0, math.Inf(1)
+	for i, sig := range s.Signatures {
+		var a float64
+		if nv == 0 || s.norms[i] == 0 {
+			a = math.Pi / 2
+		} else {
+			c := v.Dot(sig) / (nv * s.norms[i])
+			if c > 1 {
+				c = 1
+			} else if c < -1 {
+				c = -1
+			}
+			a = math.Acos(c)
+		}
+		if a < bestAngle {
+			best, bestAngle = i, a
+		}
+	}
+	return best, bestAngle
+}
+
+// ClassifyCube labels every pixel of the cube, returning a row-major label
+// map and the per-pixel angles.
+func (s *SAM) ClassifyCube(c *hsi.Cube) ([]int, []float64) {
+	labels := make([]int, c.Pixels())
+	angles := make([]float64, c.Pixels())
+	buf := make(linalg.Vector, c.Bands)
+	for i := 0; i < c.Pixels(); i++ {
+		c.PixelAt(i, buf)
+		labels[i], angles[i] = s.Classify(buf)
+	}
+	return labels, angles
+}
+
+// MaterialSAM builds a SAM classifier from the synthetic material library
+// sampled at the cube's wavelengths.
+func MaterialSAM(wavelengths []float64) (*SAM, error) {
+	mats := hsi.Materials()
+	labels := make([]string, len(mats))
+	sigs := make([]linalg.Vector, len(mats))
+	for i, m := range mats {
+		labels[i] = m.String()
+		sigs[i] = hsi.SignatureFor(m, wavelengths)
+	}
+	return NewSAM(labels, sigs)
+}

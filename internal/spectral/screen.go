@@ -1,0 +1,184 @@
+// Package spectral implements spectral-angle screening and classification —
+// step 1 and 2 of the paper's algorithm. Screening reduces a set of pixel
+// vectors to a "unique set" in which no two members are within a spectral
+// angle threshold of each other. Computing PCT statistics over the unique
+// set instead of the full image prevents numerically dominant materials
+// (trees) from swamping rare ones (a mechanized vehicle).
+package spectral
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"resilientfusion/internal/linalg"
+)
+
+// DefaultThreshold is the spectral angle threshold in radians used when a
+// caller passes 0. Roughly 5.7 degrees, a typical SAM separability scale
+// for HYDICE-era data.
+const DefaultThreshold = 0.1
+
+// ErrBadThreshold is returned for thresholds outside (0, π].
+var ErrBadThreshold = errors.New("spectral: threshold must be in (0, π]")
+
+// UniqueSet is a collection of pixel vectors that are pairwise more than
+// the screening threshold apart in spectral angle. Norms are cached
+// because every screening comparison needs them.
+//
+// With MoveToFront set, candidate scans probe recently-matched members
+// first. Spectrally clustered input (spatially coherent imagery, or
+// per-part sets being merged) then hits after a few comparisons instead
+// of half the set. Membership decisions — and therefore the resulting
+// set and the canonical order of Members — are unaffected: only the
+// comparison count changes. The manager's merge step uses this; workers
+// keep the plain scan so per-part behaviour matches the paper's cost
+// structure.
+type UniqueSet struct {
+	Threshold   float64
+	Members     []linalg.Vector
+	MoveToFront bool
+	norms       []float64
+	// scan holds member indices in probe order (MoveToFront only).
+	scan []int
+}
+
+// Stats reports the work performed by a screening pass; the performance
+// model charges CPU cost from these counts.
+type Stats struct {
+	Comparisons int // pairwise angle evaluations
+	Scanned     int // candidate vectors examined
+}
+
+// NewUniqueSet returns an empty unique set with the given threshold
+// (0 selects DefaultThreshold).
+func NewUniqueSet(threshold float64) (*UniqueSet, error) {
+	if threshold == 0 {
+		threshold = DefaultThreshold
+	}
+	if threshold < 0 || threshold > math.Pi {
+		return nil, fmt.Errorf("%w: %g", ErrBadThreshold, threshold)
+	}
+	return &UniqueSet{Threshold: threshold}, nil
+}
+
+// Len returns the number of members.
+func (u *UniqueSet) Len() int { return len(u.Members) }
+
+// angleCached computes the spectral angle between v (with precomputed norm
+// nv) and member i.
+func (u *UniqueSet) angleCached(v linalg.Vector, nv float64, i int) float64 {
+	m := u.Members[i]
+	nm := u.norms[i]
+	if nv == 0 || nm == 0 {
+		return math.Pi / 2
+	}
+	c := v.Dot(m) / (nv * nm)
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return math.Acos(c)
+}
+
+// Insert screens candidate v against the current members and adds it when
+// it is farther than the threshold from all of them. It reports whether v
+// was added and how many comparisons were made. The vector is stored by
+// reference; callers must not mutate it afterwards.
+func (u *UniqueSet) Insert(v linalg.Vector) (added bool, comparisons int) {
+	nv := v.Norm()
+	if u.MoveToFront {
+		for pos, idx := range u.scan {
+			comparisons++
+			if u.angleCached(v, nv, idx) <= u.Threshold {
+				// Promote the hit to the front of the probe order.
+				copy(u.scan[1:pos+1], u.scan[:pos])
+				u.scan[0] = idx
+				return false, comparisons
+			}
+		}
+		u.Members = append(u.Members, v)
+		u.norms = append(u.norms, nv)
+		u.scan = append([]int{len(u.Members) - 1}, u.scan...)
+		return true, comparisons
+	}
+	for i := range u.Members {
+		comparisons++
+		if u.angleCached(v, nv, i) <= u.Threshold {
+			return false, comparisons
+		}
+	}
+	u.Members = append(u.Members, v)
+	u.norms = append(u.norms, nv)
+	return true, comparisons
+}
+
+// Covers reports whether v is within the threshold of some member.
+func (u *UniqueSet) Covers(v linalg.Vector) bool {
+	nv := v.Norm()
+	for i := range u.Members {
+		if u.angleCached(v, nv, i) <= u.Threshold {
+			return true
+		}
+	}
+	return false
+}
+
+// MinPairwiseAngle returns the smallest angle between distinct members
+// (π for sets smaller than 2); used to verify the screening invariant.
+func (u *UniqueSet) MinPairwiseAngle() float64 {
+	min := math.Pi
+	for i := 0; i < len(u.Members); i++ {
+		for j := i + 1; j < len(u.Members); j++ {
+			if a := u.angleCached(u.Members[i], u.norms[i], j); a < min {
+				min = a
+			}
+		}
+	}
+	return min
+}
+
+// Screen builds a unique set from vectors in order — the sequential
+// reference implementation of algorithm step 1 for a single part.
+// threshold 0 selects DefaultThreshold.
+func Screen(vectors []linalg.Vector, threshold float64) (*UniqueSet, Stats, error) {
+	u, err := NewUniqueSet(threshold)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	var st Stats
+	for _, v := range vectors {
+		st.Scanned++
+		_, cmp := u.Insert(v)
+		st.Comparisons += cmp
+	}
+	return u, st, nil
+}
+
+// Merge combines per-part unique sets into one global unique set —
+// algorithm step 2, executed by the manager. Sets are merged in slice
+// order and members in insertion order, making the result deterministic
+// for any fixed partitioning. The merged set scans move-to-front: most
+// candidates are duplicates of a recently seen variant, which keeps the
+// manager's sequential merge cost linear in the total member count
+// rather than quadratic.
+func Merge(parts []*UniqueSet, threshold float64) (*UniqueSet, Stats, error) {
+	u, err := NewUniqueSet(threshold)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	u.MoveToFront = true
+	var st Stats
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		for _, v := range p.Members {
+			st.Scanned++
+			_, cmp := u.Insert(v)
+			st.Comparisons += cmp
+		}
+	}
+	return u, st, nil
+}

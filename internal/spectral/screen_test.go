@@ -1,0 +1,216 @@
+package spectral
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"resilientfusion/internal/linalg"
+)
+
+func randVectors(seed int64, count, dim int) []linalg.Vector {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]linalg.Vector, count)
+	for i := range out {
+		v := make(linalg.Vector, dim)
+		for j := range v {
+			v[j] = rng.Float64() * 1000
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func TestNewUniqueSetValidation(t *testing.T) {
+	if _, err := NewUniqueSet(-1); !errors.Is(err, ErrBadThreshold) {
+		t.Fatalf("negative threshold err = %v", err)
+	}
+	if _, err := NewUniqueSet(4); !errors.Is(err, ErrBadThreshold) {
+		t.Fatalf("threshold > pi err = %v", err)
+	}
+	u, err := NewUniqueSet(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Threshold != DefaultThreshold {
+		t.Fatalf("default threshold = %g", u.Threshold)
+	}
+}
+
+func TestInsertDeduplicates(t *testing.T) {
+	u, _ := NewUniqueSet(0.1)
+	a := linalg.Vector{1, 0, 0}
+	added, cmp := u.Insert(a)
+	if !added || cmp != 0 {
+		t.Fatalf("first insert: added=%v cmp=%d", added, cmp)
+	}
+	// A scaled copy has angle 0 — must be screened out.
+	added, cmp = u.Insert(linalg.Vector{5, 0, 0})
+	if added || cmp != 1 {
+		t.Fatalf("duplicate insert: added=%v cmp=%d", added, cmp)
+	}
+	// An orthogonal vector must be admitted.
+	added, _ = u.Insert(linalg.Vector{0, 1, 0})
+	if !added {
+		t.Fatal("orthogonal vector rejected")
+	}
+	if u.Len() != 2 {
+		t.Fatalf("Len = %d", u.Len())
+	}
+}
+
+func TestScreenInvariants(t *testing.T) {
+	vectors := randVectors(1, 300, 8)
+	u, st, err := Screen(vectors, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Scanned != 300 {
+		t.Fatalf("Scanned = %d", st.Scanned)
+	}
+	if st.Comparisons == 0 {
+		t.Fatal("no comparisons recorded")
+	}
+	if u.Len() == 0 || u.Len() > 300 {
+		t.Fatalf("unique set size %d", u.Len())
+	}
+	// Invariant 1: members pairwise farther than the threshold.
+	if min := u.MinPairwiseAngle(); u.Len() > 1 && min <= u.Threshold {
+		t.Fatalf("min pairwise angle %g <= threshold %g", min, u.Threshold)
+	}
+	// Invariant 2: every input vector is covered by the set.
+	for i, v := range vectors {
+		if !u.Covers(v) {
+			t.Fatalf("vector %d not covered", i)
+		}
+	}
+}
+
+func TestScreenReducesCorrelatedData(t *testing.T) {
+	// 500 noisy copies of 3 base spectra must collapse to ~3 members.
+	rng := rand.New(rand.NewSource(2))
+	bases := randVectors(3, 3, 16)
+	var vectors []linalg.Vector
+	for i := 0; i < 500; i++ {
+		b := bases[i%3]
+		v := b.Clone()
+		for j := range v {
+			v[j] *= 1 + rng.NormFloat64()*0.002
+		}
+		vectors = append(vectors, v)
+	}
+	u, _, err := Screen(vectors, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Len() > 6 {
+		t.Fatalf("unique set size %d for 3-cluster data", u.Len())
+	}
+}
+
+func TestScreenPreservesRareSignature(t *testing.T) {
+	// One rare orthogonal target among many background copies must
+	// survive screening — the whole point of the algorithm.
+	background := linalg.Vector{1, 1, 0, 0}
+	target := linalg.Vector{0, 0, 1, 0}
+	var vectors []linalg.Vector
+	for i := 0; i < 200; i++ {
+		vectors = append(vectors, background.Clone())
+	}
+	vectors = append(vectors, target)
+	u, _, err := Screen(vectors, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Len() != 2 {
+		t.Fatalf("unique set size %d, want 2", u.Len())
+	}
+	if !u.Covers(target) {
+		t.Fatal("target not covered")
+	}
+}
+
+func TestScreenThresholdError(t *testing.T) {
+	if _, _, err := Screen(nil, -3); !errors.Is(err, ErrBadThreshold) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMergeEquivalentToGlobalScreen(t *testing.T) {
+	// Merging per-part unique sets must cover everything the global
+	// screen covers, and obey the pairwise invariant.
+	vectors := randVectors(4, 400, 8)
+	const th = 0.12
+	parts := make([]*UniqueSet, 4)
+	for p := 0; p < 4; p++ {
+		u, _, err := Screen(vectors[p*100:(p+1)*100], th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts[p] = u
+	}
+	merged, st, err := Merge(parts, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Scanned == 0 {
+		t.Fatal("merge scanned nothing")
+	}
+	if merged.Len() > 1 && merged.MinPairwiseAngle() <= th {
+		t.Fatal("merged set violates pairwise invariant")
+	}
+	for i, v := range vectors {
+		if !merged.Covers(v) {
+			t.Fatalf("vector %d not covered by merged set", i)
+		}
+	}
+	// Deterministic: same inputs, same result.
+	merged2, _, _ := Merge(parts, th)
+	if merged2.Len() != merged.Len() {
+		t.Fatal("merge not deterministic")
+	}
+}
+
+func TestMergeSkipsNil(t *testing.T) {
+	u, _, err := Screen(randVectors(5, 10, 4), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, _, err := Merge([]*UniqueSet{nil, u, nil}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Len() == 0 {
+		t.Fatal("merge dropped members")
+	}
+}
+
+func TestZeroVectorHandling(t *testing.T) {
+	u, _ := NewUniqueSet(0.1)
+	added, _ := u.Insert(linalg.Vector{0, 0, 0})
+	if !added {
+		t.Fatal("zero vector should be admitted to an empty set")
+	}
+	// Zero vs anything is π/2 > threshold, so a normal vector is added too.
+	added, _ = u.Insert(linalg.Vector{1, 2, 3})
+	if !added {
+		t.Fatal("vector rejected against zero member")
+	}
+	// A second zero vector is also π/2 away from everything: admitted.
+	// (Zero pixels are degenerate; the convention just has to be total.)
+	if u.MinPairwiseAngle() < 0 {
+		t.Fatal("angle must be non-negative")
+	}
+}
+
+func TestMinPairwiseAngleSmallSets(t *testing.T) {
+	u, _ := NewUniqueSet(0.1)
+	if got := u.MinPairwiseAngle(); got != math.Pi {
+		t.Fatalf("empty set angle = %g", got)
+	}
+	u.Insert(linalg.Vector{1, 0})
+	if got := u.MinPairwiseAngle(); got != math.Pi {
+		t.Fatalf("singleton angle = %g", got)
+	}
+}
