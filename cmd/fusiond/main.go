@@ -1,0 +1,77 @@
+// fusiond serves the resilient fusion pipeline as a long-running,
+// multi-job HTTP service: one persistent worker pool handles many
+// concurrent cubes, with admission control and a content-addressed result
+// cache (see internal/service).
+//
+//	go run ./cmd/fusiond -addr :8080 -workers 8 -concurrency 4
+//
+//	POST /v1/jobs        HSIC cube body; options via query params
+//	                     (granularity, prefetch, threshold, components)
+//	GET  /v1/jobs/{id}   status and result (?image=1 adds base64 PNG)
+//	GET  /v1/stats       queue depth, cache hit rate, throughput
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"resilientfusion/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	workers := flag.Int("workers", runtime.NumCPU(), "persistent fusion workers in the pool")
+	concurrency := flag.Int("concurrency", 0, "jobs running at once (0: workers/2, min 1)")
+	queue := flag.Int("queue", 64, "queued jobs beyond the running ones")
+	cacheEntries := flag.Int("cache", 128, "result cache capacity (negative disables)")
+	verbose := flag.Bool("v", false, "log thread diagnostics")
+	flag.Parse()
+
+	if *concurrency <= 0 {
+		*concurrency = max(1, *workers/2)
+	}
+	cfg := service.Config{
+		Workers:       *workers,
+		MaxConcurrent: *concurrency,
+		QueueDepth:    *queue,
+		CacheEntries:  *cacheEntries,
+	}
+	if *verbose {
+		cfg.LogTo = log.Printf
+	}
+	pool, err := service.NewPool(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: pool.Handler()}
+	go func() {
+		log.Printf("fusiond: serving on %s (%d workers, %d concurrent jobs, queue %d)",
+			*addr, *workers, *concurrency, *queue)
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Print("fusiond: draining")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("fusiond: http shutdown: %v", err)
+	}
+	if err := pool.Close(); err != nil {
+		log.Printf("fusiond: pool close: %v", err)
+	}
+	log.Print("fusiond: stopped")
+}

@@ -1,0 +1,146 @@
+// Service example: run the multi-job fusion service in-process, submit a
+// burst of cubes over its HTTP API, and watch the pool multiplex them
+// over one set of persistent workers — then resubmit a scene and see it
+// answered from the content-addressed result cache.
+//
+//	go run ./examples/service
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"resilientfusion/internal/hsi"
+	"resilientfusion/internal/service"
+)
+
+type jobView struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	CacheHit bool   `json:"cache_hit"`
+	Error    string `json:"error"`
+	Result   *struct {
+		UniqueSetSize int       `json:"unique_set_size"`
+		SubCubes      int       `json:"sub_cubes"`
+		Eigenvalues   []float64 `json:"eigenvalues"`
+	} `json:"result"`
+}
+
+func submit(client *http.Client, base string, cube *hsi.Cube) (jobView, error) {
+	var body bytes.Buffer
+	if _, err := cube.WriteTo(&body); err != nil {
+		return jobView{}, err
+	}
+	resp, err := client.Post(base+"/v1/jobs?threshold=0.05", "application/octet-stream", &body)
+	if err != nil {
+		return jobView{}, err
+	}
+	defer resp.Body.Close()
+	var jv jobView
+	if err := json.NewDecoder(resp.Body).Decode(&jv); err != nil {
+		return jobView{}, err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return jv, fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, jv.Error)
+	}
+	return jv, nil
+}
+
+func poll(client *http.Client, base, id string) (jobView, error) {
+	for {
+		resp, err := client.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			return jobView{}, err
+		}
+		var jv jobView
+		err = json.NewDecoder(resp.Body).Decode(&jv)
+		resp.Body.Close()
+		if err != nil {
+			return jobView{}, err
+		}
+		if jv.State == "done" || jv.State == "failed" {
+			return jv, nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. One long-lived pool: 4 workers shared by every job, up to 4
+	//    jobs in flight, the rest queued (admission-controlled).
+	pool, err := service.NewPool(service.Config{Workers: 4, MaxConcurrent: 4, QueueDepth: 32})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pool.Close()
+	srv := httptest.NewServer(pool.Handler())
+	defer srv.Close()
+	client := srv.Client()
+	fmt.Printf("fusion service on %s: 4 pooled workers, 4 concurrent jobs\n\n", srv.URL)
+
+	// 2. A burst of distinct scenes — new imagery from many sensors.
+	const burst = 8
+	ids := make([]string, burst)
+	for i := 0; i < burst; i++ {
+		scene, err := hsi.GenerateScene(hsi.SceneSpec{
+			Width: 48, Height: 48, Bands: 16, Seed: int64(100 + i),
+			NoiseSigma: 5, Illumination: 0.12,
+			OpenVehicles: 1 + i%2, CamouflagedVehicles: i % 3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		jv, err := submit(client, srv.URL, scene.Cube)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ids[i] = jv.ID
+	}
+	fmt.Printf("submitted %d jobs\n", burst)
+	for i, id := range ids {
+		jv, err := poll(client, srv.URL, id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if jv.State != "done" {
+			log.Fatalf("%s failed: %s", id, jv.Error)
+		}
+		fmt.Printf("  %-7s scene %d: K=%-4d over %d sub-cubes\n",
+			jv.ID, 100+i, jv.Result.UniqueSetSize, jv.Result.SubCubes)
+	}
+
+	// 3. Re-image scene 100: identical cube + options → served from the
+	//    content-addressed cache, no recomputation.
+	scene, err := hsi.GenerateScene(hsi.SceneSpec{
+		Width: 48, Height: 48, Bands: 16, Seed: 100,
+		NoiseSigma: 5, Illumination: 0.12, OpenVehicles: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	jv, err := submit(client, srv.URL, scene.Cube)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nresubmitted scene 100: state=%s cache_hit=%v\n", jv.State, jv.CacheHit)
+
+	// 4. Service counters.
+	resp, err := client.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats service.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stats: %d submitted, %d completed, cache %d/%d hit/miss, %.1f jobs/s\n",
+		stats.Submitted, stats.Completed, stats.CacheHits, stats.CacheMisses, stats.Throughput)
+}

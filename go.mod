@@ -1,0 +1,3 @@
+module resilientfusion
+
+go 1.24

@@ -53,17 +53,24 @@ type Result struct {
 func managerBody(rt *resilient.Runtime, cube *hsi.Cube, opts Options, res *Result) resilient.RBody {
 	return func(env resilient.REnv) error {
 		defer rt.Shutdown()
-		m := &manager{rt: rt, env: env, cube: cube, opts: opts, res: res}
-		if err := m.run(); err != nil {
-			return fmt.Errorf("manager: %w", err)
-		}
-		res.completed = true
-		return nil
+		return RunManager(env, cube, opts, res)
 	}
 }
 
+// RunManager drives the 8-step fusion protocol from env against workers
+// with logical IDs 1..opts.Workers, filling res. It is the job-scoped run
+// path shared by the resilient job (NewJob) and the service pool, which
+// spawns one manager per job over long-lived pooled workers.
+func RunManager(env resilient.REnv, cube *hsi.Cube, opts Options, res *Result) error {
+	m := &manager{env: env, cube: cube, opts: opts.withDefaults(), res: res}
+	if err := m.run(); err != nil {
+		return fmt.Errorf("manager: %w", err)
+	}
+	res.completed = true
+	return nil
+}
+
 type manager struct {
-	rt   *resilient.Runtime
 	env  resilient.REnv
 	cube *hsi.Cube
 	opts Options
@@ -179,8 +186,13 @@ func (m *manager) screenPhase() ([][]linalg.Vector, error) {
 
 	// Initial fill, breadth-first: every worker gets one sub-problem
 	// before anyone gets a prefetched second, so small decompositions
-	// still use all processors.
-	for q := 0; q <= m.opts.Prefetch && next < S; q++ {
+	// still use all processors. Canonical Prefetch is -1 when overlap is
+	// disabled: each worker then holds exactly one sub-problem.
+	prefetch := m.opts.Prefetch
+	if prefetch < 0 {
+		prefetch = 0
+	}
+	for q := 0; q <= prefetch && next < S; q++ {
 		for w := 1; w <= m.opts.Workers && next < S; w++ {
 			if err := m.sendScreen(next, resilient.LogicalID(w)); err != nil {
 				return nil, err

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"resilientfusion/internal/hsi"
 	"resilientfusion/internal/linalg"
@@ -21,8 +22,10 @@ type Options struct {
 	// knob of the paper's Figure 5 (default 2).
 	Granularity int
 	// Prefetch is how many extra sub-problems each worker holds queued
-	// (default 1: the paper's communication/computation overlap;
-	// 0 disables overlap for ablation A2).
+	// (0 selects the default of 1: the paper's communication/computation
+	// overlap; -1 disables overlap for ablation A2, matching
+	// experiments.RunConfig). The canonical form keeps -1 for "disabled"
+	// so canonicalization is idempotent.
 	Prefetch int
 	// Threshold is the spectral-angle screening threshold (0 → default).
 	Threshold float64
@@ -57,7 +60,7 @@ func (o Options) withDefaults() Options {
 	if o.Prefetch == 0 {
 		o.Prefetch = 1
 	} else if o.Prefetch < 0 {
-		o.Prefetch = 0
+		o.Prefetch = -1
 	}
 	if o.Threshold == 0 {
 		o.Threshold = spectral.DefaultThreshold
@@ -84,6 +87,22 @@ func (o Options) withDefaults() Options {
 		o.Cost = perfmodel.Default()
 	}
 	return o
+}
+
+// Canonical returns the options with all defaults applied — the normal
+// form under which two Options values describe the same computation.
+func (o Options) Canonical() Options { return o.withDefaults() }
+
+// ResultKey returns a deterministic string over exactly the fields that
+// influence the fusion output: Workers, Granularity, Threshold,
+// Components and Solver (see Sequential's contract). Scheduling and
+// resiliency knobs (Prefetch, Replication, timeouts, Cost) do not change
+// the result and are excluded. The service layer combines this key with
+// the cube digest to content-address its result cache.
+func (o Options) ResultKey() string {
+	c := o.withDefaults()
+	return fmt.Sprintf("w%d.g%d.t%016x.c%d.s%d",
+		c.Workers, c.Granularity, math.Float64bits(c.Threshold), c.Components, int(c.Solver))
 }
 
 // Job is a configured fusion run bound to a system. Failure plans may be

@@ -12,98 +12,124 @@ import (
 	"resilientfusion/internal/spectral"
 )
 
-// workerBody executes the worker side of the 8-step algorithm. It is a
-// deterministic function of its message stream, so replicas stay in
-// lockstep (the resilient layer's requirement). Sub-cubes received for
-// screening are cached for the transform phase, preserving the paper's
-// locality: step 7 reuses step 1's data placement.
+// WorkerState holds the per-job state of a fusion worker: sub-cubes
+// cached from the screening phase (preserving the paper's locality — step
+// 7 reuses step 1's data placement) and memoized screen responses so
+// reissued requests are answered without re-screening. A run-to-completion
+// worker thread owns exactly one; the service pool's multiplexing workers
+// keep one per in-flight job.
+type WorkerState struct {
+	threshold float64
+	cost      perfmodel.Model
+	cache     map[int]*hsi.SubCube
+	screened  map[int][]byte // encoded ScreenResp by sub-cube
+}
+
+// NewWorkerState returns empty per-job worker state.
+func NewWorkerState(threshold float64, cost perfmodel.Model) *WorkerState {
+	return &WorkerState{
+		threshold: threshold,
+		cost:      cost,
+		cache:     make(map[int]*hsi.SubCube),
+		screened:  make(map[int][]byte),
+	}
+}
+
+// Handle processes one application message and returns the reply to send
+// to the manager, plus the modeled flops the caller must charge (via
+// Compute) before sending. replyKind 0 means no reply (unknown or stale
+// kind). Handle is a deterministic function of the message stream, which
+// is what keeps replicated workers in lockstep (the resilient layer's
+// requirement). KindStop is the caller's business: a dedicated worker
+// thread returns, a pooled worker retires the job's state.
+func (ws *WorkerState) Handle(kind uint16, payload []byte) (replyKind uint16, reply []byte, flops float64, err error) {
+	switch kind {
+	case KindScreenReq:
+		req, err := DecodeScreenReq(payload)
+		if err != nil {
+			return 0, nil, 0, err
+		}
+		// Reissued requests (manager timeout races) are answered from
+		// the result cache instead of re-screening.
+		if enc, ok := ws.screened[req.Range.Index]; ok {
+			return KindScreenResp, enc, 0, nil
+		}
+		sub := &hsi.SubCube{Range: req.Range, Cube: req.Cube}
+		ws.cache[req.Range.Index] = sub
+		// Step 1: form the sub-cube's unique spectral set.
+		u, st, err := spectral.Screen(sub.PixelVectors(), ws.threshold)
+		if err != nil {
+			return 0, nil, 0, err
+		}
+		enc := EncodeScreenResp(&ScreenResp{Index: req.Range.Index, Vectors: u.Members})
+		ws.screened[req.Range.Index] = enc
+		return KindScreenResp, enc, ws.cost.ScreenFlops(st, req.Cube.Bands), nil
+
+	case KindCovReq:
+		req, err := DecodeCovReq(payload)
+		if err != nil {
+			return 0, nil, 0, err
+		}
+		// Step 4: covariance partial sum over this part.
+		sum, err := pct.CovarianceSum(req.Vectors, req.Mean)
+		if err != nil {
+			return 0, nil, 0, err
+		}
+		return KindCovResp, EncodeCovResp(&CovResp{Part: req.Part, Sum: sum}),
+			ws.cost.CovPartialFlops(len(req.Vectors), len(req.Mean)), nil
+
+	case KindTransformReq:
+		req, err := DecodeTransformReq(payload)
+		if err != nil {
+			return 0, nil, 0, err
+		}
+		sub := ws.cache[req.Range.Index]
+		if req.Cube != nil {
+			sub = &hsi.SubCube{Range: req.Range, Cube: req.Cube}
+			ws.cache[req.Range.Index] = sub
+		}
+		if sub == nil {
+			// Regenerated replica without the cached sub-cube: ask the
+			// manager to resend with data.
+			return KindCacheMiss, EncodeCacheMiss(req.Range.Index), 0, nil
+		}
+		resp, flops, err := transformSlab(sub, req, ws.cost)
+		if err != nil {
+			return 0, nil, 0, err
+		}
+		return KindTransformResp, EncodeTransformResp(resp), flops, nil
+	}
+	return 0, nil, 0, nil
+}
+
+// workerBody executes the worker side of the 8-step algorithm as a
+// dedicated resilient thread: one WorkerState for its lifetime, stopping
+// on KindStop.
 func workerBody(manager resilient.LogicalID, threshold float64, cost perfmodel.Model) resilient.RBody {
 	return func(env resilient.REnv) error {
-		cache := make(map[int]*hsi.SubCube)
-		screened := make(map[int][]byte) // encoded ScreenResp by sub-cube
+		ws := NewWorkerState(threshold, cost)
 		for {
 			m, err := env.Recv()
 			if err != nil {
 				return err
 			}
-			switch m.Kind {
-			case KindStop:
+			if m.Kind == KindStop {
 				return nil
-
-			case KindScreenReq:
-				req, err := DecodeScreenReq(m.Payload)
-				if err != nil {
-					return err
-				}
-				// Reissued requests (manager timeout races) are answered
-				// from the result cache instead of re-screening.
-				if enc, ok := screened[req.Range.Index]; ok {
-					if err := env.Send(manager, KindScreenResp, enc); err != nil {
-						return err
-					}
-					continue
-				}
-				sub := &hsi.SubCube{Range: req.Range, Cube: req.Cube}
-				cache[req.Range.Index] = sub
-				// Step 1: form the sub-cube's unique spectral set.
-				u, st, err := spectral.Screen(sub.PixelVectors(), threshold)
-				if err != nil {
-					return err
-				}
-				if err := env.Compute(cost.ScreenFlops(st, req.Cube.Bands)); err != nil {
-					return err
-				}
-				enc := EncodeScreenResp(&ScreenResp{Index: req.Range.Index, Vectors: u.Members})
-				screened[req.Range.Index] = enc
-				if err := env.Send(manager, KindScreenResp, enc); err != nil {
-					return err
-				}
-
-			case KindCovReq:
-				req, err := DecodeCovReq(m.Payload)
-				if err != nil {
-					return err
-				}
-				// Step 4: covariance partial sum over this part.
-				sum, err := pct.CovarianceSum(req.Vectors, req.Mean)
-				if err != nil {
-					return err
-				}
-				if err := env.Compute(cost.CovPartialFlops(len(req.Vectors), len(req.Mean))); err != nil {
-					return err
-				}
-				if err := env.Send(manager, KindCovResp, EncodeCovResp(&CovResp{Part: req.Part, Sum: sum})); err != nil {
-					return err
-				}
-
-			case KindTransformReq:
-				req, err := DecodeTransformReq(m.Payload)
-				if err != nil {
-					return err
-				}
-				sub := cache[req.Range.Index]
-				if req.Cube != nil {
-					sub = &hsi.SubCube{Range: req.Range, Cube: req.Cube}
-					cache[req.Range.Index] = sub
-				}
-				if sub == nil {
-					// Regenerated replica without the cached sub-cube:
-					// ask the manager to resend with data.
-					if err := env.Send(manager, KindCacheMiss, EncodeCacheMiss(req.Range.Index)); err != nil {
-						return err
-					}
-					continue
-				}
-				resp, flops, err := transformSlab(sub, req, cost)
-				if err != nil {
-					return err
-				}
+			}
+			replyKind, reply, flops, err := ws.Handle(m.Kind, m.Payload)
+			if err != nil {
+				return err
+			}
+			if replyKind == 0 {
+				continue
+			}
+			if flops > 0 {
 				if err := env.Compute(flops); err != nil {
 					return err
 				}
-				if err := env.Send(manager, KindTransformResp, EncodeTransformResp(resp)); err != nil {
-					return err
-				}
+			}
+			if err := env.Send(manager, replyKind, reply); err != nil {
+				return err
 			}
 		}
 	}

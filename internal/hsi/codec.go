@@ -30,6 +30,9 @@ var (
 
 	// ErrBadFormat is returned when decoding malformed cube bytes.
 	ErrBadFormat = errors.New("hsi: bad cube format")
+	// ErrCubeTooLarge is returned by ReadCubeLimit when the header's
+	// claimed dimensions exceed the caller's size bound.
+	ErrCubeTooLarge = errors.New("hsi: cube exceeds size limit")
 )
 
 const (
@@ -96,7 +99,15 @@ func (c *Cube) WriteTo(w io.Writer) (int64, error) {
 }
 
 // ReadCube deserializes a cube from r.
-func ReadCube(r io.Reader) (*Cube, error) {
+func ReadCube(r io.Reader) (*Cube, error) { return ReadCubeLimit(r, 0) }
+
+// ReadCubeLimit is ReadCube with an upper bound on the encoded cube
+// size, checked against the header's *claimed* dimensions before any
+// sample buffer is allocated. Callers decoding untrusted input (the
+// fusion service's upload path) need this: a 20-byte header can
+// otherwise demand a multi-terabyte allocation. limit <= 0 disables the
+// bound.
+func ReadCubeLimit(r io.Reader, limit int64) (*Cube, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	hdr := make([]byte, 20)
 	if _, err := io.ReadFull(br, hdr); err != nil {
@@ -115,6 +126,16 @@ func ReadCube(r io.Reader) (*Cube, error) {
 	if width <= 0 || height <= 0 || bands <= 0 ||
 		width > maxReasonableDim || height > maxReasonableDim || bands > maxReasonableDim {
 		return nil, fmt.Errorf("%w: dims %dx%dx%d", ErrBadFormat, width, height, bands)
+	}
+	if limit > 0 {
+		// Each dim is at most 2^20, so the product cannot overflow int64.
+		claimed := int64(20) + 4*int64(width)*int64(height)*int64(bands)
+		if flags&flagHasWavelengths != 0 {
+			claimed += 8 * int64(bands)
+		}
+		if claimed > limit {
+			return nil, fmt.Errorf("%w: header claims %d bytes, limit %d", ErrCubeTooLarge, claimed, limit)
+		}
 	}
 
 	c := &Cube{Width: width, Height: height, Bands: bands}

@@ -1,0 +1,18 @@
+package hsi
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Digest returns the SHA-256 digest (hex) of the cube's canonical HSIC
+// encoding. Two cubes digest equal exactly when WriteTo produces
+// identical bytes — same dimensions, wavelength table and samples — which
+// is what the service layer's content-addressed result cache keys on.
+func (c *Cube) Digest() (string, error) {
+	h := sha256.New()
+	if _, err := c.WriteTo(h); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -95,11 +95,17 @@ func (s *RealSystem) start(t *realThread) {
 			}()
 			err = t.body(t)
 		}()
-		if err != nil && !errors.Is(err, ErrKilled) {
-			s.mu.Lock()
-			s.errs = append(s.errs, fmt.Errorf("%s: %w", t.name, err))
-			s.mu.Unlock()
+		s.mu.Lock()
+		// Reap: long-lived systems (the service pool) spawn a manager
+		// thread per job, so finished threads must leave the table.
+		// Post-finish sends then drop like sends to any unknown thread.
+		if s.threads[t.id] == t {
+			delete(s.threads, t.id)
 		}
+		if err != nil && !errors.Is(err, ErrKilled) {
+			s.errs = append(s.errs, fmt.Errorf("%s: %w", t.name, err))
+		}
+		s.mu.Unlock()
 	}()
 }
 
@@ -117,18 +123,57 @@ func (s *RealSystem) Kill(id ThreadID) bool {
 	return true
 }
 
-// Run starts every spawned thread and blocks until all have finished.
-func (s *RealSystem) Run() error {
+// Start launches every thread spawned so far without blocking; threads
+// spawned afterwards start immediately. Long-lived systems (the service
+// pool keeps one system alive across many jobs) pair it with Wait; Run
+// remains the one-shot convenience.
+func (s *RealSystem) Start() {
 	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.running {
+		return
+	}
 	s.running = true
 	for _, t := range s.threads {
 		s.start(t)
 	}
-	s.mu.Unlock()
+}
+
+// Wait blocks until every thread has returned and reports their combined
+// non-ErrKilled errors. Call once no further work will be spawned (after
+// Stop, or after the application protocol has wound all threads down).
+func (s *RealSystem) Wait() error {
 	s.wg.Wait()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return errors.Join(s.errs...)
+}
+
+// Stop kills every live thread; a pending Wait then returns promptly.
+func (s *RealSystem) Stop() {
+	s.mu.Lock()
+	ids := make([]ThreadID, 0, len(s.threads))
+	for id := range s.threads {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	for _, id := range ids {
+		s.Kill(id)
+	}
+}
+
+// Live returns the number of threads currently registered (spawned and
+// not yet finished).
+func (s *RealSystem) Live() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.threads)
+}
+
+// Run starts every spawned thread and blocks until all have finished.
+func (s *RealSystem) Run() error {
+	s.Start()
+	return s.Wait()
 }
 
 // Now returns wall-clock seconds since the system was created.

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"testing"
+	"time"
 
 	"resilientfusion/internal/simnet"
 )
@@ -514,4 +515,64 @@ func TestSimThreadKilledMidComputeViaSystem(t *testing.T) {
 		t.Fatalf("err = %v", err1)
 	}
 	_ = simnet.ErrKilled // document mapping exists
+}
+
+// TestRealSystemLifecycle exercises the long-lived Start/Wait path used
+// by the service pool: spawn while running, reap finished threads, Stop.
+func TestRealSystemLifecycle(t *testing.T) {
+	sys := NewRealSystem()
+	results := make(chan ThreadID, 8)
+	persistent := func(env Env) error {
+		for {
+			m, err := env.Recv()
+			if err != nil {
+				return err
+			}
+			if m.Kind == 99 {
+				return nil
+			}
+		}
+	}
+	if err := sys.Spawn(ThreadSpec{ID: 1, Name: "worker", Body: persistent}); err != nil {
+		t.Fatal(err)
+	}
+	sys.Start()
+	sys.Start() // idempotent
+
+	// Spawn short-lived "job" threads while the system is running; each
+	// must be reaped from the thread table on return.
+	for i := ThreadID(10); i < 14; i++ {
+		id := i
+		if err := sys.Spawn(ThreadSpec{ID: id, Name: "job", Body: func(env Env) error {
+			results <- env.Self()
+			return nil
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := map[ThreadID]bool{}
+	for len(seen) < 4 {
+		seen[<-results] = true
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for sys.Live() > 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("finished threads not reaped: %d live", sys.Live())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A reaped ID can be reused.
+	if err := sys.Spawn(ThreadSpec{ID: 10, Name: "job2", Body: func(env Env) error {
+		results <- env.Self()
+		return nil
+	}}); err != nil {
+		t.Fatalf("reused reaped ID: %v", err)
+	}
+	<-results
+
+	sys.Stop()
+	if err := sys.Wait(); err != nil {
+		t.Fatalf("Wait after Stop: %v", err)
+	}
 }

@@ -1,0 +1,88 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"resilientfusion/internal/core"
+)
+
+// resultCache is a content-addressed LRU of completed fusion results,
+// keyed by cube digest + canonicalized options (core.Options.ResultKey).
+// Repeated scenes — the common case for a monitoring service re-imaging
+// the same area — are served without recomputation. Cached *core.Result
+// values are shared between jobs and must be treated as immutable.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recent
+	items map[string]*list.Element
+
+	hits, misses int64
+}
+
+type cacheEntry struct {
+	key string
+	res *core.Result
+}
+
+// newResultCache builds a cache holding up to capacity results;
+// capacity <= 0 disables caching (every lookup misses, puts are dropped).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached result for key, counting a hit or miss.
+func (c *resultCache) get(key string) (*core.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).res, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// peek is get without touching the hit/miss counters or recency (used
+// for the re-check after a queued job's twin completed first).
+func (c *resultCache) peek(key string) (*core.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		return el.Value.(*cacheEntry).res, true
+	}
+	return nil, false
+}
+
+// put stores a result, evicting the least recently used entry on overflow.
+func (c *resultCache) put(key string, res *core.Result) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).res = res
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// counters returns (hits, misses, current size).
+func (c *resultCache) counters() (int64, int64, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
+}

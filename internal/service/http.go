@@ -1,0 +1,186 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"resilientfusion/internal/core"
+	"resilientfusion/internal/hsi"
+)
+
+// maxCubeBytes bounds an uploaded cube (512 MiB of HSIC). A variable so
+// tests can exercise the limit without half-gigabyte uploads.
+var maxCubeBytes int64 = 512 << 20
+
+// jobJSON is the wire form of a JobStatus.
+type jobJSON struct {
+	ID        string      `json:"id"`
+	State     JobState    `json:"state"`
+	CacheHit  bool        `json:"cache_hit"`
+	Error     string      `json:"error,omitempty"`
+	Submitted time.Time   `json:"submitted"`
+	Started   *time.Time  `json:"started,omitempty"`
+	Finished  *time.Time  `json:"finished,omitempty"`
+	Result    *resultJSON `json:"result,omitempty"`
+}
+
+// resultJSON summarizes a core.Result for clients. The composite image
+// travels as base64 PNG only when requested (?image=1): it dominates the
+// response size.
+type resultJSON struct {
+	UniqueSetSize int             `json:"unique_set_size"`
+	SubCubes      int             `json:"sub_cubes"`
+	Reissues      int             `json:"reissues"`
+	CacheMisses   int             `json:"cache_misses"`
+	Eigenvalues   []float64       `json:"eigenvalues"`
+	PhaseTimes    core.PhaseTimes `json:"phase_times"`
+	ImagePNG      string          `json:"image_png,omitempty"`
+}
+
+func statusJSON(st JobStatus) *jobJSON {
+	out := &jobJSON{
+		ID:        st.ID,
+		State:     st.State,
+		CacheHit:  st.CacheHit,
+		Submitted: st.Submitted,
+	}
+	if st.Err != nil {
+		out.Error = st.Err.Error()
+	}
+	if !st.Started.IsZero() {
+		t := st.Started
+		out.Started = &t
+	}
+	if !st.Finished.IsZero() {
+		t := st.Finished
+		out.Finished = &t
+	}
+	if st.Result != nil {
+		out.Result = &resultJSON{
+			UniqueSetSize: st.Result.UniqueSetSize,
+			SubCubes:      st.Result.SubCubes,
+			Reissues:      st.Result.Reissues,
+			CacheMisses:   st.Result.CacheMisses,
+			Eigenvalues:   st.Result.Eigenvalues,
+			PhaseTimes:    st.Result.Times,
+		}
+	}
+	return out
+}
+
+// optionsFromQuery builds per-job options from request query parameters.
+// The pool fixes Workers; clients tune the algorithm knobs.
+func optionsFromQuery(r *http.Request) (core.Options, error) {
+	var opts core.Options
+	q := r.URL.Query()
+	for key, set := range map[string]func(int){
+		"granularity": func(v int) { opts.Granularity = v },
+		"prefetch":    func(v int) { opts.Prefetch = v },
+		"components":  func(v int) { opts.Components = v },
+	} {
+		if s := q.Get(key); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil {
+				return opts, fmt.Errorf("bad %s %q", key, s)
+			}
+			set(v)
+		}
+	}
+	if s := q.Get("threshold"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+			return opts, fmt.Errorf("bad threshold %q", s)
+		}
+		opts.Threshold = v
+	}
+	return opts, nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// Handler exposes the pool as an HTTP API:
+//
+//	POST /v1/jobs        submit an HSIC-encoded cube (body) with options
+//	                     in query params (granularity, prefetch,
+//	                     threshold, components) → 202 {id, state}
+//	GET  /v1/jobs/{id}   job status/result (?image=1 adds base64 PNG)
+//	GET  /v1/stats       queue depth, cache hit rate, throughput
+func (p *Pool) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		opts, err := optionsFromQuery(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		// ReadCubeLimit bounds the upload by the header's claimed
+		// dimensions before allocating (a 20-byte request must not
+		// demand a terabyte) and then reads exactly the claimed bytes,
+		// so no separate body cap is needed.
+		cube, err := hsi.ReadCubeLimit(r.Body, maxCubeBytes)
+		if err != nil {
+			if errors.Is(err, hsi.ErrCubeTooLarge) {
+				writeError(w, http.StatusRequestEntityTooLarge,
+					fmt.Errorf("cube exceeds the %d-byte upload limit", maxCubeBytes))
+				return
+			}
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding cube: %w", err))
+			return
+		}
+		st, err := p.Submit(cube, opts)
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		case errors.Is(err, ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		case err != nil:
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, statusJSON(st))
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := p.Status(r.PathValue("id"))
+		if errors.Is(err, ErrUnknownJob) {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		body := statusJSON(st)
+		if r.URL.Query().Get("image") == "1" && body.Result != nil && st.State == StateDone {
+			b64, err := p.ImagePNGBase64(st.ID)
+			switch {
+			case errors.Is(err, ErrImageExpired):
+				writeError(w, http.StatusGone, err)
+				return
+			case err != nil:
+				writeError(w, http.StatusInternalServerError, err)
+				return
+			}
+			body.Result.ImagePNG = b64
+		}
+		writeJSON(w, http.StatusOK, body)
+	})
+
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, p.Stats())
+	})
+
+	return mux
+}

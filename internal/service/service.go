@@ -1,0 +1,544 @@
+// Package service turns the one-shot fusion pipeline into a multi-job
+// fusion service: one long-lived scplib.RealSystem hosts a pool of
+// persistent fusion workers, and many concurrent jobs are multiplexed
+// over it — each job spawns only a lightweight manager thread that drives
+// the paper's 8-step protocol (core.RunManager) against the shared
+// workers, with messages scoped by job envelope. Compared to core.Fuse
+// per request, the pool pays system construction and worker spawn once,
+// admission-controls incoming jobs (bounded queue, bounded concurrency),
+// and answers repeated scenes from a content-addressed result cache keyed
+// by cube digest + canonicalized options.
+//
+// cmd/fusiond exposes the pool over HTTP (POST /v1/jobs, GET
+// /v1/jobs/{id}, GET /v1/stats); examples/service drives it end to end.
+package service
+
+import (
+	"bytes"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"image/png"
+	"math"
+	"sync"
+	"time"
+
+	"resilientfusion/internal/core"
+	"resilientfusion/internal/hsi"
+	"resilientfusion/internal/scplib"
+)
+
+// maxSubCubes bounds a job's decomposition (Granularity × Workers); see
+// the admission check in Submit.
+const maxSubCubes = 1024
+
+// Errors returned by Submit.
+var (
+	// ErrQueueFull reports admission-control rejection: the job queue is
+	// at capacity. Clients should back off and resubmit.
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrClosed reports submission to a closed pool.
+	ErrClosed = errors.New("service: pool closed")
+	// ErrUnknownJob reports a status query for an unknown (or already
+	// evicted) job ID.
+	ErrUnknownJob = errors.New("service: unknown job")
+	// ErrImageExpired reports an ImagePNG request for a job whose
+	// composite aged out of the RetainResults window (scalar results
+	// remain queryable).
+	ErrImageExpired = errors.New("service: composite image no longer retained")
+)
+
+// Config tunes a Pool.
+type Config struct {
+	// Workers is the number of persistent fusion workers (default 4).
+	Workers int
+	// MaxConcurrent is how many jobs run at once (default 2). Each
+	// running job holds one manager thread; workers are shared.
+	MaxConcurrent int
+	// QueueDepth bounds jobs waiting beyond the running ones (default
+	// 64); submissions past it are rejected with ErrQueueFull.
+	QueueDepth int
+	// CacheEntries is the result-cache capacity (default 128; negative
+	// disables caching).
+	CacheEntries int
+	// RetainJobs bounds how many finished jobs stay queryable (default
+	// 4096); the oldest finished jobs are evicted first.
+	RetainJobs int
+	// RetainResults bounds how many of the most recent finished jobs
+	// keep their composite image (default 64). Older retained jobs stay
+	// queryable with scalar results only — without this window, RetainJobs
+	// full RGBA composites would pin unbounded bytes in a long-lived
+	// daemon. The result cache keeps its own (CacheEntries-bounded) full
+	// copies.
+	RetainResults int
+	// LogTo receives diagnostics (nil silences them).
+	LogTo func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 128
+	}
+	if c.RetainJobs <= 0 {
+		c.RetainJobs = 4096
+	}
+	if c.RetainResults <= 0 {
+		c.RetainResults = 64
+	}
+	return c
+}
+
+// Stats is a point-in-time view of the pool for GET /v1/stats.
+type Stats struct {
+	Workers     int   `json:"workers"`
+	QueueDepth  int   `json:"queue_depth"` // jobs waiting
+	Running     int   `json:"running"`
+	Submitted   int64 `json:"submitted"`
+	Completed   int64 `json:"completed"`
+	Failed      int64 `json:"failed"`
+	Rejected    int64 `json:"rejected"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	CacheSize   int   `json:"cache_size"`
+	// Throughput is completed jobs per second since the pool started.
+	Throughput    float64 `json:"throughput_jobs_per_s"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// Pool is the multi-job fusion service.
+type Pool struct {
+	cfg       Config
+	sys       *scplib.RealSystem
+	workerIDs []scplib.ThreadID
+	cache     *resultCache
+	queue     chan *Job
+	wg        sync.WaitGroup // dispatcher goroutines
+	t0        time.Time
+
+	mu         sync.Mutex
+	closed     bool
+	jobs       map[string]*Job
+	doneOrder  []string // finished jobs, oldest first (eviction order)
+	nextJob    uint64
+	nextThread scplib.ThreadID
+	running    int
+	submitted  int64
+	completed  int64
+	failed     int64
+	rejected   int64
+}
+
+// NewPool builds and starts a pool: the system begins running with all
+// workers spawned, and MaxConcurrent dispatchers wait for jobs.
+func NewPool(cfg Config) (*Pool, error) {
+	cfg = cfg.withDefaults()
+	sys := scplib.NewRealSystem()
+	sys.LogTo = cfg.LogTo
+	p := &Pool{
+		cfg:        cfg,
+		sys:        sys,
+		cache:      newResultCache(cfg.CacheEntries),
+		queue:      make(chan *Job, cfg.QueueDepth),
+		t0:         time.Now(),
+		jobs:       make(map[string]*Job),
+		nextThread: scplib.ThreadID(cfg.Workers + 1),
+	}
+	for w := 1; w <= cfg.Workers; w++ {
+		id := scplib.ThreadID(w)
+		if err := sys.Spawn(scplib.ThreadSpec{
+			ID:   id,
+			Name: fmt.Sprintf("poolworker%d", w),
+			Body: poolWorkerBody(),
+		}); err != nil {
+			return nil, err
+		}
+		p.workerIDs = append(p.workerIDs, id)
+	}
+	sys.Start()
+	for i := 0; i < cfg.MaxConcurrent; i++ {
+		p.wg.Add(1)
+		go p.dispatch()
+	}
+	return p, nil
+}
+
+// Submit validates and enqueues a fusion job, returning its immediate
+// status (already StateDone when served from the result cache). The
+// submitted cube and options must not be mutated afterwards.
+func (p *Pool) Submit(cube *hsi.Cube, opts core.Options) (JobStatus, error) {
+	if err := cube.Validate(); err != nil {
+		return JobStatus{}, err
+	}
+	// Jobs always run at the pool's worker count and without replication:
+	// process pooling, not thread replication, is this layer's resilience
+	// story (workers are goroutines in one process).
+	opts.Workers = p.cfg.Workers
+	opts.Replication = 1
+	opts.Regenerate = false
+	opts = opts.Canonical()
+	if opts.Components < 3 {
+		return JobStatus{}, fmt.Errorf("%w: need >=3 components for color mapping", core.ErrBadOptions)
+	}
+	if opts.Granularity < 1 {
+		return JobStatus{}, fmt.Errorf("%w: Granularity=%d", core.ErrBadOptions, opts.Granularity)
+	}
+	// Reject thresholds the screening kernel will refuse, so the client
+	// gets a synchronous error instead of an asynchronous failed job
+	// that occupied a queue slot. Canonical options map 0 to the default,
+	// so anything non-positive (or NaN, which fails both comparisons'
+	// negations) is out of range here.
+	if !(opts.Threshold > 0) || opts.Threshold > math.Pi {
+		return JobStatus{}, fmt.Errorf("%w: Threshold=%g not in (0, π]", core.ErrBadOptions, opts.Threshold)
+	}
+	// Bound the decomposition: the manager's transform phase keeps all
+	// sub-cube requests in flight at once, so an unbounded client-chosen
+	// granularity could fill the fixed-depth thread mailboxes and wedge a
+	// dispatcher. maxSubCubes stays far under the mailbox depth while
+	// exceeding any useful granularity (the paper evaluates single
+	// digits).
+	// The Granularity pre-check keeps the product from overflowing.
+	if opts.Granularity > maxSubCubes || opts.Granularity*opts.Workers > maxSubCubes {
+		return JobStatus{}, fmt.Errorf("%w: Granularity=%d yields over %d sub-cubes",
+			core.ErrBadOptions, opts.Granularity, maxSubCubes)
+	}
+	// The content-addressed key is only worth the full-cube hash when a
+	// cache exists to serve it.
+	var digest string
+	if p.cfg.CacheEntries > 0 {
+		var err error
+		if digest, err = cube.Digest(); err != nil {
+			return JobStatus{}, err
+		}
+	}
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return JobStatus{}, ErrClosed
+	}
+	p.nextJob++
+	job := &Job{
+		id:        fmt.Sprintf("job-%d", p.nextJob),
+		num:       p.nextJob,
+		cube:      cube,
+		opts:      opts,
+		digest:    digest,
+		done:      make(chan struct{}),
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+	if digest != "" {
+		job.key = digest + "|" + opts.ResultKey()
+	}
+	p.submitted++
+	p.jobs[job.id] = job
+	p.mu.Unlock()
+
+	// Content-addressed fast path: identical cube + options already
+	// computed.
+	if job.key != "" {
+		if res, ok := p.cache.get(job.key); ok {
+			p.finish(job, res, nil, true)
+			return p.snapshot(job), nil
+		}
+	}
+
+	// Enqueue under the lock: the closed re-check and the send must be
+	// atomic with respect to Close, which closes the queue channel.
+	p.mu.Lock()
+	if p.closed {
+		p.submitted-- // never admitted; keep submitted = accepted jobs
+		delete(p.jobs, job.id)
+		p.mu.Unlock()
+		return JobStatus{}, ErrClosed
+	}
+	select {
+	case p.queue <- job:
+		p.mu.Unlock()
+		return p.snapshot(job), nil
+	default:
+		p.rejected++
+		p.submitted--
+		delete(p.jobs, job.id)
+		p.mu.Unlock()
+		return JobStatus{}, ErrQueueFull
+	}
+}
+
+// Status returns a job's current snapshot.
+func (p *Pool) Status(id string) (JobStatus, error) {
+	p.mu.Lock()
+	job := p.jobs[id]
+	p.mu.Unlock()
+	if job == nil {
+		return JobStatus{}, ErrUnknownJob
+	}
+	return p.snapshot(job), nil
+}
+
+// Wait blocks until the job finishes and returns its final snapshot.
+func (p *Pool) Wait(id string) (JobStatus, error) {
+	p.mu.Lock()
+	job := p.jobs[id]
+	p.mu.Unlock()
+	if job == nil {
+		return JobStatus{}, ErrUnknownJob
+	}
+	<-job.done
+	return p.snapshot(job), nil
+}
+
+// ImagePNG returns the job's composite image encoded as PNG, encoding at
+// most once per job (results are immutable after completion; pollers
+// share the memoized bytes). It errors for jobs that are not done or
+// whose composite has aged out of the retention window.
+func (p *Pool) ImagePNG(id string) ([]byte, error) {
+	p.mu.Lock()
+	job := p.jobs[id]
+	p.mu.Unlock()
+	if job == nil {
+		return nil, ErrUnknownJob
+	}
+	select {
+	case <-job.done:
+	default:
+		return nil, fmt.Errorf("service: job %s not finished", id)
+	}
+	job.pngMu.Lock()
+	defer job.pngMu.Unlock()
+	if job.png != nil {
+		return job.png, nil
+	}
+	p.mu.Lock()
+	res := job.result
+	state := job.state
+	jobErr := job.err
+	p.mu.Unlock()
+	if state == StateFailed {
+		return nil, fmt.Errorf("service: job %s failed: %w", id, jobErr)
+	}
+	if res == nil || res.Image == nil {
+		return nil, fmt.Errorf("%w: job %s", ErrImageExpired, id)
+	}
+	var buf bytes.Buffer
+	if err := png.Encode(&buf, res.Image); err != nil {
+		return nil, err
+	}
+	job.png = buf.Bytes()
+	return job.png, nil
+}
+
+// ImagePNGBase64 is ImagePNG pre-encoded for JSON transport, memoized so
+// polling clients do not pay a fresh base64 pass per request.
+func (p *Pool) ImagePNGBase64(id string) (string, error) {
+	data, err := p.ImagePNG(id)
+	if err != nil {
+		return "", err
+	}
+	p.mu.Lock()
+	job := p.jobs[id]
+	p.mu.Unlock()
+	if job == nil {
+		// Evicted between calls; encode without memoizing.
+		return base64.StdEncoding.EncodeToString(data), nil
+	}
+	job.pngMu.Lock()
+	defer job.pngMu.Unlock()
+	if job.pngB64 != "" {
+		return job.pngB64, nil
+	}
+	b64 := base64.StdEncoding.EncodeToString(data)
+	// Memoize only while the PNG memo survives: if finish() stripped the
+	// job between the ImagePNG call above and here, storing the base64
+	// would re-pin the composite the retention window just released.
+	if job.png != nil {
+		job.pngB64 = b64
+	}
+	return b64, nil
+}
+
+// Stats reports the pool's counters.
+func (p *Pool) Stats() Stats {
+	hits, misses, size := p.cache.counters()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	up := time.Since(p.t0).Seconds()
+	s := Stats{
+		Workers:       p.cfg.Workers,
+		QueueDepth:    len(p.queue),
+		Running:       p.running,
+		Submitted:     p.submitted,
+		Completed:     p.completed,
+		Failed:        p.failed,
+		Rejected:      p.rejected,
+		CacheHits:     hits,
+		CacheMisses:   misses,
+		CacheSize:     size,
+		UptimeSeconds: up,
+	}
+	if up > 0 {
+		s.Throughput = float64(p.completed) / up
+	}
+	return s
+}
+
+// Close stops accepting jobs, drains queued and running ones, then tears
+// the worker pool down. It returns the system's combined thread errors
+// (nil in normal operation).
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	close(p.queue)
+	p.mu.Unlock()
+	p.wg.Wait()  // dispatchers drain remaining queued jobs
+	p.sys.Stop() // kill persistent workers
+	return p.sys.Wait()
+}
+
+// dispatch is one unit of the concurrency budget: it runs queued jobs to
+// completion, one at a time, until the queue closes.
+func (p *Pool) dispatch() {
+	defer p.wg.Done()
+	for job := range p.queue {
+		p.runJob(job)
+	}
+}
+
+// runJob executes one job over the shared worker pool.
+func (p *Pool) runJob(job *Job) {
+	p.mu.Lock()
+	job.state = StateRunning
+	job.started = time.Now()
+	p.running++
+	tid := p.nextThread
+	p.nextThread++
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		p.running--
+		p.mu.Unlock()
+	}()
+
+	// An identical job may have completed while this one queued.
+	if job.key != "" {
+		if res, ok := p.cache.peek(job.key); ok {
+			p.finish(job, res, nil, true)
+			return
+		}
+	}
+
+	res := &core.Result{}
+	errc := make(chan error, 1)
+	spawnErr := p.sys.Spawn(scplib.ThreadSpec{
+		ID:   tid,
+		Name: fmt.Sprintf("jobmgr-%d", job.num),
+		Body: func(env scplib.Env) error {
+			je := newJobEnv(env, job.num, job.opts.Threshold, p.workerIDs)
+			var jobErr error
+			// The errc send must happen on every exit — including a panic
+			// in the manager protocol, which scplib's thread wrapper would
+			// otherwise swallow, wedging this dispatcher forever.
+			defer func() {
+				if r := recover(); r != nil {
+					jobErr = fmt.Errorf("service: job manager panic: %v", r)
+				}
+				je.stopWorkers()
+				errc <- jobErr
+			}()
+			jobErr = core.RunManager(je, job.cube, job.opts, res)
+			// Job failures are reported on the job, not accumulated as
+			// system errors.
+			return nil
+		},
+	})
+	if spawnErr != nil {
+		p.finish(job, nil, spawnErr, false)
+		return
+	}
+	if err := <-errc; err != nil {
+		p.finish(job, nil, err, false)
+		return
+	}
+	if job.key != "" {
+		p.cache.put(job.key, res)
+	}
+	p.finish(job, res, nil, false)
+}
+
+// finish moves a job to its terminal state and evicts old finished jobs.
+func (p *Pool) finish(job *Job, res *core.Result, err error, fromCache bool) {
+	p.mu.Lock()
+	// Release the input cube: it is never read after the run, and
+	// finished jobs stay queryable for up to RetainJobs — holding their
+	// cubes would grow a long-lived daemon by the full upload size per
+	// job.
+	job.cube = nil
+	job.finished = time.Now()
+	job.cacheHit = fromCache
+	if err != nil {
+		job.state = StateFailed
+		job.err = err
+		p.failed++
+	} else {
+		job.state = StateDone
+		job.result = res
+		p.completed++
+	}
+	p.doneOrder = append(p.doneOrder, job.id)
+	for len(p.doneOrder) > p.cfg.RetainJobs {
+		delete(p.jobs, p.doneOrder[0])
+		p.doneOrder = p.doneOrder[1:]
+	}
+	// Strip the composite from the job leaving the RetainResults window
+	// (scalar results stay queryable). The stripped copy leaves any
+	// shared cache entry untouched.
+	var strip *Job
+	if i := len(p.doneOrder) - p.cfg.RetainResults - 1; i >= 0 {
+		if old := p.jobs[p.doneOrder[i]]; old != nil && old.result != nil && old.result.Image != nil {
+			stripped := *old.result
+			stripped.Image = nil
+			old.result = &stripped
+			strip = old
+		}
+	}
+	p.mu.Unlock()
+	close(job.done)
+	if strip != nil {
+		// Release the memoized PNG too. Taken outside the pool lock:
+		// ImagePNG acquires pngMu before the pool mutex, so nesting here
+		// would invert the lock order.
+		strip.pngMu.Lock()
+		strip.png = nil
+		strip.pngB64 = ""
+		strip.pngMu.Unlock()
+	}
+}
+
+// snapshot copies a job's current state under the pool lock.
+func (p *Pool) snapshot(job *Job) JobStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return JobStatus{
+		ID:        job.id,
+		State:     job.state,
+		CacheHit:  job.cacheHit,
+		Err:       job.err,
+		Result:    job.result,
+		Submitted: job.submitted,
+		Started:   job.started,
+		Finished:  job.finished,
+	}
+}

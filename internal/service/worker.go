@@ -1,0 +1,103 @@
+package service
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"resilientfusion/internal/core"
+	"resilientfusion/internal/perfmodel"
+	"resilientfusion/internal/scplib"
+)
+
+// kindJobErr is the service-level message kind a pooled worker uses to
+// report a per-job failure (malformed payload) back to that job's
+// manager, which fails the job instead of timing out through reissues.
+// It sits above the core application kinds and below resilient.CtrlBase.
+const kindJobErr uint16 = 0x7F00
+
+// Every message between a job manager and the pooled workers wraps the
+// core wire payload in a 16-byte envelope: the job ID (multiplexing many
+// jobs over one worker) and, on the manager→worker direction, the job's
+// screening threshold (a pooled worker learns each job's configuration
+// from its first message rather than at spawn time).
+const envelopeBytes = 16
+
+func encodeEnvelope(jobID uint64, threshold float64, inner []byte) []byte {
+	buf := make([]byte, envelopeBytes+len(inner))
+	binary.LittleEndian.PutUint64(buf, jobID)
+	binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(threshold))
+	copy(buf[envelopeBytes:], inner)
+	return buf
+}
+
+func decodeEnvelope(p []byte) (jobID uint64, threshold float64, inner []byte, err error) {
+	if len(p) < envelopeBytes {
+		return 0, 0, nil, fmt.Errorf("service: short envelope (%d bytes)", len(p))
+	}
+	jobID = binary.LittleEndian.Uint64(p)
+	threshold = math.Float64frombits(binary.LittleEndian.Uint64(p[8:]))
+	return jobID, threshold, p[envelopeBytes:], nil
+}
+
+// envelopeJobID peeks the job ID without validation (message filtering).
+func envelopeJobID(p []byte) (uint64, bool) {
+	if len(p) < envelopeBytes {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(p), true
+}
+
+// poolWorkerBody is a long-lived fusion worker: it serves the screening,
+// covariance and transform steps for many jobs concurrently, holding one
+// core.WorkerState per in-flight job. Job state is created lazily on the
+// job's first message and retired on its KindStop — the manager sends one
+// per worker when the job ends (success or failure), so the pool pays
+// system construction and thread spawn once, not per cube.
+func poolWorkerBody() scplib.Body {
+	return func(env scplib.Env) error {
+		states := make(map[uint64]*core.WorkerState)
+		for {
+			m, err := env.Recv()
+			if err != nil {
+				return err // killed at pool close
+			}
+			jobID, threshold, inner, err := decodeEnvelope(m.Payload)
+			if err != nil {
+				continue // not job-addressable; nothing to fail
+			}
+			if m.Kind == core.KindStop {
+				delete(states, jobID)
+				continue
+			}
+			ws := states[jobID]
+			if ws == nil {
+				// Compute is a no-op on the real runtime, so the cost
+				// model is irrelevant here; the default keeps WorkerState
+				// construction uniform with the resilient path.
+				ws = core.NewWorkerState(threshold, perfmodel.Default())
+				states[jobID] = ws
+			}
+			replyKind, reply, flops, err := ws.Handle(m.Kind, inner)
+			if err != nil {
+				// Fail this job fast without taking the worker (and every
+				// other job multiplexed on it) down.
+				if serr := env.Send(m.From, kindJobErr, encodeEnvelope(jobID, 0, []byte(err.Error()))); serr != nil {
+					return serr
+				}
+				continue
+			}
+			if replyKind == 0 {
+				continue
+			}
+			if flops > 0 {
+				if err := env.Compute(flops); err != nil {
+					return err
+				}
+			}
+			if err := env.Send(m.From, replyKind, encodeEnvelope(jobID, 0, reply)); err != nil {
+				return err
+			}
+		}
+	}
+}

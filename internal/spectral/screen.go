@@ -56,7 +56,10 @@ func NewUniqueSet(threshold float64) (*UniqueSet, error) {
 	if threshold == 0 {
 		threshold = DefaultThreshold
 	}
-	if threshold < 0 || threshold > math.Pi {
+	// The explicit NaN check matters: NaN compares false on both range
+	// tests, and a NaN threshold would defeat screening entirely (no
+	// vector ever matches, the unique set grows to every pixel).
+	if math.IsNaN(threshold) || threshold < 0 || threshold > math.Pi {
 		return nil, fmt.Errorf("%w: %g", ErrBadThreshold, threshold)
 	}
 	return &UniqueSet{Threshold: threshold}, nil
@@ -65,8 +68,29 @@ func NewUniqueSet(threshold float64) (*UniqueSet, error) {
 // Len returns the number of members.
 func (u *UniqueSet) Len() int { return len(u.Members) }
 
+// withinCached reports whether v (with precomputed norm nv) is within the
+// screening threshold of member i. It is the hot comparison of Insert and
+// Covers: cosines are compared directly (angle ≤ t ⇔ cos ≥ cos t on
+// [0, π]) so no inverse trigonometric call is made per pair. cosThr is
+// cos(u.Threshold), computed once per call by the callers.
+func (u *UniqueSet) withinCached(v linalg.Vector, nv, cosThr float64, i int) bool {
+	nm := u.norms[i]
+	if nv == 0 || nm == 0 {
+		// The angle to a zero vector is defined as π/2.
+		return math.Pi/2 <= u.Threshold
+	}
+	if cosThr <= -1 {
+		// Threshold π: the Acos reference clamped the cosine to [-1, 1],
+		// so every angle matched; preserve that even when rounding puts
+		// the dot product slightly below -‖v‖‖m‖.
+		return true
+	}
+	return v.Dot(u.Members[i]) >= cosThr*(nv*nm)
+}
+
 // angleCached computes the spectral angle between v (with precomputed norm
-// nv) and member i.
+// nv) and member i. Kept for callers that need the actual angle
+// (MinPairwiseAngle, diagnostics); the screening loops use withinCached.
 func (u *UniqueSet) angleCached(v linalg.Vector, nv float64, i int) float64 {
 	m := u.Members[i]
 	nm := u.norms[i]
@@ -88,10 +112,11 @@ func (u *UniqueSet) angleCached(v linalg.Vector, nv float64, i int) float64 {
 // reference; callers must not mutate it afterwards.
 func (u *UniqueSet) Insert(v linalg.Vector) (added bool, comparisons int) {
 	nv := v.Norm()
+	cosThr := math.Cos(u.Threshold)
 	if u.MoveToFront {
 		for pos, idx := range u.scan {
 			comparisons++
-			if u.angleCached(v, nv, idx) <= u.Threshold {
+			if u.withinCached(v, nv, cosThr, idx) {
 				// Promote the hit to the front of the probe order.
 				copy(u.scan[1:pos+1], u.scan[:pos])
 				u.scan[0] = idx
@@ -105,7 +130,7 @@ func (u *UniqueSet) Insert(v linalg.Vector) (added bool, comparisons int) {
 	}
 	for i := range u.Members {
 		comparisons++
-		if u.angleCached(v, nv, i) <= u.Threshold {
+		if u.withinCached(v, nv, cosThr, i) {
 			return false, comparisons
 		}
 	}
@@ -117,8 +142,9 @@ func (u *UniqueSet) Insert(v linalg.Vector) (added bool, comparisons int) {
 // Covers reports whether v is within the threshold of some member.
 func (u *UniqueSet) Covers(v linalg.Vector) bool {
 	nv := v.Norm()
+	cosThr := math.Cos(u.Threshold)
 	for i := range u.Members {
-		if u.angleCached(v, nv, i) <= u.Threshold {
+		if u.withinCached(v, nv, cosThr, i) {
 			return true
 		}
 	}

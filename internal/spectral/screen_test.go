@@ -214,3 +214,83 @@ func TestMinPairwiseAngleSmallSets(t *testing.T) {
 		t.Fatalf("singleton angle = %g", got)
 	}
 }
+
+// TestCosineCompareMatchesAcos checks that the screening fast path (direct
+// cosine comparison in withinCached) reaches the same membership decisions
+// as the inverse-trigonometric reference it replaced.
+func TestCosineCompareMatchesAcos(t *testing.T) {
+	vectors := randVectors(17, 400, 24)
+	for _, threshold := range []float64{0.02, DefaultThreshold, 0.5, 2.5, math.Pi} {
+		u, _, err := Screen(vectors, threshold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := NewUniqueSet(threshold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range vectors {
+			nv := v.Norm()
+			covered := false
+			for i := range ref.Members {
+				if ref.angleCached(v, nv, i) <= ref.Threshold {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				ref.Members = append(ref.Members, v)
+				ref.norms = append(ref.norms, nv)
+			}
+		}
+		if len(u.Members) != len(ref.Members) {
+			t.Fatalf("threshold %g: fast path kept %d members, acos reference %d",
+				threshold, len(u.Members), len(ref.Members))
+		}
+		for i := range u.Members {
+			for j := range u.Members[i] {
+				if u.Members[i][j] != ref.Members[i][j] {
+					t.Fatalf("threshold %g: member %d differs from reference", threshold, i)
+				}
+			}
+		}
+		// Covers must agree with the screening decision for every input.
+		for _, v := range vectors {
+			if !u.Covers(v) {
+				t.Fatalf("threshold %g: screened input not covered by its unique set", threshold)
+			}
+		}
+	}
+}
+
+// TestCoversZeroNormThresholds pins the zero-vector convention (angle π/2)
+// through the cosine fast path.
+func TestCoversZeroNormThresholds(t *testing.T) {
+	u, err := NewUniqueSet(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u.Insert(linalg.Vector{1, 0})
+	if u.Covers(linalg.Vector{0, 0}) {
+		t.Fatal("zero vector covered at threshold 0.1")
+	}
+	wide, err := NewUniqueSet(math.Pi / 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide.Insert(linalg.Vector{1, 0})
+	if !wide.Covers(linalg.Vector{0, 0}) {
+		t.Fatal("zero vector not covered at threshold π/2")
+	}
+}
+
+// TestNaNThresholdRejected pins the NaN guard: a NaN threshold would
+// otherwise pass both range comparisons and disable screening entirely.
+func TestNaNThresholdRejected(t *testing.T) {
+	if _, err := NewUniqueSet(math.NaN()); !errors.Is(err, ErrBadThreshold) {
+		t.Fatalf("NaN threshold err = %v", err)
+	}
+	if _, _, err := Screen(randVectors(1, 4, 4), math.NaN()); !errors.Is(err, ErrBadThreshold) {
+		t.Fatalf("Screen with NaN threshold err = %v", err)
+	}
+}
