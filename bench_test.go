@@ -286,6 +286,17 @@ func BenchmarkScreen(b *testing.B) {
 	}
 }
 
+func BenchmarkMeanOf(b *testing.B) {
+	c := cube(b)
+	vectors := (&hsi.SubCube{Range: hsi.RowRange{Y1: c.Height}, Cube: c}).PixelVectors()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pct.MeanOf(vectors); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkCovarianceSum(b *testing.B) {
 	c := cube(b)
 	u, _, err := spectral.Screen((&hsi.SubCube{Range: hsi.RowRange{Y1: c.Height}, Cube: c}).PixelVectors(), 0.03)
@@ -313,6 +324,26 @@ func BenchmarkTransformCube(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := pct.TransformCube(c, res.Transform, res.Mean); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCovarianceSumDense measures step 4 at its production shape —
+// plain-PCT statistics over every pixel (the ablation A1 workload and
+// the worst case a worker sees), where the screened benchmark above
+// reduces to a handful of vectors. This is the shape the blocked SYRK
+// and the shard-parallel reduction are built for.
+func BenchmarkCovarianceSumDense(b *testing.B) {
+	c := cube(b)
+	vectors := (&hsi.SubCube{Range: hsi.RowRange{Y1: c.Height}, Cube: c}).PixelVectors()
+	mean, err := pct.MeanOf(vectors)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pct.CovarianceSum(vectors, mean); err != nil {
 			b.Fatal(err)
 		}
 	}

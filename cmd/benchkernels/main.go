@@ -1,0 +1,206 @@
+// Command benchkernels runs the kernel benchmarks and records their
+// ns/op and allocs/op into BENCH_kernels.json, appending (or replacing)
+// one labeled entry per invocation. The checked-in file tracks the
+// kernel perf trajectory PR over PR: each optimization lands alongside a
+// fresh "post-..." entry next to the "pre-..." baseline it was measured
+// against, on the same host.
+//
+// Usage:
+//
+//	go run ./cmd/benchkernels -label post-PR2
+//	go run ./cmd/benchkernels -label pre-PR2 -input saved-bench-output.txt
+//
+// Without -input the tool runs `go test -run ^$ -bench <set> -benchmem`
+// itself (with -count runs, keeping each benchmark's fastest run to damp
+// scheduler noise). With -input it parses a previously captured `go test
+// -bench` output instead — how a baseline taken before a change is
+// recorded after the fact.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// benchSet is the tracked kernel set: the hot per-worker kernels plus
+// the real-runtime end-to-end fusion.
+const benchSet = "BenchmarkScreen$|BenchmarkMeanOf$|BenchmarkCovarianceSum$|BenchmarkCovarianceSumDense$|BenchmarkTransformCube$|BenchmarkRealRuntimeFusion"
+
+type benchResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type entry struct {
+	Label      string                 `json:"label"`
+	Date       string                 `json:"date"`
+	GOOS       string                 `json:"goos"`
+	GOARCH     string                 `json:"goarch"`
+	CPU        string                 `json:"cpu,omitempty"`
+	GOMAXPROCS int                    `json:"gomaxprocs"`
+	Benchtime  string                 `json:"benchtime"`
+	Benchmarks map[string]benchResult `json:"benchmarks"`
+}
+
+type file struct {
+	Comment string  `json:"comment"`
+	Entries []entry `json:"entries"`
+}
+
+// benchLine matches one `go test -bench -benchmem` result line.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+[\d.]+ \S+)*?\s+(\d+) B/op\s+(\d+) allocs/op`)
+
+// procSuffix captures the -N GOMAXPROCS suffix of a benchmark name.
+var procSuffix = regexp.MustCompile(`^Benchmark\S+?-(\d+)\s`)
+
+func main() {
+	label := flag.String("label", "", "entry label (e.g. pre-PR2, post-PR2); required")
+	out := flag.String("out", "BENCH_kernels.json", "JSON file to update")
+	input := flag.String("input", "", "parse this saved `go test -bench` output instead of running")
+	benchtime := flag.String("benchtime", "2s", "benchtime per run")
+	count := flag.Int("count", 3, "runs per benchmark; the fastest is kept")
+	bench := flag.String("bench", benchSet, "benchmark regex")
+	flag.Parse()
+	if *label == "" {
+		fmt.Fprintln(os.Stderr, "benchkernels: -label is required")
+		os.Exit(2)
+	}
+
+	var text string
+	if *input != "" {
+		raw, err := os.ReadFile(*input)
+		if err != nil {
+			fatal(err)
+		}
+		text = string(raw)
+	} else {
+		args := []string{"test", "-run", "^$", "-bench", *bench,
+			"-benchmem", "-benchtime", *benchtime, "-count", strconv.Itoa(*count), "."}
+		fmt.Fprintf(os.Stderr, "benchkernels: go %s\n", strings.Join(args, " "))
+		cmd := exec.Command("go", args...)
+		cmd.Stderr = os.Stderr
+		raw, err := cmd.Output()
+		if err != nil {
+			fatal(fmt.Errorf("go test -bench failed: %w", err))
+		}
+		text = string(raw)
+	}
+
+	hdr, results := parse(text)
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found"))
+	}
+
+	e := entry{
+		Label:      *label,
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPU:        hdr.cpu,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchtime:  *benchtime,
+		Benchmarks: results,
+	}
+	if *input != "" {
+		// The entry must describe the run that produced the saved output,
+		// not the machine doing the recording: take goos/goarch from the
+		// output header and mark fields the output does not carry.
+		e.GOOS, e.GOARCH = hdr.goos, hdr.goarch
+		e.GOMAXPROCS = hdr.maxprocs
+		e.Benchtime = "unknown (recorded from -input)"
+	}
+
+	var f file
+	if raw, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(raw, &f); err != nil {
+			fatal(fmt.Errorf("parse %s: %w", *out, err))
+		}
+	}
+	f.Comment = "Kernel benchmark trajectory; maintained by cmd/benchkernels. " +
+		"Entries are labeled per PR (pre-/post-); fastest of -count runs per benchmark."
+	replaced := false
+	for i := range f.Entries {
+		if f.Entries[i].Label == *label {
+			f.Entries[i] = e
+			replaced = true
+		}
+	}
+	if !replaced {
+		f.Entries = append(f.Entries, e)
+	}
+	raw, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(raw, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchkernels: recorded %d benchmarks as %q in %s\n", len(results), *label, *out)
+}
+
+// header is the metadata go test prints before the benchmark lines. The
+// GOMAXPROCS of the run is recovered from the -N benchmark name suffix
+// (absent means 1).
+type header struct {
+	goos, goarch, cpu string
+	maxprocs          int
+}
+
+// parse extracts the output header and the fastest result per benchmark
+// name (GOMAXPROCS suffix stripped; sub-benchmark names kept).
+func parse(text string) (hdr header, results map[string]benchResult) {
+	hdr.maxprocs = 1
+	results = make(map[string]benchResult)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "cpu:"); ok {
+			hdr.cpu = strings.TrimSpace(rest)
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "goos:"); ok {
+			hdr.goos = strings.TrimSpace(rest)
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "goarch:"); ok {
+			hdr.goarch = strings.TrimSpace(rest)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		if suffix := procSuffix.FindStringSubmatch(line); suffix != nil {
+			if n, err := strconv.Atoi(suffix[1]); err == nil && n > hdr.maxprocs {
+				hdr.maxprocs = n
+			}
+		}
+		ns, err1 := strconv.ParseFloat(m[2], 64)
+		bytes, err2 := strconv.ParseInt(m[3], 10, 64)
+		allocs, err3 := strconv.ParseInt(m[4], 10, 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			continue
+		}
+		name := m[1]
+		if prev, ok := results[name]; !ok || ns < prev.NsPerOp {
+			results[name] = benchResult{NsPerOp: ns, BytesPerOp: bytes, AllocsPerOp: allocs}
+		}
+	}
+	return hdr, results
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchkernels:", err)
+	os.Exit(1)
+}

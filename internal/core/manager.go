@@ -106,7 +106,7 @@ func (m *manager) run() error {
 	m.res.Times.Screen = m.env.Now() - t0
 
 	// Step 3: mean vector over the unique set (manager; cost ∝ K·n).
-	mean, err := pct.MeanOf(merged.Members)
+	mean, err := pct.MeanOfPar(merged.Members, opts.Parallelism)
 	if err != nil {
 		return err
 	}

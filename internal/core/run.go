@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 
 	"resilientfusion/internal/hsi"
 	"resilientfusion/internal/linalg"
@@ -29,6 +30,16 @@ type Options struct {
 	Prefetch int
 	// Threshold is the spectral-angle screening threshold (0 → default).
 	Threshold float64
+	// Parallelism is the per-worker kernel parallelism for the statistics
+	// and transform steps. 0 is automatic: distributed and pooled runs
+	// divide GOMAXPROCS across the concurrently computing workers
+	// (max(1, GOMAXPROCS/Workers) each) so kernels never oversubscribe
+	// the host, while the single-threaded Sequential oracle uses full
+	// GOMAXPROCS. Negative forces serial. It is a throughput knob only —
+	// the pct kernels reduce over a fixed shard grid in a fixed order,
+	// so every setting yields bit-identical results (and it is therefore
+	// excluded from ResultKey).
+	Parallelism int
 	// Components retained by the PCT (default 3).
 	Components int
 	// Solver selects the eigensolver (default tridiagonal QL).
@@ -65,6 +76,9 @@ func (o Options) withDefaults() Options {
 	if o.Threshold == 0 {
 		o.Threshold = spectral.DefaultThreshold
 	}
+	if o.Parallelism < 0 {
+		o.Parallelism = 1
+	}
 	if o.Components == 0 {
 		o.Components = 3
 	}
@@ -92,6 +106,18 @@ func (o Options) withDefaults() Options {
 // Canonical returns the options with all defaults applied — the normal
 // form under which two Options values describe the same computation.
 func (o Options) Canonical() Options { return o.withDefaults() }
+
+// SharedKernelParallelism divides the host's parallelism among workers
+// that compute concurrently: each gets max(1, GOMAXPROCS/workers). It is
+// the default Options.Parallelism policy of every path that runs worker
+// kernels side by side (NewJob here, the service pool's Submit).
+func SharedKernelParallelism(workers int) int {
+	p := runtime.GOMAXPROCS(0) / workers
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
 
 // ResultKey returns a deterministic string over exactly the fields that
 // influence the fusion output: Workers, Granularity, Threshold,
@@ -137,6 +163,13 @@ func NewJob(sys scplib.System, cube *hsi.Cube, opts Options) (*Job, error) {
 		return nil, fmt.Errorf("%w: need >=3 components for color mapping", ErrBadOptions)
 	}
 
+	// Workers compute concurrently; share the host's parallelism among
+	// them instead of letting every worker fan out to GOMAXPROCS.
+	// Result-invariant (fixed shard grid), so Sequential still matches.
+	if opts.Parallelism == 0 {
+		opts.Parallelism = SharedKernelParallelism(opts.Workers)
+	}
+
 	rcfg := resilient.Config{
 		Nodes:           opts.Workers + 1,
 		Replication:     opts.Replication,
@@ -156,7 +189,7 @@ func NewJob(sys scplib.System, cube *hsi.Cube, opts Options) (*Job, error) {
 	for w := 1; w <= opts.Workers; w++ {
 		lid := resilient.LogicalID(w)
 		name := fmt.Sprintf("worker%d", w)
-		body := workerBody(ManagerID, opts.Threshold, opts.Cost)
+		body := workerBody(ManagerID, opts.Threshold, opts.Parallelism, opts.Cost)
 		if opts.Replication == 1 {
 			if err := rt.AddSingleton(lid, name, w, body); err != nil {
 				return nil, err

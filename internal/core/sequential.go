@@ -52,7 +52,7 @@ func Sequential(cube *hsi.Cube, opts Options) (*Result, error) {
 	res.UniqueSetSize = merged.Len()
 
 	// Step 3.
-	mean, err := pct.MeanOf(merged.Members)
+	mean, err := pct.MeanOfPar(merged.Members, opts.Parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -62,7 +62,7 @@ func Sequential(cube *hsi.Cube, opts Options) (*Result, error) {
 	vparts := splitVectors(merged.Members, opts.Workers)
 	partials := make([]*linalg.Matrix, len(vparts))
 	for p, vs := range vparts {
-		sum, err := pct.CovarianceSum(vs, mean)
+		sum, err := pct.CovarianceSumPar(vs, mean, opts.Parallelism)
 		if err != nil {
 			return nil, err
 		}
@@ -95,7 +95,7 @@ func Sequential(cube *hsi.Cube, opts Options) (*Result, error) {
 			Transform: transform,
 			Stretches: stretches,
 		}
-		resp, _, err := transformSlab(sub, req, opts.Cost)
+		resp, _, err := transformSlab(sub, req, opts.Parallelism, opts.Cost)
 		if err != nil {
 			return nil, err
 		}

@@ -19,19 +19,23 @@ import (
 // worker thread owns exactly one; the service pool's multiplexing workers
 // keep one per in-flight job.
 type WorkerState struct {
-	threshold float64
-	cost      perfmodel.Model
-	cache     map[int]*hsi.SubCube
-	screened  map[int][]byte // encoded ScreenResp by sub-cube
+	threshold   float64
+	parallelism int // kernel parallelism (0 = GOMAXPROCS)
+	cost        perfmodel.Model
+	cache       map[int]*hsi.SubCube
+	screened    map[int][]byte // encoded ScreenResp by sub-cube
 }
 
-// NewWorkerState returns empty per-job worker state.
-func NewWorkerState(threshold float64, cost perfmodel.Model) *WorkerState {
+// NewWorkerState returns empty per-job worker state. parallelism is the
+// kernel parallelism of the statistics and transform steps (0 selects
+// GOMAXPROCS); it never changes the computed bits, only the wall clock.
+func NewWorkerState(threshold float64, parallelism int, cost perfmodel.Model) *WorkerState {
 	return &WorkerState{
-		threshold: threshold,
-		cost:      cost,
-		cache:     make(map[int]*hsi.SubCube),
-		screened:  make(map[int][]byte),
+		threshold:   threshold,
+		parallelism: parallelism,
+		cost:        cost,
+		cache:       make(map[int]*hsi.SubCube),
+		screened:    make(map[int][]byte),
 	}
 }
 
@@ -71,7 +75,7 @@ func (ws *WorkerState) Handle(kind uint16, payload []byte) (replyKind uint16, re
 			return 0, nil, 0, err
 		}
 		// Step 4: covariance partial sum over this part.
-		sum, err := pct.CovarianceSum(req.Vectors, req.Mean)
+		sum, err := pct.CovarianceSumPar(req.Vectors, req.Mean, ws.parallelism)
 		if err != nil {
 			return 0, nil, 0, err
 		}
@@ -93,7 +97,7 @@ func (ws *WorkerState) Handle(kind uint16, payload []byte) (replyKind uint16, re
 			// manager to resend with data.
 			return KindCacheMiss, EncodeCacheMiss(req.Range.Index), 0, nil
 		}
-		resp, flops, err := transformSlab(sub, req, ws.cost)
+		resp, flops, err := transformSlab(sub, req, ws.parallelism, ws.cost)
 		if err != nil {
 			return 0, nil, 0, err
 		}
@@ -105,9 +109,9 @@ func (ws *WorkerState) Handle(kind uint16, payload []byte) (replyKind uint16, re
 // workerBody executes the worker side of the 8-step algorithm as a
 // dedicated resilient thread: one WorkerState for its lifetime, stopping
 // on KindStop.
-func workerBody(manager resilient.LogicalID, threshold float64, cost perfmodel.Model) resilient.RBody {
+func workerBody(manager resilient.LogicalID, threshold float64, parallelism int, cost perfmodel.Model) resilient.RBody {
 	return func(env resilient.REnv) error {
-		ws := NewWorkerState(threshold, cost)
+		ws := NewWorkerState(threshold, parallelism, cost)
 		for {
 			m, err := env.Recv()
 			if err != nil {
@@ -137,26 +141,31 @@ func workerBody(manager resilient.LogicalID, threshold float64, cost perfmodel.M
 
 // transformSlab runs steps 7 (PCT projection) and 8 (human-centered
 // color mapping) on one cached sub-cube, returning the RGB slab and the
-// modeled cost.
-func transformSlab(sub *hsi.SubCube, req *TransformReq, cost perfmodel.Model) (*TransformResp, float64, error) {
+// modeled cost. The projection runs through pct's blocked kernel
+// (staged pixel blocks, tiled GEMM, fixed block grid — bit-identical for
+// any parallelism) with the color mapping fused into each block's sink,
+// so no intermediate component cube is materialized.
+func transformSlab(sub *hsi.SubCube, req *TransformReq, parallelism int, cost perfmodel.Model) (*TransformResp, float64, error) {
 	cube := sub.Cube
 	comps := req.Transform.Rows
 	pixels := cube.Pixels()
 
-	in := make(linalg.Vector, cube.Bands)
-	dev := make(linalg.Vector, cube.Bands)
-	pc := make(linalg.Vector, comps)
 	rgb := make([]byte, pixels*3)
-	var c [3]float64
-	for i := 0; i < pixels; i++ {
-		cube.PixelAt(i, in)
-		in.Sub(req.Mean, dev)
-		req.Transform.MulVecInto(dev, pc)
-		for k := 0; k < 3 && k < comps; k++ {
-			c[k] = req.Stretches[k].Apply(pc[k])
-		}
-		r, g, b := colormap.MapPixel(c)
-		rgb[i*3], rgb[i*3+1], rgb[i*3+2] = r, g, b
+	err := pct.TransformBlocks(cube, req.Transform, req.Mean, parallelism,
+		func(lo int, pc *linalg.Matrix) {
+			var c [3]float64
+			for r := 0; r < pc.Rows; r++ {
+				row := pc.Data[r*comps : (r+1)*comps]
+				for k := 0; k < 3 && k < comps; k++ {
+					c[k] = req.Stretches[k].Apply(row[k])
+				}
+				cr, cg, cb := colormap.MapPixel(c)
+				i := (lo + r) * 3
+				rgb[i], rgb[i+1], rgb[i+2] = cr, cg, cb
+			}
+		})
+	if err != nil {
+		return nil, 0, err
 	}
 	flops := cost.TransformFlops(pixels, cube.Bands, comps) + cost.ColorMapFlops(pixels)
 	return &TransformResp{Range: sub.Range, Width: cube.Width, RGB: rgb}, flops, nil

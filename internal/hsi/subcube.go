@@ -90,11 +90,8 @@ func (s *SubCube) Insert(dst *Cube) error {
 
 // PixelVectors returns all pixel vectors of the sub-cube as float64
 // vectors, in row-major order. Used by screening and covariance steps.
+// The vectors are views over one staging buffer (see Cube.PixelRows), so
+// building them costs two allocations, not one per pixel.
 func (s *SubCube) PixelVectors() []linalg.Vector {
-	n := s.Cube.Pixels()
-	out := make([]linalg.Vector, n)
-	for i := 0; i < n; i++ {
-		out[i] = s.Cube.PixelAt(i, make(linalg.Vector, s.Cube.Bands))
-	}
-	return out
+	return s.Cube.PixelRows()
 }

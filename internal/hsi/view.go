@@ -1,0 +1,62 @@
+package hsi
+
+import (
+	"fmt"
+
+	"resilientfusion/internal/linalg"
+)
+
+// Pixel-major float64 staging views. The numeric kernels (screening,
+// statistics, transform) all consume pixel spectra as float64 vectors;
+// the historical path allocated one []float64 per pixel, which dominated
+// allocation counts and scattered spectra across the heap. These views
+// stage a whole cube — or a bounded block of it — into one contiguous
+// pixel-major buffer, and hand out per-pixel vectors as subslices of that
+// buffer: zero copies and zero allocations per pixel access.
+
+// PixelMatrixInto stages pixels [start, start+count) into dst as a
+// pixel-major float64 block (pixel p's spectrum at dst[p*Bands:(p+1)*Bands])
+// and returns dst. It panics on an out-of-range window or a wrongly
+// sized destination — staging is a kernel-internal step with
+// caller-controlled geometry, like PixelAt.
+func (c *Cube) PixelMatrixInto(start, count int, dst []float64) []float64 {
+	if start < 0 || count < 0 || start+count > c.Pixels() {
+		panic(fmt.Sprintf("hsi: PixelMatrixInto window [%d,%d) of %d pixels", start, start+count, c.Pixels()))
+	}
+	if len(dst) != count*c.Bands {
+		panic("hsi: PixelMatrixInto destination length mismatch")
+	}
+	src := c.Data[start*c.Bands : (start+count)*c.Bands]
+	for i, v := range src {
+		dst[i] = float64(v)
+	}
+	return dst
+}
+
+// PixelMatrix stages the whole cube as a Pixels×Bands float64 matrix in
+// one allocation. Rows are pixel spectra in row-major pixel order; the
+// matrix shares nothing with the cube (samples are widened float32 →
+// float64) but all of its rows share the single backing array.
+func (c *Cube) PixelMatrix() *linalg.Matrix {
+	m := linalg.NewMatrix(c.Pixels(), c.Bands)
+	c.PixelMatrixInto(0, c.Pixels(), m.Data)
+	return m
+}
+
+// PixelRows returns every pixel spectrum as a float64 vector, in
+// row-major pixel order. All vectors are subslices of one staging
+// allocation: two allocations total (headers + backing) instead of one
+// per pixel. Callers that keep a subset of the vectors alive (the
+// screening unique set does) pin the whole staging buffer, which is the
+// right trade for worker-lifetime use.
+func (c *Cube) PixelRows() []linalg.Vector {
+	m := c.PixelMatrix()
+	rows := make([]linalg.Vector, c.Pixels())
+	for i := range rows {
+		// Full three-index slices: capacity stops at the row end, so an
+		// append on a row reallocates instead of silently overwriting the
+		// next pixel's spectrum in the shared buffer.
+		rows[i] = linalg.Vector(m.Data[i*c.Bands : (i+1)*c.Bands : (i+1)*c.Bands])
+	}
+	return rows
+}

@@ -1,0 +1,115 @@
+package hsi
+
+import (
+	"testing"
+
+	"resilientfusion/internal/linalg"
+)
+
+func viewTestCube(t *testing.T) *Cube {
+	t.Helper()
+	c := MustNewCube(5, 3, 4)
+	for i := range c.Data {
+		c.Data[i] = float32(i)*0.5 - 7
+	}
+	return c
+}
+
+func TestPixelMatrixMatchesPixelAt(t *testing.T) {
+	c := viewTestCube(t)
+	m := c.PixelMatrix()
+	if m.Rows != c.Pixels() || m.Cols != c.Bands {
+		t.Fatalf("matrix shape %dx%d", m.Rows, m.Cols)
+	}
+	dst := make(linalg.Vector, c.Bands)
+	for i := 0; i < c.Pixels(); i++ {
+		if !linalg.Vector(m.Row(i)).Equal(c.PixelAt(i, dst), 0) {
+			t.Fatalf("pixel %d differs", i)
+		}
+	}
+}
+
+func TestPixelMatrixIntoWindows(t *testing.T) {
+	c := viewTestCube(t)
+	// A mid-cube window not aligned to rows.
+	start, count := 3, 7
+	dst := make([]float64, count*c.Bands)
+	c.PixelMatrixInto(start, count, dst)
+	ref := make(linalg.Vector, c.Bands)
+	for p := 0; p < count; p++ {
+		c.PixelAt(start+p, ref)
+		if !linalg.Vector(dst[p*c.Bands : (p+1)*c.Bands]).Equal(ref, 0) {
+			t.Fatalf("window pixel %d differs", p)
+		}
+	}
+	// Empty window is fine.
+	c.PixelMatrixInto(c.Pixels(), 0, nil)
+
+	for _, bad := range []func(){
+		func() { c.PixelMatrixInto(-1, 2, make([]float64, 2*c.Bands)) },
+		func() { c.PixelMatrixInto(0, c.Pixels()+1, make([]float64, (c.Pixels()+1)*c.Bands)) },
+		func() { c.PixelMatrixInto(0, 2, make([]float64, 1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad window did not panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestPixelRowsShareOneBacking(t *testing.T) {
+	c := viewTestCube(t)
+	rows := c.PixelRows()
+	if len(rows) != c.Pixels() {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	dst := make(linalg.Vector, c.Bands)
+	for i, r := range rows {
+		if !r.Equal(c.PixelAt(i, dst), 0) {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+	// Rows are views of one staging matrix, but each is capped at its own
+	// end: an append must reallocate, never bleed into the next spectrum.
+	for i, r := range rows {
+		if cap(r) != c.Bands {
+			t.Fatalf("row %d cap = %d, want %d", i, cap(r), c.Bands)
+		}
+	}
+	grown := append(rows[0], 42)
+	if len(grown) != c.Bands+1 {
+		t.Fatalf("append result len = %d", len(grown))
+	}
+	ref := make(linalg.Vector, c.Bands)
+	if !rows[1].Equal(c.PixelAt(1, ref), 0) {
+		t.Fatal("append on row 0 corrupted row 1")
+	}
+}
+
+func TestSubCubePixelVectorsMatchAndDontAllocPerPixel(t *testing.T) {
+	c := viewTestCube(t)
+	sub, err := Extract(c, RowRange{Y0: 1, Y1: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := sub.PixelVectors()
+	if len(vs) != sub.Cube.Pixels() {
+		t.Fatalf("vectors = %d", len(vs))
+	}
+	dst := make(linalg.Vector, c.Bands)
+	for i, v := range vs {
+		if !v.Equal(sub.Cube.PixelAt(i, dst), 0) {
+			t.Fatalf("vector %d differs", i)
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() { _ = sub.PixelVectors() })
+	// One staging buffer + one header slice (+ the matrix struct), never
+	// one allocation per pixel.
+	if allocs > 4 {
+		t.Fatalf("PixelVectors allocates %.0f times for %d pixels", allocs, sub.Cube.Pixels())
+	}
+}

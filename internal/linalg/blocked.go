@@ -1,0 +1,206 @@
+package linalg
+
+import "fmt"
+
+// Blocked dense kernels. All of them share one numeric contract: every
+// output element accumulates its terms in strictly ascending index order
+// of the reduction dimension, exactly like the naive three-loop
+// reference. Tiling therefore changes only the memory access pattern,
+// never the floating-point result, so callers may switch freely between
+// the naive and blocked forms (and between serial and parallel shard
+// execution) without perturbing a single bit — the invariant the
+// distributed/sequential equality tests rely on.
+
+const (
+	// gemmBlockK is the reduction-panel depth of MulInto: a panel of
+	// blockK rows of b is streamed against a block of rows of a while the
+	// corresponding dst rows stay hot.
+	gemmBlockK = 256
+	// gemmBlockI is how many rows of a (and dst) are processed per panel.
+	gemmBlockI = 64
+	// syrkTileJ is the update-tile width of SyrkUpperInto's wide-matrix
+	// path: the accumulator slab i×[jt, jt+syrkTileJ) stays resident
+	// while the panel streams through it.
+	syrkTileJ = 128
+	// syrkWideCols is the column count past which SyrkUpperInto switches
+	// from the matrix-resident rank-1 loop to the tiled path (the n×n
+	// accumulator no longer fits low-level cache).
+	syrkWideCols = 96
+)
+
+// MulInto computes dst = a·b as a blocked GEMM: b is consumed in
+// reduction panels of gemmBlockK rows against gemmBlockI-row blocks of a,
+// so each dst row is revisited once per panel instead of once per scalar
+// a element. dst must not alias a or b. Per-element accumulation order
+// over k is ascending (see the package comment above), so MulInto is
+// bit-identical to Mul for finite inputs.
+func MulInto(dst, a, b *Matrix) error {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		return fmt.Errorf("%w: MulInto %dx%d by %dx%d into %dx%d",
+			ErrDimension, a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols)
+	}
+	if sameData(dst, a) || sameData(dst, b) {
+		return fmt.Errorf("%w: MulInto destination aliases an operand", ErrDimension)
+	}
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	K, N := a.Cols, b.Cols
+	for kb := 0; kb < K; kb += gemmBlockK {
+		kEnd := kb + gemmBlockK
+		if kEnd > K {
+			kEnd = K
+		}
+		for ib := 0; ib < a.Rows; ib += gemmBlockI {
+			iEnd := ib + gemmBlockI
+			if iEnd > a.Rows {
+				iEnd = a.Rows
+			}
+			for i := ib; i < iEnd; i++ {
+				arow := a.Data[i*K+kb : i*K+kEnd]
+				orow := dst.Data[i*N : (i+1)*N]
+				for kk, aik := range arow {
+					brow := b.Data[(kb+kk)*N : (kb+kk+1)*N]
+					for j, bv := range brow {
+						orow[j] += aik * bv
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// MulTransBInto computes dst = a·btᵀ where bt holds B transposed — the
+// fast path when the right operand is naturally stored row-per-column
+// (e.g. a PCT transform whose rows are component filters): every inner
+// product runs over two contiguous rows, with no strided access at all.
+// dst must not alias a or bt. dst[i][j] accumulates a.Row(i)·bt.Row(j) in
+// ascending k order, so the result is bit-identical to MulInto(dst, a, b)
+// with b = btᵀ.
+func MulTransBInto(dst, a, bt *Matrix) error {
+	if a.Cols != bt.Cols || dst.Rows != a.Rows || dst.Cols != bt.Rows {
+		return fmt.Errorf("%w: MulTransBInto %dx%d by %dx%d-transposed into %dx%d",
+			ErrDimension, a.Rows, a.Cols, bt.Rows, bt.Cols, dst.Rows, dst.Cols)
+	}
+	if sameData(dst, a) || sameData(dst, bt) {
+		return fmt.Errorf("%w: MulTransBInto destination aliases an operand", ErrDimension)
+	}
+	K := a.Cols
+	if bt.Rows == 3 && K > 0 {
+		// The dominant fusion shape: project onto 3 principal components.
+		// One pass per pixel with three interleaved accumulators — three
+		// independent dependency chains instead of three back-to-back
+		// latency-bound dots. Each accumulator still sums in ascending k
+		// order, so the bits match the generic path exactly.
+		b0 := bt.Data[0:K:K]
+		b1 := bt.Data[K : 2*K : 2*K]
+		b2 := bt.Data[2*K : 3*K : 3*K]
+		for i := 0; i < a.Rows; i++ {
+			arow := a.Data[i*K : (i+1)*K]
+			var s0, s1, s2 float64
+			for k, v := range arow {
+				s0 += v * b0[k]
+				s1 += v * b1[k]
+				s2 += v * b2[k]
+			}
+			orow := dst.Data[i*3 : (i+1)*3]
+			orow[0], orow[1], orow[2] = s0, s1, s2
+		}
+		return nil
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := Vector(a.Data[i*K : (i+1)*K])
+		orow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for j := range orow {
+			orow[j] = arow.Dot(Vector(bt.Data[j*K : (j+1)*K]))
+		}
+	}
+	return nil
+}
+
+// SyrkUpperInto accumulates dst += aᵀ·a over the upper triangle only
+// (dst[i][j] for j >= i), leaving the strict lower triangle untouched —
+// half the flops of a full symmetric rank-k update. a is a panel of
+// rank-1 contributions, one per row; dst must be a.Cols×a.Cols and must
+// not alias a. Callers accumulate any number of panels and then call
+// MirrorUpper once. Each element's terms are added in ascending row order
+// of a, so the mirrored result is bit-identical to a full-square rank-1
+// loop over the same rows (products commute; the order is shared).
+//
+// Two schedules, one numeric result: narrow matrices use a rank-1 update
+// with the accumulator cache-resident; wide ones tile the update into
+// syrkTileJ-wide slabs so each slab is revisited per panel row from
+// registers, not memory.
+func SyrkUpperInto(dst, a *Matrix) error {
+	n := a.Cols
+	if dst.Rows != n || dst.Cols != n {
+		return fmt.Errorf("%w: SyrkUpperInto %dx%d into %dx%d",
+			ErrDimension, a.Rows, a.Cols, dst.Rows, dst.Cols)
+	}
+	if sameData(dst, a) {
+		return fmt.Errorf("%w: SyrkUpperInto destination aliases the panel", ErrDimension)
+	}
+	if n <= syrkWideCols {
+		for p := 0; p < a.Rows; p++ {
+			row := a.Data[p*n : (p+1)*n]
+			for i, vi := range row {
+				tail := row[i:]
+				drow := dst.Data[i*n+i : (i+1)*n][:len(tail)]
+				for j, vj := range tail {
+					drow[j] += vi * vj
+				}
+			}
+		}
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		for jt := i; jt < n; jt += syrkTileJ {
+			jEnd := jt + syrkTileJ
+			if jEnd > n {
+				jEnd = n
+			}
+			drow := dst.Data[i*n+jt : i*n+jEnd]
+			for p := 0; p < a.Rows; p++ {
+				vi := a.Data[p*n+i]
+				row := a.Data[p*n+jt : p*n+jEnd]
+				for j, vj := range row {
+					drow[j] += vi * vj
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// SyrkInto is the one-shot convenience form: dst += aᵀ·a with the lower
+// triangle refreshed from the upper afterwards. Valid when dst is
+// symmetric on entry (e.g. zero); panel-accumulating callers should use
+// SyrkUpperInto and mirror once at the end instead.
+func SyrkInto(dst, a *Matrix) error {
+	if err := SyrkUpperInto(dst, a); err != nil {
+		return err
+	}
+	dst.MirrorUpper()
+	return nil
+}
+
+// MirrorUpper copies the strict upper triangle onto the lower one,
+// completing a matrix whose updates only touched j >= i. It panics if m
+// is not square.
+func (m *Matrix) MirrorUpper() {
+	if m.Rows != m.Cols {
+		panic("linalg: MirrorUpper on non-square matrix")
+	}
+	n := m.Cols
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m.Data[j*n+i] = m.Data[i*n+j]
+		}
+	}
+}
+
+// sameData reports whether two matrices share the same backing array.
+func sameData(a, b *Matrix) bool {
+	return len(a.Data) > 0 && len(b.Data) > 0 && &a.Data[0] == &b.Data[0]
+}

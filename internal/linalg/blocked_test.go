@@ -1,0 +1,147 @@
+package linalg
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func randMatrix(seed int64, rows, cols int) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// naiveMul is the scalar i,k,j reference (ascending k per element) the
+// blocked kernels are pinned to. Mul itself delegates to MulInto, so the
+// reference must live here, not in production code.
+func naiveMul(a, b *Matrix) *Matrix {
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for k := 0; k < a.Cols; k++ {
+			aik := a.At(i, k)
+			for j := 0; j < b.Cols; j++ {
+				out.Data[i*out.Cols+j] += aik * b.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+// Blocked GEMM must agree bit-for-bit with the naive reference: the
+// per-element reduction order is ascending k in both.
+func TestMulIntoMatchesMulExactly(t *testing.T) {
+	// Shapes straddling every tile boundary: unit, sub-tile, exact-tile
+	// and ragged overshoot in each dimension.
+	shapes := [][3]int{
+		{1, 1, 1}, {3, 5, 2}, {64, 64, 64}, {65, 257, 31},
+		{gemmBlockI, gemmBlockK, 7}, {gemmBlockI + 1, gemmBlockK + 1, 3},
+		{130, 300, 130},
+	}
+	for _, s := range shapes {
+		m, k, n := s[0], s[1], s[2]
+		a := randMatrix(int64(m*1000+k), m, k)
+		b := randMatrix(int64(n*1000+k), k, n)
+		want := naiveMul(a, b)
+		got := NewMatrix(m, n)
+		if err := MulInto(got, a, b); err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want, 0) {
+			t.Fatalf("MulInto differs from Mul for %dx%dx%d", m, k, n)
+		}
+		// Transposed-B fast path over the same operands.
+		gotT := NewMatrix(m, n)
+		if err := MulTransBInto(gotT, a, b.Transpose()); err != nil {
+			t.Fatal(err)
+		}
+		if !gotT.Equal(want, 0) {
+			t.Fatalf("MulTransBInto differs from Mul for %dx%dx%d", m, k, n)
+		}
+	}
+}
+
+func TestMulIntoErrors(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(4, 2) // inner mismatch
+	if err := MulInto(NewMatrix(2, 2), a, b); !errors.Is(err, ErrDimension) {
+		t.Fatalf("inner mismatch err = %v", err)
+	}
+	c := NewMatrix(3, 2)
+	if err := MulInto(NewMatrix(3, 3), a, c); !errors.Is(err, ErrDimension) {
+		t.Fatalf("dst shape err = %v", err)
+	}
+	sq := randMatrix(9, 4, 4)
+	if err := MulInto(sq, sq, NewMatrix(4, 4)); !errors.Is(err, ErrDimension) {
+		t.Fatalf("alias err = %v", err)
+	}
+	if err := MulTransBInto(NewMatrix(2, 4), a, NewMatrix(4, 2)); !errors.Is(err, ErrDimension) {
+		t.Fatalf("MulTransBInto mismatch err = %v", err)
+	}
+}
+
+// SyrkUpperInto + MirrorUpper must reproduce the full-square rank-1 loop
+// exactly, on both the narrow (rank-1) and wide (tiled) schedules, and
+// across panel splits (the panel boundary is a shared reduction order,
+// not a reassociation).
+func TestSyrkMatchesAddOuterExactly(t *testing.T) {
+	for _, tc := range []struct{ rows, cols int }{
+		{1, 1}, {7, 3}, {50, 24}, {9, syrkWideCols}, {33, syrkWideCols + 1},
+		{40, 210}, {257, 130},
+	} {
+		a := randMatrix(int64(tc.rows*31+tc.cols), tc.rows, tc.cols)
+		want := NewMatrix(tc.cols, tc.cols)
+		for p := 0; p < tc.rows; p++ {
+			want.AddOuter(a.Row(p))
+		}
+		got := NewMatrix(tc.cols, tc.cols)
+		if err := SyrkInto(got, a); err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want, 0) {
+			t.Fatalf("SyrkInto differs from AddOuter loop for %dx%d", tc.rows, tc.cols)
+		}
+		// Split into two panels at an odd boundary, mirror once at the end.
+		split := tc.rows / 3
+		got2 := NewMatrix(tc.cols, tc.cols)
+		top := &Matrix{Rows: split, Cols: tc.cols, Data: a.Data[:split*tc.cols]}
+		bottom := &Matrix{Rows: tc.rows - split, Cols: tc.cols, Data: a.Data[split*tc.cols:]}
+		if err := SyrkUpperInto(got2, top); err != nil {
+			t.Fatal(err)
+		}
+		if err := SyrkUpperInto(got2, bottom); err != nil {
+			t.Fatal(err)
+		}
+		got2.MirrorUpper()
+		if !got2.Equal(want, 0) {
+			t.Fatalf("panel-split SYRK differs for %dx%d", tc.rows, tc.cols)
+		}
+	}
+}
+
+func TestSyrkErrors(t *testing.T) {
+	if err := SyrkUpperInto(NewMatrix(3, 3), NewMatrix(2, 4)); !errors.Is(err, ErrDimension) {
+		t.Fatalf("shape err = %v", err)
+	}
+	sq := NewMatrix(3, 3)
+	if err := SyrkUpperInto(sq, sq); !errors.Is(err, ErrDimension) {
+		t.Fatalf("alias err = %v", err)
+	}
+}
+
+func TestMirrorUpper(t *testing.T) {
+	m := NewMatrixFrom(2, 2, []float64{1, 2, 99, 4})
+	m.MirrorUpper()
+	if m.At(1, 0) != 2 {
+		t.Fatalf("lower = %g", m.At(1, 0))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MirrorUpper on non-square did not panic")
+		}
+	}()
+	NewMatrix(2, 3).MirrorUpper()
+}

@@ -74,24 +74,14 @@ func (m *Matrix) Transpose() *Matrix {
 	return t
 }
 
-// Mul returns m·b as a new matrix.
+// Mul returns m·b as a new matrix, computed by the blocked MulInto.
 func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
 	if m.Cols != b.Rows {
 		return nil, fmt.Errorf("%w: Mul %dx%d by %dx%d", ErrDimension, m.Rows, m.Cols, b.Rows, b.Cols)
 	}
 	out := NewMatrix(m.Rows, b.Cols)
-	for i := 0; i < m.Rows; i++ {
-		arow := m.Data[i*m.Cols : (i+1)*m.Cols]
-		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
-		for k, a := range arow {
-			if a == 0 {
-				continue
-			}
-			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-			for j, bv := range brow {
-				orow[j] += a * bv
-			}
-		}
+	if err := MulInto(out, m, b); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,66 @@
+package linalg
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestParallelShardsCoversEachShardOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 100} {
+		for _, shards := range []int{0, 1, 7, 64} {
+			var mu sync.Mutex
+			seen := make(map[int]int)
+			ParallelShards(shards, workers, func(s int) {
+				mu.Lock()
+				seen[s]++
+				mu.Unlock()
+			})
+			if len(seen) != shards {
+				t.Fatalf("workers=%d shards=%d: visited %d shards", workers, shards, len(seen))
+			}
+			for s, n := range seen {
+				if n != 1 {
+					t.Fatalf("shard %d visited %d times", s, n)
+				}
+			}
+		}
+	}
+}
+
+func TestShardGrid(t *testing.T) {
+	if got := ShardCount(0, 10); got != 0 {
+		t.Fatalf("ShardCount(0) = %d", got)
+	}
+	if got := ShardCount(25, 10); got != 3 {
+		t.Fatalf("ShardCount(25,10) = %d", got)
+	}
+	covered := 0
+	for s := 0; s < ShardCount(25, 10); s++ {
+		lo, hi := ShardRange(25, 10, s)
+		if lo != s*10 {
+			t.Fatalf("shard %d lo = %d", s, lo)
+		}
+		covered += hi - lo
+	}
+	if covered != 25 {
+		t.Fatalf("shards cover %d of 25 items", covered)
+	}
+}
+
+func TestParallelForCoversRange(t *testing.T) {
+	n := 103
+	hits := make([]int, n)
+	var mu sync.Mutex
+	ParallelFor(n, 16, 4, func(lo, hi int) {
+		mu.Lock()
+		for i := lo; i < hi; i++ {
+			hits[i]++
+		}
+		mu.Unlock()
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+}

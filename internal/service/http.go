@@ -82,6 +82,7 @@ func optionsFromQuery(r *http.Request) (core.Options, error) {
 		"granularity": func(v int) { opts.Granularity = v },
 		"prefetch":    func(v int) { opts.Prefetch = v },
 		"components":  func(v int) { opts.Components = v },
+		"parallelism": func(v int) { opts.Parallelism = v },
 	} {
 		if s := q.Get(key); s != "" {
 			v, err := strconv.Atoi(s)
@@ -115,7 +116,8 @@ func writeError(w http.ResponseWriter, code int, err error) {
 //
 //	POST /v1/jobs        submit an HSIC-encoded cube (body) with options
 //	                     in query params (granularity, prefetch,
-//	                     threshold, components) → 202 {id, state}
+//	                     threshold, components, parallelism) →
+//	                     202 {id, state}
 //	GET  /v1/jobs/{id}   job status/result (?image=1 adds base64 PNG)
 //	GET  /v1/stats       queue depth, cache hit rate, throughput
 func (p *Pool) Handler() http.Handler {

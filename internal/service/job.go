@@ -71,20 +71,21 @@ type JobStatus struct {
 // logical space. This is what lets the service reuse the exact manager
 // protocol (phases, reissue logic, dedupe) over a shared worker pool.
 type jobEnv struct {
-	env       scplib.Env
-	jobID     uint64
-	threshold float64
+	env         scplib.Env
+	jobID       uint64
+	threshold   float64
+	parallelism int
 	// workers[w-1] is the physical thread of logical worker w (1..W).
 	workers []scplib.ThreadID
 	back    map[scplib.ThreadID]resilient.LogicalID
 }
 
-func newJobEnv(env scplib.Env, jobID uint64, threshold float64, workers []scplib.ThreadID) *jobEnv {
+func newJobEnv(env scplib.Env, jobID uint64, threshold float64, parallelism int, workers []scplib.ThreadID) *jobEnv {
 	back := make(map[scplib.ThreadID]resilient.LogicalID, len(workers))
 	for i, id := range workers {
 		back[id] = resilient.LogicalID(i + 1)
 	}
-	return &jobEnv{env: env, jobID: jobID, threshold: threshold, workers: workers, back: back}
+	return &jobEnv{env: env, jobID: jobID, threshold: threshold, parallelism: parallelism, workers: workers, back: back}
 }
 
 func (e *jobEnv) Self() resilient.LogicalID { return core.ManagerID }
@@ -96,7 +97,7 @@ func (e *jobEnv) Send(to resilient.LogicalID, kind uint16, payload []byte) error
 	if w < 1 || w > len(e.workers) {
 		return nil // like sends to unknown threads: dropped silently
 	}
-	return e.env.Send(e.workers[w-1], kind, encodeEnvelope(e.jobID, e.threshold, payload))
+	return e.env.Send(e.workers[w-1], kind, encodeEnvelope(e.jobID, e.threshold, e.parallelism, payload))
 }
 
 // mine reports whether a raw message belongs to this job.
@@ -108,7 +109,7 @@ func (e *jobEnv) mine(m *scplib.Message) bool {
 // translate unwraps a raw message into logical space, or fails the job on
 // a worker-reported error.
 func (e *jobEnv) translate(m *scplib.Message) (*resilient.RMessage, error) {
-	_, _, inner, err := decodeEnvelope(m.Payload)
+	_, _, _, inner, err := decodeEnvelope(m.Payload)
 	if err != nil {
 		return nil, err
 	}
@@ -190,7 +191,7 @@ func (e *jobEnv) Logf(format string, args ...any) { e.env.Logf(format, args...) 
 // also covers failed jobs, and duplicate stops are no-ops worker-side.
 func (e *jobEnv) stopWorkers() {
 	for _, id := range e.workers {
-		_ = e.env.Send(id, core.KindStop, encodeEnvelope(e.jobID, 0, nil))
+		_ = e.env.Send(id, core.KindStop, encodeEnvelope(e.jobID, 0, 0, nil))
 	}
 }
 

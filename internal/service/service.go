@@ -184,6 +184,13 @@ func (p *Pool) Submit(cube *hsi.Cube, opts core.Options) (JobStatus, error) {
 	opts.Workers = p.cfg.Workers
 	opts.Replication = 1
 	opts.Regenerate = false
+	// Pooled workers serve many jobs concurrently: share the host's
+	// parallelism across the pool by default instead of letting every
+	// worker's kernels fan out to GOMAXPROCS. Explicit client settings
+	// win; results are identical either way (fixed shard grids).
+	if opts.Parallelism == 0 {
+		opts.Parallelism = core.SharedKernelParallelism(p.cfg.Workers)
+	}
 	opts = opts.Canonical()
 	if opts.Components < 3 {
 		return JobStatus{}, fmt.Errorf("%w: need >=3 components for color mapping", core.ErrBadOptions)
@@ -446,7 +453,7 @@ func (p *Pool) runJob(job *Job) {
 		ID:   tid,
 		Name: fmt.Sprintf("jobmgr-%d", job.num),
 		Body: func(env scplib.Env) error {
-			je := newJobEnv(env, job.num, job.opts.Threshold, p.workerIDs)
+			je := newJobEnv(env, job.num, job.opts.Threshold, job.opts.Parallelism, p.workerIDs)
 			var jobErr error
 			// The errc send must happen on every exit — including a panic
 			// in the manager protocol, which scplib's thread wrapper would

@@ -17,27 +17,30 @@ import (
 const kindJobErr uint16 = 0x7F00
 
 // Every message between a job manager and the pooled workers wraps the
-// core wire payload in a 16-byte envelope: the job ID (multiplexing many
+// core wire payload in a 24-byte envelope: the job ID (multiplexing many
 // jobs over one worker) and, on the manager→worker direction, the job's
-// screening threshold (a pooled worker learns each job's configuration
-// from its first message rather than at spawn time).
-const envelopeBytes = 16
+// screening threshold and kernel parallelism (a pooled worker learns
+// each job's configuration from its first message rather than at spawn
+// time).
+const envelopeBytes = 24
 
-func encodeEnvelope(jobID uint64, threshold float64, inner []byte) []byte {
+func encodeEnvelope(jobID uint64, threshold float64, parallelism int, inner []byte) []byte {
 	buf := make([]byte, envelopeBytes+len(inner))
 	binary.LittleEndian.PutUint64(buf, jobID)
 	binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(threshold))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(int64(parallelism)))
 	copy(buf[envelopeBytes:], inner)
 	return buf
 }
 
-func decodeEnvelope(p []byte) (jobID uint64, threshold float64, inner []byte, err error) {
+func decodeEnvelope(p []byte) (jobID uint64, threshold float64, parallelism int, inner []byte, err error) {
 	if len(p) < envelopeBytes {
-		return 0, 0, nil, fmt.Errorf("service: short envelope (%d bytes)", len(p))
+		return 0, 0, 0, nil, fmt.Errorf("service: short envelope (%d bytes)", len(p))
 	}
 	jobID = binary.LittleEndian.Uint64(p)
 	threshold = math.Float64frombits(binary.LittleEndian.Uint64(p[8:]))
-	return jobID, threshold, p[envelopeBytes:], nil
+	parallelism = int(int64(binary.LittleEndian.Uint64(p[16:])))
+	return jobID, threshold, parallelism, p[envelopeBytes:], nil
 }
 
 // envelopeJobID peeks the job ID without validation (message filtering).
@@ -62,7 +65,7 @@ func poolWorkerBody() scplib.Body {
 			if err != nil {
 				return err // killed at pool close
 			}
-			jobID, threshold, inner, err := decodeEnvelope(m.Payload)
+			jobID, threshold, parallelism, inner, err := decodeEnvelope(m.Payload)
 			if err != nil {
 				continue // not job-addressable; nothing to fail
 			}
@@ -75,14 +78,14 @@ func poolWorkerBody() scplib.Body {
 				// Compute is a no-op on the real runtime, so the cost
 				// model is irrelevant here; the default keeps WorkerState
 				// construction uniform with the resilient path.
-				ws = core.NewWorkerState(threshold, perfmodel.Default())
+				ws = core.NewWorkerState(threshold, parallelism, perfmodel.Default())
 				states[jobID] = ws
 			}
 			replyKind, reply, flops, err := ws.Handle(m.Kind, inner)
 			if err != nil {
 				// Fail this job fast without taking the worker (and every
 				// other job multiplexed on it) down.
-				if serr := env.Send(m.From, kindJobErr, encodeEnvelope(jobID, 0, []byte(err.Error()))); serr != nil {
+				if serr := env.Send(m.From, kindJobErr, encodeEnvelope(jobID, 0, 0, []byte(err.Error()))); serr != nil {
 					return serr
 				}
 				continue
@@ -95,7 +98,7 @@ func poolWorkerBody() scplib.Body {
 					return err
 				}
 			}
-			if err := env.Send(m.From, replyKind, encodeEnvelope(jobID, 0, reply)); err != nil {
+			if err := env.Send(m.From, replyKind, encodeEnvelope(jobID, 0, 0, reply)); err != nil {
 				return err
 			}
 		}

@@ -41,6 +41,12 @@ type UniqueSet struct {
 	norms       []float64
 	// scan holds member indices in probe order (MoveToFront only).
 	scan []int
+	// cosThr caches cos(Threshold) — the constant of every screening
+	// comparison — so Insert/Covers pay no trig call per candidate.
+	// NewUniqueSet computes it eagerly; cosThreshold fills it lazily for
+	// sets built as bare literals (the manager's merge inputs).
+	cosThr   float64
+	cosValid bool
 }
 
 // Stats reports the work performed by a screening pass; the performance
@@ -62,7 +68,17 @@ func NewUniqueSet(threshold float64) (*UniqueSet, error) {
 	if math.IsNaN(threshold) || threshold < 0 || threshold > math.Pi {
 		return nil, fmt.Errorf("%w: %g", ErrBadThreshold, threshold)
 	}
-	return &UniqueSet{Threshold: threshold}, nil
+	return &UniqueSet{Threshold: threshold, cosThr: math.Cos(threshold), cosValid: true}, nil
+}
+
+// cosThreshold returns the cached cos(Threshold), computing it once for
+// sets not built through NewUniqueSet.
+func (u *UniqueSet) cosThreshold() float64 {
+	if !u.cosValid {
+		u.cosThr = math.Cos(u.Threshold)
+		u.cosValid = true
+	}
+	return u.cosThr
 }
 
 // Len returns the number of members.
@@ -72,7 +88,7 @@ func (u *UniqueSet) Len() int { return len(u.Members) }
 // screening threshold of member i. It is the hot comparison of Insert and
 // Covers: cosines are compared directly (angle ≤ t ⇔ cos ≥ cos t on
 // [0, π]) so no inverse trigonometric call is made per pair. cosThr is
-// cos(u.Threshold), computed once per call by the callers.
+// the set's cached cos(Threshold) (see cosThreshold).
 func (u *UniqueSet) withinCached(v linalg.Vector, nv, cosThr float64, i int) bool {
 	nm := u.norms[i]
 	if nv == 0 || nm == 0 {
@@ -112,7 +128,7 @@ func (u *UniqueSet) angleCached(v linalg.Vector, nv float64, i int) float64 {
 // reference; callers must not mutate it afterwards.
 func (u *UniqueSet) Insert(v linalg.Vector) (added bool, comparisons int) {
 	nv := v.Norm()
-	cosThr := math.Cos(u.Threshold)
+	cosThr := u.cosThreshold()
 	if u.MoveToFront {
 		for pos, idx := range u.scan {
 			comparisons++
@@ -125,7 +141,13 @@ func (u *UniqueSet) Insert(v linalg.Vector) (added bool, comparisons int) {
 		}
 		u.Members = append(u.Members, v)
 		u.norms = append(u.norms, nv)
-		u.scan = append([]int{len(u.Members) - 1}, u.scan...)
+		// In-place prepend: grow by one, shift, drop the new index in
+		// front. Amortized O(1) allocations (append's growth policy)
+		// instead of one fresh O(K) slice per added member, which made
+		// merges quadratic in allocation volume.
+		u.scan = append(u.scan, 0)
+		copy(u.scan[1:], u.scan)
+		u.scan[0] = len(u.Members) - 1
 		return true, comparisons
 	}
 	for i := range u.Members {
@@ -142,7 +164,7 @@ func (u *UniqueSet) Insert(v linalg.Vector) (added bool, comparisons int) {
 // Covers reports whether v is within the threshold of some member.
 func (u *UniqueSet) Covers(v linalg.Vector) bool {
 	nv := v.Norm()
-	cosThr := math.Cos(u.Threshold)
+	cosThr := u.cosThreshold()
 	for i := range u.Members {
 		if u.withinCached(v, nv, cosThr, i) {
 			return true

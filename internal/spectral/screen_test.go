@@ -294,3 +294,79 @@ func TestNaNThresholdRejected(t *testing.T) {
 		t.Fatalf("Screen with NaN threshold err = %v", err)
 	}
 }
+
+// The screening cosine threshold is cached on the set: eagerly by
+// NewUniqueSet, lazily for bare-literal sets (the manager's merge
+// inputs), so Insert/Covers never pay a trig call per candidate.
+func TestCosineThresholdCached(t *testing.T) {
+	u, err := NewUniqueSet(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.cosValid || u.cosThr != math.Cos(0.25) {
+		t.Fatalf("NewUniqueSet did not cache cos: valid=%v cos=%g", u.cosValid, u.cosThr)
+	}
+	// Bare literal: first use fills the cache and screening still works.
+	lit := &UniqueSet{Threshold: 0.3, Members: []linalg.Vector{{1, 0}}}
+	lit.norms = []float64{1}
+	if !lit.Covers(linalg.Vector{1, 0.01}) {
+		t.Fatal("literal set does not cover a near-duplicate")
+	}
+	if !lit.cosValid || lit.cosThr != math.Cos(0.3) {
+		t.Fatal("lazy cosine cache not filled on first use")
+	}
+}
+
+// Move-to-front inserts must prepend to the probe order in place:
+// amortized slice growth only, never a fresh O(K) allocation per added
+// member (which made merge allocation volume quadratic).
+func TestMoveToFrontPrependInPlace(t *testing.T) {
+	u, err := NewUniqueSet(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u.MoveToFront = true
+	// Mutually orthogonal members (angle π/2 ≫ threshold): every insert adds.
+	const n = 64
+	vectors := make([]linalg.Vector, n)
+	for i := range vectors {
+		v := make(linalg.Vector, n)
+		v[i] = 1
+		vectors[i] = v
+	}
+	// Pre-reserve capacity so the adds below measure the prepend logic,
+	// not append's occasional growth.
+	u.Members = make([]linalg.Vector, 0, n)
+	u.norms = make([]float64, 0, n)
+	u.scan = make([]int, 0, n)
+	for i, v := range vectors {
+		before := cap(u.scan)
+		added, _ := u.Insert(v)
+		if !added {
+			t.Fatalf("vector %d not added", i)
+		}
+		if cap(u.scan) != before {
+			t.Fatalf("insert %d reallocated the probe order (cap %d → %d)", i, before, cap(u.scan))
+		}
+	}
+	// Probe order is newest-first after pure adds.
+	for i, idx := range u.scan {
+		if idx != n-1-i {
+			t.Fatalf("scan[%d] = %d, want %d", i, idx, n-1-i)
+		}
+	}
+	// Membership decisions unchanged: a duplicate of member 0 is covered
+	// and promoted without allocating at all.
+	dup := vectors[0].Clone()
+	allocs := testing.AllocsPerRun(20, func() {
+		if added, _ := u.Insert(dup); added {
+			t.Fatal("duplicate added")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("duplicate insert allocates %.1f times", allocs)
+	}
+	if u.scan[0] != 0 {
+		t.Fatalf("hit not promoted: scan[0] = %d", u.scan[0])
+	}
+}
