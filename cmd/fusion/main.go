@@ -7,7 +7,12 @@
 //
 //	fusion -out out/ [-width 320 -height 320 -bands 210 -seed 1]
 //	       [-workers 4 -granularity 2 -replication 1 -threshold 0.03]
-//	       [-in cube.hsic] [-mode sim|real|seq]
+//	       [-in cube.hsic] [-scene scene.hdr] [-mode sim|real|seq]
+//
+// -scene fuses an ENVI-style scene file (BIL/BSQ/BIP raster + text
+// header, by header or data path) through the streaming tile path: row
+// tiles are decoded off disk on demand, so scenes larger than memory
+// fuse with a bounded working set, bit-identically to an in-memory run.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"resilientfusion/internal/core"
 	"resilientfusion/internal/hsi"
 	"resilientfusion/internal/perfmodel"
+	"resilientfusion/internal/scene"
 	"resilientfusion/internal/scplib"
 )
 
@@ -31,6 +37,7 @@ func main() {
 	var (
 		out         = flag.String("out", "out", "output directory for PNGs")
 		in          = flag.String("in", "", "input cube in HSIC format (default: generate a synthetic scene)")
+		scenePath   = flag.String("scene", "", "input ENVI scene (header or data path), fused via the streaming tile path")
 		width       = flag.Int("width", 320, "scene width in pixels")
 		height      = flag.Int("height", 320, "scene height in pixels")
 		bands       = flag.Int("bands", 210, "spectral bands (HYDICE: 210)")
@@ -49,14 +56,33 @@ func main() {
 
 	var cube *hsi.Cube
 	var truth []hsi.Material
-	if *in != "" {
+	var src core.CubeSource // streaming tile source (scene mode)
+	switch {
+	case *scenePath != "":
+		rdr, err := scene.Open(*scenePath)
+		if err != nil {
+			log.Fatalf("opening scene %s: %v", *scenePath, err)
+		}
+		defer rdr.Close()
+		h := rdr.Header()
+		log.Printf("opened ENVI scene %s: %dx%dx%d %s (data type %d), streaming",
+			*scenePath, h.Samples, h.Lines, h.Bands, h.Interleave, int(h.DataType))
+		if *mode == "seq" {
+			// The sequential oracle needs the whole cube in memory.
+			if cube, err = rdr.ReadCube(); err != nil {
+				log.Fatalf("reading scene: %v", err)
+			}
+		} else {
+			src = scene.NewTiler(rdr)
+		}
+	case *in != "":
 		var err error
 		cube, err = hsi.LoadFile(*in)
 		if err != nil {
 			log.Fatalf("loading %s: %v", *in, err)
 		}
 		log.Printf("loaded %s", cube)
-	} else {
+	default:
 		spec := hsi.DefaultSceneSpec()
 		spec.Width, spec.Height, spec.Bands, spec.Seed = *width, *height, *bands, *seed
 		scene, err := hsi.GenerateScene(spec)
@@ -75,17 +101,20 @@ func main() {
 		Regenerate:  *replication > 1,
 	}
 
+	if src == nil && cube != nil {
+		src = core.MemSource(cube)
+	}
 	var res *core.Result
 	var err error
 	switch *mode {
 	case "seq":
 		res, err = core.Sequential(cube, opts)
 	case "real":
-		res, err = core.Fuse(scplib.NewRealSystem(), cube, opts)
+		res, err = core.FuseSource(scplib.NewRealSystem(), src, opts)
 	case "sim":
 		x, nodes := scplib.NewCluster(*workers+1, perfmodel.EffectiveWorkstationRate)
 		sys := scplib.NewSimSystem(x, x.NewBus(0, 0), nodes, scplib.DefaultMsgCost())
-		res, err = core.Fuse(sys, cube, opts)
+		res, err = core.FuseSource(sys, src, opts)
 	default:
 		log.Fatalf("unknown mode %q", *mode)
 	}
@@ -107,15 +136,20 @@ func main() {
 		log.Printf("wrote %s", filepath.Join(*out, name))
 	}
 
-	// Figure 2: two raw frames.
-	for _, nm := range []float64{400, 1998} {
-		img, band, err := colormap.RenderBandNearest(cube, nm)
-		if err != nil {
-			log.Fatalf("band %gnm: %v", nm, err)
+	// Figure 2: two raw frames (needs the cube in memory; streamed scene
+	// runs keep only the composite).
+	if cube != nil {
+		for _, nm := range []float64{400, 1998} {
+			img, band, err := colormap.RenderBandNearest(cube, nm)
+			if err != nil {
+				log.Fatalf("band %gnm: %v", nm, err)
+			}
+			name := fmt.Sprintf("band_%dnm.png", int(nm))
+			write(name, colormap.WritePNG(filepath.Join(*out, name), img))
+			_ = band
 		}
-		name := fmt.Sprintf("band_%dnm.png", int(nm))
-		write(name, colormap.WritePNG(filepath.Join(*out, name), img))
-		_ = band
+	} else {
+		log.Print("streamed scene run: skipping raw band frames (cube not held in memory)")
 	}
 	// Figure 3: the fused color composite.
 	write("composite.png", colormap.WritePNG(filepath.Join(*out, "composite.png"), res.Image))

@@ -9,6 +9,16 @@
 //	                     (granularity, prefetch, threshold, components)
 //	GET  /v1/jobs/{id}   status and result (?image=1 adds base64 PNG)
 //	GET  /v1/stats       queue depth, cache hit rate, throughput
+//
+// Whole-scene streaming fusion (ENVI BIL/BSQ/BIP rasters, spooled to
+// disk and fused tile-by-tile — see internal/scene):
+//
+//	POST   /v1/scenes               multipart upload: "header" (.hdr
+//	                                text) then "data" (raw payload)
+//	GET    /v1/scenes[/{id}]        registry listing / scene info
+//	POST   /v1/scenes/{id}/fuse     fuse with per-tile progress
+//	GET    /v1/scenes/{id}/result   latest composite as image/png
+//	DELETE /v1/scenes/{id}          unregister and delete the spool
 package main
 
 import (
@@ -32,6 +42,9 @@ func main() {
 	concurrency := flag.Int("concurrency", 0, "jobs running at once (0: workers/2, min 1)")
 	queue := flag.Int("queue", 64, "queued jobs beyond the running ones")
 	cacheEntries := flag.Int("cache", 128, "result cache capacity (negative disables)")
+	spool := flag.String("spool", "", "scene spool directory (default: a fresh temp dir, removed on exit)")
+	maxSceneMB := flag.Int64("max-scene-mb", 512, "largest registrable scene payload in MiB")
+	maxScenes := flag.Int("max-scenes", 64, "concurrently registered scenes")
 	verbose := flag.Bool("v", false, "log thread diagnostics")
 	flag.Parse()
 
@@ -43,6 +56,9 @@ func main() {
 		MaxConcurrent: *concurrency,
 		QueueDepth:    *queue,
 		CacheEntries:  *cacheEntries,
+		SpoolDir:      *spool,
+		MaxSceneBytes: *maxSceneMB << 20,
+		MaxScenes:     *maxScenes,
 	}
 	if *verbose {
 		cfg.LogTo = log.Printf

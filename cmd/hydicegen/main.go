@@ -1,8 +1,10 @@
 // Command hydicegen generates synthetic HYDICE-like hyper-spectral cubes
-// and stores them in the repository's HSIC binary format, standing in for
-// the proprietary sensor data the paper used.
+// and stores them in the repository's HSIC binary format — or as an
+// ENVI-style scene (raw payload + text header) for the streaming scene
+// pipeline — standing in for the proprietary sensor data the paper used.
 //
 //	hydicegen -out scene.hsic [-width 320 -height 320 -bands 210 -seed 1]
+//	hydicegen -out scene.raw -envi bil    writes scene.raw + scene.raw.hdr
 package main
 
 import (
@@ -10,6 +12,7 @@ import (
 	"log"
 
 	"resilientfusion/internal/hsi"
+	"resilientfusion/internal/scene"
 )
 
 func main() {
@@ -22,19 +25,29 @@ func main() {
 		bands  = flag.Int("bands", 210, "spectral bands")
 		seed   = flag.Int64("seed", 1, "generator seed")
 		noise  = flag.Float64("noise", 6, "sensor noise sigma (counts)")
+		envi   = flag.String("envi", "", "write an ENVI scene in this interleave (bil, bsq or bip) instead of HSIC")
 	)
 	flag.Parse()
 
 	spec := hsi.DefaultSceneSpec()
 	spec.Width, spec.Height, spec.Bands = *width, *height, *bands
 	spec.Seed, spec.NoiseSigma = *seed, *noise
-	scene, err := hsi.GenerateScene(spec)
+	sc, err := hsi.GenerateScene(spec)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := scene.Cube.SaveFile(*out); err != nil {
-		log.Fatal(err)
+	switch *envi {
+	case "":
+		if err := sc.Cube.SaveFile(*out); err != nil {
+			log.Fatal(err)
+		}
+	case "bil", "bsq", "bip":
+		if err := scene.Write(*out, sc.Cube, scene.Interleave(*envi)); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown interleave %q (want bil, bsq or bip)", *envi)
 	}
 	log.Printf("wrote %s: %s (%d material classes, %.1f MB)",
-		*out, scene.Cube, len(hsi.Materials()), float64(scene.Cube.EncodedSize())/(1<<20))
+		*out, sc.Cube, len(hsi.Materials()), float64(sc.Cube.EncodedSize())/(1<<20))
 }

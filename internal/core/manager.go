@@ -50,10 +50,10 @@ type Result struct {
 }
 
 // managerBody drives the 8 steps from the manager thread.
-func managerBody(rt *resilient.Runtime, cube *hsi.Cube, opts Options, res *Result) resilient.RBody {
+func managerBody(rt *resilient.Runtime, src CubeSource, opts Options, res *Result) resilient.RBody {
 	return func(env resilient.REnv) error {
 		defer rt.Shutdown()
-		return RunManager(env, cube, opts, res)
+		return RunManagerSource(env, src, opts, res)
 	}
 }
 
@@ -62,7 +62,17 @@ func managerBody(rt *resilient.Runtime, cube *hsi.Cube, opts Options, res *Resul
 // path shared by the resilient job (NewJob) and the service pool, which
 // spawns one manager per job over long-lived pooled workers.
 func RunManager(env resilient.REnv, cube *hsi.Cube, opts Options, res *Result) error {
-	m := &manager{env: env, cube: cube, opts: opts.withDefaults(), res: res}
+	return RunManagerSource(env, MemSource(cube), opts, res)
+}
+
+// RunManagerSource is RunManager over an arbitrary tile source: the
+// decomposition is a function of the source's shape alone, and tiles are
+// pulled on demand, so a streamed scene run is bit-identical to the
+// in-memory run over the same samples while the manager's working set
+// stays bounded by the tiles in flight.
+func RunManagerSource(env resilient.REnv, src CubeSource, opts Options, res *Result) error {
+	m := &manager{env: env, src: src, opts: opts.withDefaults(), res: res}
+	m.width, m.height, m.bands = src.Shape()
 	if err := m.run(); err != nil {
 		return fmt.Errorf("manager: %w", err)
 	}
@@ -72,9 +82,11 @@ func RunManager(env resilient.REnv, cube *hsi.Cube, opts Options, res *Result) e
 
 type manager struct {
 	env  resilient.REnv
-	cube *hsi.Cube
+	src  CubeSource
 	opts Options
 	res  *Result
+
+	width, height, bands int
 
 	ranges []hsi.RowRange
 	// owner[i] is the worker group that screened (and caches) sub-cube i.
@@ -86,10 +98,10 @@ func (m *manager) run() error {
 	opts := m.opts
 
 	subCubes := opts.Granularity * opts.Workers
-	if subCubes > m.cube.Height {
-		subCubes = m.cube.Height
+	if subCubes > m.height {
+		subCubes = m.height
 	}
-	m.ranges = hsi.Partition(m.cube.Height, subCubes)
+	m.ranges = hsi.Partition(m.height, subCubes)
 	m.owner = make([]resilient.LogicalID, len(m.ranges))
 	m.res.SubCubes = subCubes
 
@@ -110,7 +122,7 @@ func (m *manager) run() error {
 	if err != nil {
 		return err
 	}
-	if err := m.env.Compute(opts.Cost.MeanFlops(merged.Len(), m.cube.Bands)); err != nil {
+	if err := m.env.Compute(opts.Cost.MeanFlops(merged.Len(), m.bands)); err != nil {
 		return err
 	}
 	// Steps 4–5: distributed covariance partial sums, combined here.
@@ -127,7 +139,7 @@ func (m *manager) run() error {
 	if err != nil {
 		return err
 	}
-	if err := m.env.Compute(opts.Cost.EigenFlops(m.cube.Bands)); err != nil {
+	if err := m.env.Compute(opts.Cost.EigenFlops(m.bands)); err != nil {
 		return err
 	}
 	transform, err := eig.TransformMatrix(opts.Components)
@@ -158,13 +170,14 @@ func (m *manager) run() error {
 	return nil
 }
 
-// sendScreen ships sub-cube idx to a worker.
+// sendScreen ships sub-cube idx to a worker, pulling the tile from the
+// source (an in-memory extract or a streamed read).
 func (m *manager) sendScreen(idx int, to resilient.LogicalID) error {
-	sub, err := hsi.Extract(m.cube, m.ranges[idx])
+	tile, err := m.src.Tile(m.ranges[idx])
 	if err != nil {
 		return err
 	}
-	payload, err := EncodeScreenReq(&ScreenReq{Range: m.ranges[idx], Cube: sub.Cube})
+	payload, err := EncodeScreenReq(&ScreenReq{Range: m.ranges[idx], Cube: tile})
 	if err != nil {
 		return err
 	}
@@ -236,6 +249,9 @@ func (m *manager) screenPhase() ([][]linalg.Vector, error) {
 		}
 		delete(outstanding, resp.Index)
 		done++
+		if obs, ok := m.src.(TileObserver); ok {
+			obs.TileScreened(done, S)
+		}
 		// Keep the responding worker busy with the next sub-problem.
 		if next < S {
 			if err := m.sendScreen(next, msg.From); err != nil {
@@ -260,7 +276,7 @@ func (m *manager) mergePhase(uniq [][]linalg.Vector) (*spectral.UniqueSet, error
 	if err != nil {
 		return nil, err
 	}
-	return merged, m.env.Compute(m.opts.Cost.ScreenFlops(st, m.cube.Bands))
+	return merged, m.env.Compute(m.opts.Cost.ScreenFlops(st, m.bands))
 }
 
 // covariancePhase is algorithm steps 4–5: the unique set is split into P
@@ -317,14 +333,14 @@ func (m *manager) covariancePhase(members []linalg.Vector, mean linalg.Vector) (
 	if err != nil {
 		return nil, err
 	}
-	return cov, m.env.Compute(m.opts.Cost.CovCombineFlops(P, m.cube.Bands))
+	return cov, m.env.Compute(m.opts.Cost.CovCombineFlops(P, m.bands))
 }
 
 // transformPhase is algorithm steps 7–8: workers transform and color-map
 // their cached sub-cubes; the manager assembles the composite image.
 func (m *manager) transformPhase(mean linalg.Vector, transform *linalg.Matrix, stretches []colormap.Stretch) (*image.RGBA, error) {
 	S := len(m.ranges)
-	img := image.NewRGBA(image.Rect(0, 0, m.cube.Width, m.cube.Height))
+	img := image.NewRGBA(image.Rect(0, 0, m.width, m.height))
 	doneIdx := make([]bool, S)
 	outstanding := make(map[int]bool)
 
@@ -336,11 +352,11 @@ func (m *manager) transformPhase(mean linalg.Vector, transform *linalg.Matrix, s
 			Stretches: stretches,
 		}
 		if withData {
-			sub, err := hsi.Extract(m.cube, m.ranges[idx])
+			tile, err := m.src.Tile(m.ranges[idx])
 			if err != nil {
 				return err
 			}
-			req.Cube = sub.Cube
+			req.Cube = tile
 		}
 		payload, err := EncodeTransformReq(req)
 		if err != nil {
@@ -398,6 +414,9 @@ func (m *manager) transformPhase(mean linalg.Vector, transform *linalg.Matrix, s
 			doneIdx[idx] = true
 			delete(outstanding, idx)
 			done++
+			if obs, ok := m.src.(TileObserver); ok {
+				obs.TileTransformed(done, S)
+			}
 		}
 	}
 	return img, nil

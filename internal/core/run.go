@@ -149,8 +149,20 @@ type Job struct {
 // hosts exactly two replicas, which is how the paper's "factor of two"
 // replication cost arises.
 func NewJob(sys scplib.System, cube *hsi.Cube, opts Options) (*Job, error) {
-	opts = opts.withDefaults()
 	if err := cube.Validate(); err != nil {
+		return nil, err
+	}
+	return NewJobSource(sys, MemSource(cube), opts)
+}
+
+// NewJobSource is NewJob fed by a CubeSource instead of an in-memory
+// cube: the manager pulls row tiles on demand (internal/scene's Tiler
+// streams them off disk), so scenes larger than memory fuse with the
+// manager's working set bounded by the tiles in flight. The result is
+// bit-identical to NewJob over the fully-loaded cube.
+func NewJobSource(sys scplib.System, src CubeSource, opts Options) (*Job, error) {
+	opts = opts.withDefaults()
+	if err := validateSource(src); err != nil {
 		return nil, err
 	}
 	if opts.Workers < 1 {
@@ -183,7 +195,7 @@ func NewJob(sys scplib.System, cube *hsi.Cube, opts Options) (*Job, error) {
 		return nil, err
 	}
 	res := &Result{}
-	if err := rt.AddSingleton(ManagerID, "manager", 0, managerBody(rt, cube, opts, res)); err != nil {
+	if err := rt.AddSingleton(ManagerID, "manager", 0, managerBody(rt, src, opts, res)); err != nil {
 		return nil, err
 	}
 	for w := 1; w <= opts.Workers; w++ {
@@ -227,6 +239,15 @@ func (j *Job) Run() (*Result, error) {
 // Fuse is the one-call convenience API: build a job and run it.
 func Fuse(sys scplib.System, cube *hsi.Cube, opts Options) (*Result, error) {
 	job, err := NewJob(sys, cube, opts)
+	if err != nil {
+		return nil, err
+	}
+	return job.Run()
+}
+
+// FuseSource is Fuse over a streaming tile source.
+func FuseSource(sys scplib.System, src CubeSource, opts Options) (*Result, error) {
+	job, err := NewJobSource(sys, src, opts)
 	if err != nil {
 		return nil, err
 	}

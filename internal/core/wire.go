@@ -46,6 +46,14 @@ const (
 var ErrWire = errors.New("core: malformed wire payload")
 
 // --- primitives ---
+//
+// The float64 payloads (unique-set vectors, covariance matrices, the
+// transform) are encoded and decoded in bulk: exact-size buffers filled
+// by tight PutUint64/Uint64 loops, not per-element Buffer.Write calls —
+// the codec cost the manager pays per message is one pass over the
+// bytes. Vector sets additionally decode into a single staging backing
+// (two allocations total, mirroring hsi.Cube.PixelRows) instead of one
+// allocation per vector.
 
 func putU32(b *bytes.Buffer, v uint32) {
 	var tmp [4]byte
@@ -53,11 +61,31 @@ func putU32(b *bytes.Buffer, v uint32) {
 	b.Write(tmp[:])
 }
 
+// encodeF64s fills dst (exactly 8·len(vs) bytes) with vs little-endian.
+func encodeF64s(dst []byte, vs []float64) {
+	_ = dst[:8*len(vs)] // one bounds check up front
+	for i, v := range vs {
+		binary.LittleEndian.PutUint64(dst[i*8:], math.Float64bits(v))
+	}
+}
+
+// decodeF64s fills dst from exactly 8·len(dst) bytes of src.
+func decodeF64s(src []byte, dst []float64) {
+	_ = src[:8*len(dst)]
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[i*8:]))
+	}
+}
+
+// putF64s appends vs to a buffer in bulk chunks (for the encoders that
+// mix floats with variable-size parts and keep a bytes.Buffer).
 func putF64s(b *bytes.Buffer, vs []float64) {
-	var tmp [8]byte
-	for _, v := range vs {
-		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v))
-		b.Write(tmp[:])
+	var scratch [64 * 8]byte
+	for len(vs) > 0 {
+		n := min(64, len(vs))
+		encodeF64s(scratch[:8*n], vs[:n])
+		b.Write(scratch[:8*n])
+		vs = vs[n:]
 	}
 }
 
@@ -76,13 +104,34 @@ func (r *reader) u32() (uint32, error) {
 }
 
 func (r *reader) f64s(n int) ([]float64, error) {
-	if n < 0 || r.off+8*n > len(r.b) {
-		return nil, ErrWire
+	raw, err := r.bytes(8 * n)
+	if err != nil {
+		return nil, err
 	}
 	out := make([]float64, n)
+	decodeF64s(raw, out)
+	return out, nil
+}
+
+// f64Vectors decodes count vectors of dimension n as views over one
+// staging backing — the decode-side analogue of the hsi staging views.
+// Callers retaining a subset (the manager keeps unique-set members) pin
+// the whole backing, the same trade PixelRows makes.
+func (r *reader) f64Vectors(count, n int) ([]linalg.Vector, error) {
+	if count < 0 || n < 0 || (n > 0 && count > (1<<40)/n) {
+		return nil, ErrWire
+	}
+	raw, err := r.bytes(8 * count * n)
+	if err != nil {
+		return nil, err
+	}
+	backing := make([]float64, count*n)
+	decodeF64s(raw, backing)
+	out := make([]linalg.Vector, count)
 	for i := range out {
-		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(r.b[r.off:]))
-		r.off += 8
+		// Three-index slices: an append on one vector reallocates rather
+		// than clobbering its neighbour in the shared backing.
+		out[i] = linalg.Vector(backing[i*n : (i+1)*n : (i+1)*n])
 	}
 	return out, nil
 }
@@ -107,6 +156,7 @@ type ScreenReq struct {
 // EncodeScreenReq serializes a screening request.
 func EncodeScreenReq(req *ScreenReq) ([]byte, error) {
 	var b bytes.Buffer
+	b.Grow(12 + int(req.Cube.EncodedSize()))
 	putU32(&b, uint32(req.Range.Index))
 	putU32(&b, uint32(req.Range.Y0))
 	putU32(&b, uint32(req.Range.Y1))
@@ -149,23 +199,27 @@ type ScreenResp struct {
 	Vectors []linalg.Vector
 }
 
-// EncodeScreenResp serializes a screening response.
+// EncodeScreenResp serializes a screening response into one exact-size
+// buffer (all vectors share the unique set's dimension).
 func EncodeScreenResp(resp *ScreenResp) []byte {
 	n := 0
 	if len(resp.Vectors) > 0 {
 		n = len(resp.Vectors[0])
 	}
-	var b bytes.Buffer
-	putU32(&b, uint32(resp.Index))
-	putU32(&b, uint32(len(resp.Vectors)))
-	putU32(&b, uint32(n))
+	buf := make([]byte, 12+8*len(resp.Vectors)*n)
+	binary.LittleEndian.PutUint32(buf[0:], uint32(resp.Index))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(resp.Vectors)))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(n))
+	off := 12
 	for _, v := range resp.Vectors {
-		putF64s(&b, v)
+		encodeF64s(buf[off:], v)
+		off += 8 * len(v)
 	}
-	return b.Bytes()
+	return buf
 }
 
-// DecodeScreenResp parses a screening response.
+// DecodeScreenResp parses a screening response; the vectors are views
+// over one staging backing.
 func DecodeScreenResp(p []byte) (*ScreenResp, error) {
 	r := &reader{b: p}
 	idx, err := r.u32()
@@ -183,15 +237,11 @@ func DecodeScreenResp(p []byte) (*ScreenResp, error) {
 	if k > 1<<24 || n > 1<<20 {
 		return nil, ErrWire
 	}
-	out := &ScreenResp{Index: int(idx), Vectors: make([]linalg.Vector, k)}
-	for i := range out.Vectors {
-		vs, err := r.f64s(int(n))
-		if err != nil {
-			return nil, err
-		}
-		out.Vectors[i] = vs
+	vectors, err := r.f64Vectors(int(k), int(n))
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &ScreenResp{Index: int(idx), Vectors: vectors}, nil
 }
 
 // --- CovReq: part, count, n, mean, vectors ---
@@ -204,20 +254,25 @@ type CovReq struct {
 	Vectors []linalg.Vector
 }
 
-// EncodeCovReq serializes a covariance request.
+// EncodeCovReq serializes a covariance request into one exact-size
+// buffer.
 func EncodeCovReq(req *CovReq) []byte {
-	var b bytes.Buffer
-	putU32(&b, uint32(req.Part))
-	putU32(&b, uint32(len(req.Vectors)))
-	putU32(&b, uint32(len(req.Mean)))
-	putF64s(&b, req.Mean)
+	n := len(req.Mean)
+	buf := make([]byte, 12+8*n+8*len(req.Vectors)*n)
+	binary.LittleEndian.PutUint32(buf[0:], uint32(req.Part))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(req.Vectors)))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(n))
+	encodeF64s(buf[12:], req.Mean)
+	off := 12 + 8*n
 	for _, v := range req.Vectors {
-		putF64s(&b, v)
+		encodeF64s(buf[off:], v)
+		off += 8 * len(v)
 	}
-	return b.Bytes()
+	return buf
 }
 
-// DecodeCovReq parses a covariance request.
+// DecodeCovReq parses a covariance request; the vectors are views over
+// one staging backing.
 func DecodeCovReq(p []byte) (*CovReq, error) {
 	r := &reader{b: p}
 	part, err := r.u32()
@@ -239,15 +294,11 @@ func DecodeCovReq(p []byte) (*CovReq, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &CovReq{Part: int(part), Mean: mean, Vectors: make([]linalg.Vector, count)}
-	for i := range out.Vectors {
-		vs, err := r.f64s(int(n))
-		if err != nil {
-			return nil, err
-		}
-		out.Vectors[i] = vs
+	vectors, err := r.f64Vectors(int(count), int(n))
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &CovReq{Part: int(part), Mean: mean, Vectors: vectors}, nil
 }
 
 // --- CovResp: part, n, matrix ---
@@ -258,13 +309,14 @@ type CovResp struct {
 	Sum  *linalg.Matrix
 }
 
-// EncodeCovResp serializes a covariance response.
+// EncodeCovResp serializes a covariance response into one exact-size
+// buffer (the n×n sum is a single bulk encode).
 func EncodeCovResp(resp *CovResp) []byte {
-	var b bytes.Buffer
-	putU32(&b, uint32(resp.Part))
-	putU32(&b, uint32(resp.Sum.Rows))
-	putF64s(&b, resp.Sum.Data)
-	return b.Bytes()
+	buf := make([]byte, 8+8*len(resp.Sum.Data))
+	binary.LittleEndian.PutUint32(buf[0:], uint32(resp.Part))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(resp.Sum.Rows))
+	encodeF64s(buf[8:], resp.Sum.Data)
+	return buf
 }
 
 // DecodeCovResp parses a covariance response.
@@ -304,6 +356,11 @@ type TransformReq struct {
 // EncodeTransformReq serializes a transform request.
 func EncodeTransformReq(req *TransformReq) ([]byte, error) {
 	var b bytes.Buffer
+	size := 24 + 8*(len(req.Mean)+len(req.Transform.Data)+2*len(req.Stretches))
+	if req.Cube != nil {
+		size += int(req.Cube.EncodedSize())
+	}
+	b.Grow(size)
 	putU32(&b, uint32(req.Range.Index))
 	putU32(&b, uint32(req.Range.Y0))
 	putU32(&b, uint32(req.Range.Y1))

@@ -24,6 +24,31 @@ type WorkerState struct {
 	cost        perfmodel.Model
 	cache       map[int]*hsi.SubCube
 	screened    map[int][]byte // encoded ScreenResp by sub-cube
+	scratch     *Scratch       // optional worker-lifetime buffers
+}
+
+// Scratch holds worker-lifetime kernel buffers that outlive individual
+// jobs. The screened-covariance micro-shape (K≈7 unique vectors over
+// 100+ bands) is allocation-floor-bound on its n×n sum matrix, so a
+// long-lived pooled worker plants one Scratch into every per-job
+// WorkerState it creates and the sum matrix is reused across jobs
+// (pct.CovarianceSumInto zeroes it per request). A Scratch belongs to
+// one worker thread: replies are fully encoded before Handle returns, so
+// nothing aliases the buffers between messages.
+type Scratch struct {
+	cov *linalg.Matrix
+}
+
+// NewScratch returns empty worker-lifetime scratch.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// covFor returns the reusable n×n covariance accumulator, reallocating
+// only when the band count changes.
+func (s *Scratch) covFor(n int) *linalg.Matrix {
+	if s.cov == nil || s.cov.Rows != n {
+		s.cov = linalg.NewMatrix(n, n)
+	}
+	return s.cov
 }
 
 // NewWorkerState returns empty per-job worker state. parallelism is the
@@ -38,6 +63,10 @@ func NewWorkerState(threshold float64, parallelism int, cost perfmodel.Model) *W
 		screened:    make(map[int][]byte),
 	}
 }
+
+// UseScratch plants worker-lifetime buffers into this per-job state; the
+// caller promises the Scratch is owned by a single worker thread.
+func (ws *WorkerState) UseScratch(s *Scratch) { ws.scratch = s }
 
 // Handle processes one application message and returns the reply to send
 // to the manager, plus the modeled flops the caller must charge (via
@@ -74,9 +103,16 @@ func (ws *WorkerState) Handle(kind uint16, payload []byte) (replyKind uint16, re
 		if err != nil {
 			return 0, nil, 0, err
 		}
-		// Step 4: covariance partial sum over this part.
-		sum, err := pct.CovarianceSumPar(req.Vectors, req.Mean, ws.parallelism)
-		if err != nil {
+		// Step 4: covariance partial sum over this part, accumulated into
+		// the worker-lifetime matrix when one is planted (the encode below
+		// copies it out before Handle returns, so reuse is safe).
+		var sum *linalg.Matrix
+		if ws.scratch != nil {
+			sum = ws.scratch.covFor(len(req.Mean))
+		} else {
+			sum = linalg.NewMatrix(len(req.Mean), len(req.Mean))
+		}
+		if err := pct.CovarianceSumInto(sum, req.Vectors, req.Mean, ws.parallelism); err != nil {
 			return 0, nil, 0, err
 		}
 		return KindCovResp, EncodeCovResp(&CovResp{Part: req.Part, Sum: sum}),
@@ -112,6 +148,7 @@ func (ws *WorkerState) Handle(kind uint16, payload []byte) (replyKind uint16, re
 func workerBody(manager resilient.LogicalID, threshold float64, parallelism int, cost perfmodel.Model) resilient.RBody {
 	return func(env resilient.REnv) error {
 		ws := NewWorkerState(threshold, parallelism, cost)
+		ws.UseScratch(NewScratch())
 		for {
 			m, err := env.Recv()
 			if err != nil {

@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 
 	"resilientfusion/internal/core"
 	"resilientfusion/internal/failure"
@@ -38,6 +39,15 @@ type Scale struct {
 	// Interference is the per-extra-job throughput loss of co-resident
 	// computations (see simnet.Node.Interference).
 	Interference float64
+	// Parallelism is the host-side kernel parallelism of every simulated
+	// worker (core.Options.Parallelism). The simulator executes exactly
+	// one process at a time, so worker kernels never compete with each
+	// other: 0 selects full GOMAXPROCS per kernel, which cuts the wall
+	// clock of paper-scale sweeps on multicore hosts without changing a
+	// bit of any result or any virtual-time measurement (the pct kernels
+	// reduce over fixed shard grids; virtual time comes from the cost
+	// model). Negative forces serial kernels.
+	Parallelism int
 }
 
 // PaperScale is the configuration of §4: a 320×320×105 cube on
@@ -113,6 +123,9 @@ type RunConfig struct {
 	Plan        *failure.Plan
 	// RequestTimeout overrides the manager reissue timeout (seconds).
 	RequestTimeout float64
+	// Parallelism overrides Scale.Parallelism for this run (same
+	// semantics; 0 defers to the scale, then to full GOMAXPROCS).
+	Parallelism int
 }
 
 // RunOutcome bundles the fusion result with runtime telemetry.
@@ -161,11 +174,24 @@ func RunOnCube(cfg RunConfig, cube *hsi.Cube) (*RunOutcome, error) {
 		// timeout avoids spurious retransmission of long sub-problems.
 		timeout = 1e5
 	}
+	// Kernel parallelism on the host running the simulation. Explicit
+	// run/scale settings win; the default is full GOMAXPROCS per kernel
+	// (not core.SharedKernelParallelism: simulated workers execute one at
+	// a time, so there is nothing to share the host with). Results and
+	// virtual times are identical for every setting.
+	par := cfg.Parallelism
+	if par == 0 {
+		par = cfg.Scale.Parallelism
+	}
+	if par == 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
 	opts := core.Options{
 		Workers:         cfg.Workers,
 		Granularity:     cfg.Granularity,
 		Prefetch:        cfg.Prefetch,
 		Threshold:       cfg.Scale.Threshold,
+		Parallelism:     par,
 		Replication:     cfg.Replication,
 		Regenerate:      cfg.Regenerate,
 		HeartbeatPeriod: cfg.Scale.HeartbeatPeriod,

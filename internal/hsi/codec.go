@@ -44,58 +44,116 @@ const (
 )
 
 // WriteTo serializes the cube to w, returning the number of bytes written.
+// It is the one-shot form of StreamWriter: the bytes are identical.
 func (c *Cube) WriteTo(w io.Writer) (int64, error) {
 	if err := c.Validate(); err != nil {
 		return 0, err
 	}
-	bw := bufio.NewWriterSize(w, 1<<16)
-	var n int64
+	sw, err := NewStreamWriter(w, c.Width, c.Height, c.Bands, c.Wavelengths)
+	if err != nil {
+		return 0, err
+	}
+	if err := sw.WriteSamples(c.Data); err != nil {
+		return sw.Written(), err
+	}
+	return sw.Written(), sw.Close()
+}
+
+// StreamWriter encodes a cube in HSIC format incrementally: the header is
+// emitted up front from the declared geometry and samples are appended in
+// BIP order in caller-chosen slices (typically bounded row windows), so a
+// scene larger than memory can be encoded — or digested — without ever
+// materializing its full sample array. Cube.WriteTo is implemented over
+// it; the two produce bit-identical bytes for the same geometry and data.
+type StreamWriter struct {
+	bw        *bufio.Writer
+	remaining int   // samples still owed before Close
+	n         int64 // bytes written (counting bufio-buffered ones)
+	buf       []byte
+}
+
+// NewStreamWriter writes the HSIC header for the given geometry and
+// returns a writer expecting exactly width·height·bands samples.
+// wavelengths may be nil; when present its length must equal bands.
+func NewStreamWriter(w io.Writer, width, height, bands int, wavelengths []float64) (*StreamWriter, error) {
+	if width <= 0 || height <= 0 || bands <= 0 {
+		return nil, fmt.Errorf("%w: %dx%dx%d", ErrShape, width, height, bands)
+	}
+	if wavelengths != nil && len(wavelengths) != bands {
+		return nil, fmt.Errorf("%w: %d wavelengths for %d bands", ErrShape, len(wavelengths), bands)
+	}
+	sw := &StreamWriter{
+		bw:        bufio.NewWriterSize(w, 1<<16),
+		remaining: width * height * bands,
+	}
 
 	var flags uint16
-	if c.Wavelengths != nil {
+	if wavelengths != nil {
 		flags |= flagHasWavelengths
 	}
 	hdr := make([]byte, 0, 20)
 	hdr = append(hdr, cubeMagic[:]...)
 	hdr = binary.LittleEndian.AppendUint16(hdr, codecVersion)
 	hdr = binary.LittleEndian.AppendUint16(hdr, flags)
-	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(c.Width))
-	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(c.Height))
-	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(c.Bands))
-	if _, err := bw.Write(hdr); err != nil {
-		return n, err
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(width))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(height))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(bands))
+	if _, err := sw.bw.Write(hdr); err != nil {
+		return nil, err
 	}
-	n += int64(len(hdr))
+	sw.n += int64(len(hdr))
 
-	if c.Wavelengths != nil {
-		buf := make([]byte, 8*len(c.Wavelengths))
-		for i, wl := range c.Wavelengths {
+	if wavelengths != nil {
+		buf := make([]byte, 8*len(wavelengths))
+		for i, wl := range wavelengths {
 			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(wl))
 		}
-		if _, err := bw.Write(buf); err != nil {
-			return n, err
+		if _, err := sw.bw.Write(buf); err != nil {
+			return nil, err
 		}
-		n += int64(len(buf))
+		sw.n += int64(len(buf))
 	}
+	return sw, nil
+}
 
-	// Stream sample data in chunks to bound the scratch buffer.
+// WriteSamples appends samples in BIP order. Callers may slice the stream
+// arbitrarily (per row window, per tile); only the concatenated order
+// matters. Writing more samples than the declared geometry holds is an
+// error.
+func (sw *StreamWriter) WriteSamples(samples []float32) error {
+	if len(samples) > sw.remaining {
+		return fmt.Errorf("%w: %d samples past the declared geometry", ErrShape, len(samples)-sw.remaining)
+	}
+	sw.remaining -= len(samples)
+	// Encode in chunks to bound the scratch buffer.
 	const chunk = 1 << 14
-	buf := make([]byte, 4*chunk)
-	for off := 0; off < len(c.Data); off += chunk {
-		end := off + chunk
-		if end > len(c.Data) {
-			end = len(c.Data)
-		}
-		b := buf[:4*(end-off)]
-		for i, v := range c.Data[off:end] {
+	if sw.buf == nil {
+		sw.buf = make([]byte, 4*chunk)
+	}
+	for off := 0; off < len(samples); off += chunk {
+		end := min(off+chunk, len(samples))
+		b := sw.buf[:4*(end-off)]
+		for i, v := range samples[off:end] {
 			binary.LittleEndian.PutUint32(b[i*4:], math.Float32bits(v))
 		}
-		if _, err := bw.Write(b); err != nil {
-			return n, err
+		if _, err := sw.bw.Write(b); err != nil {
+			return err
 		}
-		n += int64(len(b))
+		sw.n += int64(len(b))
 	}
-	return n, bw.Flush()
+	return nil
+}
+
+// Written returns the number of bytes encoded so far.
+func (sw *StreamWriter) Written() int64 { return sw.n }
+
+// Close flushes the encoder, erroring if the sample count does not match
+// the declared geometry.
+func (sw *StreamWriter) Close() error {
+	if sw.remaining != 0 {
+		return fmt.Errorf("%w: %d samples short of the declared geometry", ErrShape, sw.remaining)
+	}
+	return sw.bw.Flush()
 }
 
 // ReadCube deserializes a cube from r.

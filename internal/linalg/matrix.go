@@ -120,6 +120,11 @@ func (m *Matrix) Add(b *Matrix) error {
 	return nil
 }
 
+// Zero clears every element in place (reusable accumulator matrices).
+func (m *Matrix) Zero() {
+	clear(m.Data)
+}
+
 // Scale multiplies every element of m by a in place.
 func (m *Matrix) Scale(a float64) {
 	for i := range m.Data {

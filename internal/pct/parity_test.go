@@ -160,6 +160,47 @@ func TestCovarianceSumParityAcrossParallelism(t *testing.T) {
 	}
 }
 
+// CovarianceSumInto must zero and fill a dirty, reused destination to
+// the exact bits of a fresh CovarianceSum — the contract that lets
+// pooled workers keep one sum matrix across jobs.
+func TestCovarianceSumIntoReuse(t *testing.T) {
+	dst := linalg.NewMatrix(9, 9)
+	for i := range dst.Data {
+		dst.Data[i] = 1e300 // poison: any surviving element breaks equality
+	}
+	for _, count := range []int{1, 7, covPanelPixels + 3, statShardPixels + 5} {
+		vs := paritySet(int64(count), count, 9)
+		mean, err := MeanOf(vs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := CovarianceSum(vs, mean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CovarianceSumInto(dst, vs, mean, 3); err != nil {
+			t.Fatal(err)
+		}
+		if !dst.Equal(want, 0) {
+			t.Fatalf("count=%d: reused destination differs from fresh sum", count)
+		}
+	}
+	// Dimension mismatch is an error, not a resize.
+	vs := paritySet(1, 4, 5)
+	mean, _ := MeanOf(vs)
+	if err := CovarianceSumInto(dst, vs, mean, 1); err == nil {
+		t.Fatal("9x9 destination accepted for 5-band vectors")
+	}
+	// Empty vector set zeroes the destination (partial sum of nothing).
+	dst.Data[0] = 42
+	if err := CovarianceSumInto(dst, nil, make(linalg.Vector, 9), 1); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Data[0] != 0 {
+		t.Fatal("empty set left the destination dirty")
+	}
+}
+
 func TestTransformCubeParityAcrossParallelism(t *testing.T) {
 	rng := rand.New(rand.NewSource(77))
 	for _, tc := range []struct{ w, h, bands, comps int }{

@@ -93,23 +93,40 @@ func CovarianceSum(vectors []linalg.Vector, mean linalg.Vector) (*linalg.Matrix,
 // every parallelism degree — and, within one shard, to the historical
 // scalar kernel.
 func CovarianceSumPar(vectors []linalg.Vector, mean linalg.Vector, parallelism int) (*linalg.Matrix, error) {
+	sum := linalg.NewMatrix(len(mean), len(mean))
+	if err := CovarianceSumInto(sum, vectors, mean, parallelism); err != nil {
+		return nil, err
+	}
+	return sum, nil
+}
+
+// CovarianceSumInto is CovarianceSumPar accumulating into a caller-owned
+// n×n matrix, which it zeroes first. The screened-covariance micro-shape
+// (K≈7 unique vectors over 100+ bands) is allocation-floor-bound: the
+// n×n sum dominates the kernel's footprint, so long-lived workers reuse
+// one matrix across jobs instead of allocating ~100 KiB per request.
+// Same determinism contract as CovarianceSumPar; the bits are identical.
+func CovarianceSumInto(sum *linalg.Matrix, vectors []linalg.Vector, mean linalg.Vector, parallelism int) error {
 	n := len(mean)
+	if sum.Rows != n || sum.Cols != n {
+		return fmt.Errorf("%w: %dx%d destination for %d bands", linalg.ErrDimension, sum.Rows, sum.Cols, n)
+	}
 	for _, v := range vectors {
 		if len(v) != n {
-			return nil, fmt.Errorf("%w: vector length %d vs mean %d", linalg.ErrDimension, len(v), n)
+			return fmt.Errorf("%w: vector length %d vs mean %d", linalg.ErrDimension, len(v), n)
 		}
 	}
-	sum := linalg.NewMatrix(n, n)
+	sum.Zero()
 	shards := linalg.ShardCount(len(vectors), statShardPixels)
 	if shards == 0 {
-		return sum, nil // empty part: zero partial sum, matching history
+		return nil // empty part: zero partial sum, matching history
 	}
 	if shards == 1 {
 		// The common case (screened unique sets are far below one shard):
 		// accumulate straight into the result, no partials to combine.
 		covShardInto(sum, vectors, mean, nil)
 		sum.MirrorUpper()
-		return sum, nil
+		return nil
 	}
 	partials := make([]*linalg.Matrix, shards)
 	// Panels are per-worker scratch, reused across that worker's shards;
@@ -126,11 +143,11 @@ func CovarianceSumPar(vectors []linalg.Vector, mean linalg.Vector, parallelism i
 	})
 	for _, p := range partials {
 		if err := sum.Add(p); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	sum.MirrorUpper()
-	return sum, nil
+	return nil
 }
 
 // covShardInto accumulates the upper triangle of Σ (v−mean)(v−mean)ᵀ

@@ -1,0 +1,277 @@
+// Package scene is the streaming scene layer between raster files on
+// disk and the in-memory fusion pipeline. It reads and writes ENVI-style
+// scenes — a raw sample file in BIL, BSQ or BIP band interleaving plus a
+// text header — converting any interleaving into the hsi.Cube BIP layout
+// one bounded row window at a time, and decomposes a scene into row-tile
+// sub-problems that stream straight into the manager/worker protocol.
+// A streamed fusion run over a scene is bit-identical to fusing the same
+// cube loaded fully in memory (the tiler reuses hsi.Partition, and row
+// windows decode to exactly the samples hsi.Extract would copy).
+package scene
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Interleave is the on-disk band ordering of an ENVI scene.
+type Interleave string
+
+const (
+	// BIP: band-interleaved-by-pixel — each pixel's spectrum contiguous
+	// (the hsi.Cube memory layout).
+	BIP Interleave = "bip"
+	// BIL: band-interleaved-by-line — each image line stored as bands ×
+	// samples runs.
+	BIL Interleave = "bil"
+	// BSQ: band-sequential — whole-image planes, one per band.
+	BSQ Interleave = "bsq"
+)
+
+// DataType is the ENVI sample encoding code.
+type DataType int
+
+// The ENVI data type codes this package supports. HYDICE delivers 12-bit
+// radiometry, so real headers are usually Int16/Uint16; Float32 is the
+// lossless interchange type for cubes that have been through processing.
+const (
+	Uint8   DataType = 1
+	Int16   DataType = 2
+	Int32   DataType = 3
+	Float32 DataType = 4
+	Float64 DataType = 5
+	Uint16  DataType = 12
+)
+
+// Size returns the sample width in bytes (0 for unsupported codes).
+func (d DataType) Size() int {
+	switch d {
+	case Uint8:
+		return 1
+	case Int16, Uint16:
+		return 2
+	case Int32, Float32:
+		return 4
+	case Float64:
+		return 8
+	}
+	return 0
+}
+
+// ErrHeader reports a malformed or unsupported ENVI header.
+var ErrHeader = errors.New("scene: bad ENVI header")
+
+// Header is the parsed ENVI text header: the scene geometry and sample
+// encoding needed to address the raw data file.
+type Header struct {
+	Samples int // image width in pixels
+	Lines   int // image height in pixels
+	Bands   int
+	// Offset is the "header offset": bytes to skip at the start of the
+	// data file (embedded binary headers).
+	Offset     int64
+	Interleave Interleave
+	DataType   DataType
+	// BigEndian reflects "byte order = 1".
+	BigEndian bool
+	// Wavelengths (nanometres) is optional; when present its length must
+	// equal Bands.
+	Wavelengths []float64
+	// Description is carried through verbatim (single line).
+	Description string
+}
+
+// maxDim bounds each header dimension (mirroring the HSIC codec's
+// guard): a 20-byte text header must not be able to claim dimensions
+// whose product overflows int64 — an overflow-wrapped DataBytes would
+// slip an absurd scene past every size limit downstream.
+const maxDim = 1 << 20
+
+// Validate checks the header describes an addressable scene.
+func (h *Header) Validate() error {
+	if h.Samples <= 0 || h.Lines <= 0 || h.Bands <= 0 ||
+		h.Samples > maxDim || h.Lines > maxDim || h.Bands > maxDim {
+		return fmt.Errorf("%w: dims %dx%dx%d", ErrHeader, h.Samples, h.Lines, h.Bands)
+	}
+	if h.Offset < 0 {
+		return fmt.Errorf("%w: header offset %d", ErrHeader, h.Offset)
+	}
+	switch h.Interleave {
+	case BIP, BIL, BSQ:
+	default:
+		return fmt.Errorf("%w: interleave %q", ErrHeader, h.Interleave)
+	}
+	if h.DataType.Size() == 0 {
+		return fmt.Errorf("%w: unsupported data type %d", ErrHeader, int(h.DataType))
+	}
+	if h.Wavelengths != nil && len(h.Wavelengths) != h.Bands {
+		return fmt.Errorf("%w: %d wavelengths for %d bands", ErrHeader, len(h.Wavelengths), h.Bands)
+	}
+	// The per-dimension caps keep this uint64 product exact (≤ 2^63);
+	// bounding it keeps DataBytes well inside int64 for all callers.
+	if u := uint64(h.Samples) * uint64(h.Lines) * uint64(h.Bands) * uint64(h.DataType.Size()); u > 1<<55 {
+		return fmt.Errorf("%w: scene claims %d bytes", ErrHeader, u)
+	}
+	return nil
+}
+
+// DataBytes returns the exact raw payload size the header claims,
+// excluding Offset. Validate bounds the product (≤ 2^55), so the
+// arithmetic cannot overflow on a validated header — every reader entry
+// point validates untrusted headers first.
+func (h *Header) DataBytes() int64 {
+	return int64(h.Samples) * int64(h.Lines) * int64(h.Bands) * int64(h.DataType.Size())
+}
+
+// Shape returns (width, height, bands).
+func (h *Header) Shape() (int, int, int) { return h.Samples, h.Lines, h.Bands }
+
+// ParseHeader parses ENVI header text. The first non-blank line must be
+// the "ENVI" magic; the rest are "key = value" fields, where a value
+// opening with "{" runs (possibly across lines) to the matching "}".
+// Unknown keys are ignored, like real ENVI readers do.
+func ParseHeader(text string) (*Header, error) {
+	lines := strings.Split(text, "\n")
+	i := 0
+	for i < len(lines) && strings.TrimSpace(lines[i]) == "" {
+		i++
+	}
+	if i >= len(lines) || strings.TrimSpace(lines[i]) != "ENVI" {
+		return nil, fmt.Errorf("%w: missing ENVI magic", ErrHeader)
+	}
+	i++
+
+	h := &Header{Interleave: BIP, DataType: Float32}
+	seen := map[string]bool{}
+	for ; i < len(lines); i++ {
+		line := strings.TrimSpace(lines[i])
+		if line == "" || strings.HasPrefix(line, ";") {
+			continue
+		}
+		key, value, ok := strings.Cut(line, "=")
+		if !ok {
+			return nil, fmt.Errorf("%w: line %d: %q", ErrHeader, i+1, line)
+		}
+		key = strings.ToLower(strings.TrimSpace(key))
+		value = strings.TrimSpace(value)
+		// Brace values may span lines; accumulate to the closing brace.
+		if strings.HasPrefix(value, "{") {
+			for !strings.Contains(value, "}") {
+				i++
+				if i >= len(lines) {
+					return nil, fmt.Errorf("%w: unterminated { for %q", ErrHeader, key)
+				}
+				value += " " + strings.TrimSpace(lines[i])
+			}
+			value = strings.TrimSpace(value[1:strings.Index(value, "}")])
+		}
+		if seen[key] {
+			return nil, fmt.Errorf("%w: duplicate field %q", ErrHeader, key)
+		}
+		seen[key] = true
+
+		var err error
+		switch key {
+		case "samples":
+			h.Samples, err = parseInt(key, value)
+		case "lines":
+			h.Lines, err = parseInt(key, value)
+		case "bands":
+			h.Bands, err = parseInt(key, value)
+		case "header offset":
+			var v int
+			v, err = parseInt(key, value)
+			h.Offset = int64(v)
+		case "data type":
+			var v int
+			v, err = parseInt(key, value)
+			h.DataType = DataType(v)
+		case "interleave":
+			h.Interleave = Interleave(strings.ToLower(value))
+		case "byte order":
+			var v int
+			v, err = parseInt(key, value)
+			if err == nil && v != 0 && v != 1 {
+				err = fmt.Errorf("%w: byte order %d", ErrHeader, v)
+			}
+			h.BigEndian = v == 1
+		case "wavelength":
+			h.Wavelengths, err = parseFloatList(value)
+		case "description":
+			h.Description = value
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, req := range []string{"samples", "lines", "bands"} {
+		if !seen[req] {
+			return nil, fmt.Errorf("%w: missing %q", ErrHeader, req)
+		}
+	}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+func parseInt(key, value string) (int, error) {
+	v, err := strconv.Atoi(value)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %s %q", ErrHeader, key, value)
+	}
+	return v, nil
+}
+
+func parseFloatList(value string) ([]float64, error) {
+	if strings.TrimSpace(value) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(value, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: wavelength %q", ErrHeader, p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Marshal renders the header as ENVI text. Wavelengths use the shortest
+// float64 representation, which round-trips bit-exactly through
+// ParseHeader — a scene written by this package re-ingests with an
+// identical header.
+func (h *Header) Marshal() string {
+	var b strings.Builder
+	b.WriteString("ENVI\n")
+	if h.Description != "" {
+		fmt.Fprintf(&b, "description = {%s}\n", h.Description)
+	}
+	fmt.Fprintf(&b, "samples = %d\n", h.Samples)
+	fmt.Fprintf(&b, "lines = %d\n", h.Lines)
+	fmt.Fprintf(&b, "bands = %d\n", h.Bands)
+	fmt.Fprintf(&b, "header offset = %d\n", h.Offset)
+	b.WriteString("file type = ENVI Standard\n")
+	fmt.Fprintf(&b, "data type = %d\n", int(h.DataType))
+	fmt.Fprintf(&b, "interleave = %s\n", h.Interleave)
+	order := 0
+	if h.BigEndian {
+		order = 1
+	}
+	fmt.Fprintf(&b, "byte order = %d\n", order)
+	if h.Wavelengths != nil {
+		b.WriteString("wavelength = {")
+		for i, w := range h.Wavelengths {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(strconv.FormatFloat(w, 'g', -1, 64))
+		}
+		b.WriteString("}\n")
+	}
+	return b.String()
+}

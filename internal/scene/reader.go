@@ -1,0 +1,303 @@
+package scene
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+
+	"resilientfusion/internal/hsi"
+)
+
+// Errors reported by the reader.
+var (
+	// ErrSceneTooLarge is returned by OpenLimit when the header claims a
+	// payload past the caller's bound (the upload-path guard, mirroring
+	// hsi.ReadCubeLimit).
+	ErrSceneTooLarge = errors.New("scene: scene exceeds size limit")
+	// ErrPayloadSize reports a data file whose size disagrees with the
+	// header's claim — truncated or oversized payloads are rejected at
+	// open time, before any row is decoded.
+	ErrPayloadSize = errors.New("scene: payload size mismatch")
+)
+
+// windowBytes bounds the decode scratch of whole-scene streaming
+// operations (ReadCube into a preallocated cube, Digest): row windows are
+// sized so the raw window stays near this many bytes.
+const windowBytes = 8 << 20
+
+// Reader decodes row windows of an ENVI scene into the hsi.Cube BIP
+// layout. Random access uses ReadAt, so one Reader may serve sequential
+// tile reads while the underlying file is shared (each fusion job opens
+// its own Reader); memory use is bounded by the largest window requested
+// (one raw scratch buffer, reused across calls).
+type Reader struct {
+	h    Header
+	f    *os.File
+	path string
+	raw  []byte // scratch for raw window bytes, grown to the largest window
+}
+
+// HeaderPath resolves the companion header file for a scene path: a path
+// ending in .hdr is the header itself; otherwise the header sits at
+// path + ".hdr".
+func HeaderPath(path string) string {
+	if strings.HasSuffix(path, ".hdr") {
+		return path
+	}
+	return path + ".hdr"
+}
+
+// DataPath resolves the raw data file for a scene path (inverse of
+// HeaderPath).
+func DataPath(path string) string {
+	return strings.TrimSuffix(path, ".hdr")
+}
+
+// Open opens an ENVI scene given either its header path (*.hdr) or its
+// data path (header expected alongside at path + ".hdr").
+func Open(path string) (*Reader, error) { return OpenLimit(path, 0) }
+
+// OpenLimit is Open with an upper bound on the payload size the header
+// may claim, checked before the data file is even opened. limit <= 0
+// disables the bound.
+func OpenLimit(path string, limit int64) (*Reader, error) {
+	text, err := os.ReadFile(HeaderPath(path))
+	if err != nil {
+		return nil, err
+	}
+	h, err := ParseHeader(string(text))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", HeaderPath(path), err)
+	}
+	if limit > 0 && h.Offset+h.DataBytes() > limit {
+		return nil, fmt.Errorf("%w: header claims %d bytes, limit %d",
+			ErrSceneTooLarge, h.Offset+h.DataBytes(), limit)
+	}
+	return NewReader(*h, DataPath(path))
+}
+
+// NewReader opens the raw data file for an already-parsed header. The
+// file size must equal Offset + DataBytes exactly: a short file would
+// truncate trailing rows, and trailing junk indicates a header that
+// mis-describes the payload.
+func NewReader(h Header, dataPath string) (*Reader, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(dataPath)
+	if err != nil {
+		return nil, err
+	}
+	r, err := NewReaderFrom(h, f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// NewReaderFrom wraps an already-open data file, with the same header
+// and size validation as NewReader. The reader takes over the handle
+// (Close closes it). Callers that must outlive an unlink of the path —
+// the service holds a handle per accepted fusion so scene removal
+// cannot strand a queued job — open once and wrap here.
+func NewReaderFrom(h Header, f *os.File) (*Reader, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if want := h.Offset + h.DataBytes(); st.Size() != want {
+		return nil, fmt.Errorf("%w: %s is %d bytes, header claims %d",
+			ErrPayloadSize, f.Name(), st.Size(), want)
+	}
+	return &Reader{h: h, f: f, path: f.Name()}, nil
+}
+
+// Header returns the parsed scene header.
+func (r *Reader) Header() Header { return r.h }
+
+// Shape returns (width, height, bands) — the core.CubeSource geometry.
+func (r *Reader) Shape() (int, int, int) { return r.h.Shape() }
+
+// Path returns the raw data file path.
+func (r *Reader) Path() string { return r.path }
+
+// Close releases the data file.
+func (r *Reader) Close() error { return r.f.Close() }
+
+// ReadRows decodes rows [y0, y1) into a standalone BIP cube of height
+// y1-y0, converting from the scene's interleave and sample type. The
+// cube carries the header's wavelength table, matching what hsi.Extract
+// copies out of an in-memory cube — so a row window read here is
+// sample-identical to extracting the same rows from ReadCube's result.
+func (r *Reader) ReadRows(y0, y1 int) (*hsi.Cube, error) {
+	cube, err := r.newWindowCube(y0, y1)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.readRowsInto(y0, y1, cube.Data); err != nil {
+		return nil, err
+	}
+	return cube, nil
+}
+
+func (r *Reader) newWindowCube(y0, y1 int) (*hsi.Cube, error) {
+	if y0 < 0 || y1 > r.h.Lines || y0 > y1 {
+		return nil, fmt.Errorf("%w: rows [%d,%d) of %d lines", hsi.ErrShape, y0, y1, r.h.Lines)
+	}
+	cube := &hsi.Cube{
+		Width:  r.h.Samples,
+		Height: y1 - y0,
+		Bands:  r.h.Bands,
+		Data:   make([]float32, r.h.Samples*(y1-y0)*r.h.Bands),
+	}
+	if r.h.Wavelengths != nil {
+		cube.Wavelengths = append([]float64(nil), r.h.Wavelengths...)
+	}
+	return cube, nil
+}
+
+// readRowsInto decodes rows [y0, y1) into dst, already sized to
+// (y1-y0)·Samples·Bands samples, in BIP order.
+func (r *Reader) readRowsInto(y0, y1 int, dst []float32) error {
+	W, B := r.h.Samples, r.h.Bands
+	rows := y1 - y0
+	if rows == 0 {
+		return nil
+	}
+	elem := int64(r.h.DataType.Size())
+
+	switch r.h.Interleave {
+	case BIP:
+		// Rows are contiguous in exactly the cube layout.
+		raw, err := r.readAt(r.h.Offset+int64(y0)*int64(W)*int64(B)*elem, rows*W*B)
+		if err != nil {
+			return err
+		}
+		r.decode(raw, dst, 0, 1)
+
+	case BIL:
+		// Line y holds B runs of W samples: dst[(row*W+x)*B + b] comes
+		// from raw[(row*B + b)*W + x].
+		raw, err := r.readAt(r.h.Offset+int64(y0)*int64(B)*int64(W)*elem, rows*B*W)
+		if err != nil {
+			return err
+		}
+		for row := 0; row < rows; row++ {
+			for b := 0; b < B; b++ {
+				src := raw[int64(row*B+b)*int64(W)*elem:]
+				r.decode(src[:int64(W)*elem], dst[(row*W)*B+b:], 0, B)
+			}
+		}
+
+	case BSQ:
+		// One plane per band: read each band's row window (one seek per
+		// band) and scatter it across the pixel spectra.
+		for b := 0; b < B; b++ {
+			off := r.h.Offset + (int64(b)*int64(r.h.Lines)+int64(y0))*int64(W)*elem
+			raw, err := r.readAt(off, rows*W)
+			if err != nil {
+				return err
+			}
+			r.decode(raw, dst[b:], 0, B)
+		}
+
+	default:
+		return fmt.Errorf("%w: interleave %q", ErrHeader, r.h.Interleave)
+	}
+	return nil
+}
+
+// readAt fills the reused scratch buffer with count samples from off.
+func (r *Reader) readAt(off int64, count int) ([]byte, error) {
+	n := count * r.h.DataType.Size()
+	if cap(r.raw) < n {
+		r.raw = make([]byte, n)
+	}
+	raw := r.raw[:n]
+	if _, err := r.f.ReadAt(raw, off); err != nil {
+		// The open-time size check makes EOF here unreachable in normal
+		// operation; surface it distinctly for files truncated after open.
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("%w: %s truncated under reader", ErrPayloadSize, r.path)
+		}
+		return nil, err
+	}
+	return raw, nil
+}
+
+// decode converts raw samples to float32, writing dst[start], then
+// dst[start+stride], ... — stride lets BIL/BSQ scatter a band run across
+// pixel spectra without an intermediate buffer.
+func (r *Reader) decode(raw []byte, dst []float32, start, stride int) {
+	o := binary.ByteOrder(binary.LittleEndian)
+	if r.h.BigEndian {
+		o = binary.BigEndian
+	}
+	j := start
+	switch r.h.DataType {
+	case Uint8:
+		for _, v := range raw {
+			dst[j] = float32(v)
+			j += stride
+		}
+	case Int16:
+		for i := 0; i+2 <= len(raw); i += 2 {
+			dst[j] = float32(int16(o.Uint16(raw[i:])))
+			j += stride
+		}
+	case Uint16:
+		for i := 0; i+2 <= len(raw); i += 2 {
+			dst[j] = float32(o.Uint16(raw[i:]))
+			j += stride
+		}
+	case Int32:
+		for i := 0; i+4 <= len(raw); i += 4 {
+			dst[j] = float32(int32(o.Uint32(raw[i:])))
+			j += stride
+		}
+	case Float32:
+		for i := 0; i+4 <= len(raw); i += 4 {
+			dst[j] = math.Float32frombits(o.Uint32(raw[i:]))
+			j += stride
+		}
+	case Float64:
+		for i := 0; i+8 <= len(raw); i += 8 {
+			dst[j] = float32(math.Float64frombits(o.Uint64(raw[i:])))
+			j += stride
+		}
+	}
+}
+
+// windowRows returns the row-window height that keeps raw window bytes
+// near windowBytes (at least one row).
+func (r *Reader) windowRows() int {
+	perRow := r.h.Samples * r.h.Bands * r.h.DataType.Size()
+	return max(1, windowBytes/max(1, perRow))
+}
+
+// ReadCube materializes the whole scene as one in-memory cube, streaming
+// through bounded row windows (the scratch buffer never exceeds the
+// window size; the cube itself is the only full-scene allocation).
+func (r *Reader) ReadCube() (*hsi.Cube, error) {
+	cube, err := r.newWindowCube(0, r.h.Lines)
+	if err != nil {
+		return nil, err
+	}
+	step := r.windowRows()
+	rowSamples := r.h.Samples * r.h.Bands
+	for y := 0; y < r.h.Lines; y += step {
+		end := min(y+step, r.h.Lines)
+		if err := r.readRowsInto(y, end, cube.Data[y*rowSamples:end*rowSamples]); err != nil {
+			return nil, err
+		}
+	}
+	return cube, nil
+}

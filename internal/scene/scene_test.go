@@ -1,0 +1,522 @@
+package scene
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"resilientfusion/internal/hsi"
+)
+
+// testCube builds a deterministic cube with full float32 variety
+// (negatives, fractions, exact zeros) so round-trips exercise real bits.
+func testCube(t *testing.T, w, h, b int) *hsi.Cube {
+	t.Helper()
+	c := hsi.MustNewCube(w, h, b)
+	c.Wavelengths = make([]float64, b)
+	for i := range c.Wavelengths {
+		c.Wavelengths[i] = 400 + 7.5*float64(i)
+	}
+	state := uint32(1)
+	for i := range c.Data {
+		state = state*1664525 + 1013904223
+		c.Data[i] = float32(int32(state)) / (1 << 16)
+	}
+	c.Data[0] = 0
+	return c
+}
+
+func writeScene(t *testing.T, c *hsi.Cube, il Interleave) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "scene.raw")
+	if err := Write(path, c, il); err != nil {
+		t.Fatalf("Write(%s): %v", il, err)
+	}
+	return path
+}
+
+func TestRoundTripAllInterleaves(t *testing.T) {
+	c := testCube(t, 13, 9, 5)
+	for _, il := range []Interleave{BIP, BIL, BSQ} {
+		t.Run(string(il), func(t *testing.T) {
+			path := writeScene(t, c, il)
+			r, err := Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			if w, h, b := r.Shape(); w != 13 || h != 9 || b != 5 {
+				t.Fatalf("shape %dx%dx%d", w, h, b)
+			}
+			got, err := r.ReadCube()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bitEqual(got, c) {
+				t.Fatal("round-trip not bit-identical")
+			}
+			if len(got.Wavelengths) != 5 || got.Wavelengths[4] != c.Wavelengths[4] {
+				t.Fatalf("wavelengths not carried: %v", got.Wavelengths)
+			}
+		})
+	}
+}
+
+// Opening by header path must resolve the same scene as the data path.
+func TestOpenByHeaderPath(t *testing.T) {
+	c := testCube(t, 4, 3, 2)
+	path := writeScene(t, c, BIL)
+	r, err := Open(path + ".hdr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got, err := r.ReadCube()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bitEqual(got, c) {
+		t.Fatal("header-path open differs")
+	}
+}
+
+// Every row window of every interleave must decode to exactly the rows
+// hsi.Extract copies from the in-memory cube — the property that makes
+// streamed fusion bit-identical (including single-row tiles).
+func TestReadRowsMatchesExtract(t *testing.T) {
+	c := testCube(t, 17, 11, 7)
+	for _, il := range []Interleave{BIP, BIL, BSQ} {
+		path := writeScene(t, c, il)
+		r, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, parts := range []int{1, 3, 11} { // 11 parts = single-row tiles
+			tiler := NewTiler(r)
+			for _, rr := range tiler.Tiles(parts) {
+				tile, err := tiler.Tile(rr)
+				if err != nil {
+					t.Fatalf("%s %v: %v", il, rr, err)
+				}
+				want, err := hsi.Extract(c, rr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bitEqual(tile, want.Cube) {
+					t.Fatalf("%s %v: tile differs from extract", il, rr)
+				}
+			}
+		}
+		r.Close()
+	}
+}
+
+func TestEmptyAndBadRowRanges(t *testing.T) {
+	c := testCube(t, 5, 4, 3)
+	r, err := Open(writeScene(t, c, BIP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	empty, err := r.ReadRows(2, 2)
+	if err != nil || empty.Height != 0 {
+		t.Fatalf("empty range: %v %v", empty, err)
+	}
+	for _, bad := range [][2]int{{-1, 2}, {0, 5}, {3, 1}} {
+		if _, err := r.ReadRows(bad[0], bad[1]); err == nil {
+			t.Fatalf("ReadRows(%d,%d) accepted", bad[0], bad[1])
+		}
+	}
+}
+
+// The streamed digest must equal the digest of the fully-loaded cube —
+// the property that lets a scene fuse share result-cache entries with an
+// in-memory upload of the same samples.
+func TestDigestMatchesCubeDigest(t *testing.T) {
+	c := testCube(t, 12, 10, 6)
+	want, err := c.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, il := range []Interleave{BIP, BIL, BSQ} {
+		r, err := Open(writeScene(t, c, il))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.Digest()
+		r.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("%s: digest %s != cube digest %s", il, got, want)
+		}
+	}
+}
+
+func TestHeaderMarshalParseRoundTrip(t *testing.T) {
+	h := Header{
+		Samples: 320, Lines: 320, Bands: 3,
+		Interleave: BIL, DataType: Float32,
+		Wavelengths: []float64{397.31, 400, 1998.004},
+		Description: "HYDICE-like synthetic scene",
+	}
+	got, err := ParseHeader(h.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Samples != h.Samples || got.Lines != h.Lines || got.Bands != h.Bands ||
+		got.Interleave != h.Interleave || got.DataType != h.DataType || got.BigEndian != h.BigEndian {
+		t.Fatalf("round-trip header %+v", got)
+	}
+	for i, w := range h.Wavelengths {
+		if got.Wavelengths[i] != w {
+			t.Fatalf("wavelength %d: %v != %v", i, got.Wavelengths[i], w)
+		}
+	}
+	if got.Description != h.Description {
+		t.Fatalf("description %q", got.Description)
+	}
+}
+
+// Astronomic dimensions must be rejected before DataBytes can overflow
+// int64 — an overflow-wrapped claim of 0 bytes would waltz past every
+// downstream size limit and then demand terabyte allocations.
+func TestHeaderOverflowRejected(t *testing.T) {
+	for _, dims := range [][3]string{
+		{"8589934592", "2147483648", "1"}, // product wraps int64 to 0
+		{"1048577", "4", "4"},             // just past the per-dim cap
+		{"1048576", "1048576", "1048576"}, // per-dim legal, product 2^63
+	} {
+		text := "ENVI\nsamples = " + dims[0] + "\nlines = " + dims[1] + "\nbands = " + dims[2] + "\ndata type = 1\ninterleave = bip\n"
+		if _, err := ParseHeader(text); !errors.Is(err, ErrHeader) {
+			t.Errorf("dims %v: %v", dims, err)
+		}
+	}
+	h := Header{Samples: 1 << 20, Lines: 1 << 20, Bands: 1 << 20, Interleave: BIP, DataType: Float64}
+	if err := h.Validate(); !errors.Is(err, ErrHeader) {
+		t.Errorf("2^63-byte claim validated: %v", err)
+	}
+}
+
+func TestParseHeaderErrors(t *testing.T) {
+	base := "ENVI\nsamples = 4\nlines = 3\nbands = 2\ninterleave = bip\ndata type = 4\n"
+	cases := map[string]string{
+		"missing magic":       "samples = 4\nlines = 3\nbands = 2\n",
+		"missing lines":       "ENVI\nsamples = 4\nbands = 2\n",
+		"zero samples":        "ENVI\nsamples = 0\nlines = 3\nbands = 2\n",
+		"negative bands":      "ENVI\nsamples = 4\nlines = 3\nbands = -2\n",
+		"bad interleave":      base + "interleave2 = bip\ninterleave = bif\n",
+		"bad data type":       "ENVI\nsamples = 4\nlines = 3\nbands = 2\ndata type = 99\n",
+		"bad byte order":      base + "byte order = 7\n",
+		"duplicate field":     base + "samples = 5\n",
+		"unterminated brace":  base + "wavelength = {400, 410\n",
+		"bad wavelength":      base + "wavelength = {400, x}\n",
+		"wavelength count":    base + "wavelength = {400}\n",
+		"negative offset":     base + "header offset = -5\n",
+		"garbage line":        base + "not a field\n",
+		"non-numeric samples": "ENVI\nsamples = four\nlines = 3\nbands = 2\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseHeader(text); err == nil {
+			t.Errorf("%s: accepted", name)
+		} else if !errors.Is(err, ErrHeader) {
+			t.Errorf("%s: error %v not ErrHeader", name, err)
+		}
+	}
+}
+
+// Headers with unknown fields, comments, multi-line brace values and odd
+// spacing must still parse (tolerant ingestion of real-world headers).
+func TestParseHeaderTolerance(t *testing.T) {
+	text := "ENVI\n; produced by some tool\ndescription = {two\n  line value}\n" +
+		"samples=6\n  lines  =  2 \nbands = 3\nfile type = ENVI Standard\n" +
+		"data type = 2\ninterleave = BSQ\nbyte order = 1\nsensor type = HYDICE\n\n"
+	h, err := ParseHeader(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Samples != 6 || h.Lines != 2 || h.Bands != 3 {
+		t.Fatalf("dims %dx%dx%d", h.Samples, h.Lines, h.Bands)
+	}
+	if h.Interleave != BSQ || h.DataType != Int16 || !h.BigEndian {
+		t.Fatalf("header %+v", h)
+	}
+	if h.Description != "two line value" {
+		t.Fatalf("description %q", h.Description)
+	}
+}
+
+// Truncated and oversized payloads must be rejected at open time, before
+// any row is decoded.
+func TestPayloadSizeMismatch(t *testing.T) {
+	c := testCube(t, 6, 5, 4)
+	path := writeScene(t, c, BIP)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); !errors.Is(err, ErrPayloadSize) {
+		t.Fatalf("truncated: %v", err)
+	}
+
+	if err := os.WriteFile(path, append(data, 0, 0, 0), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); !errors.Is(err, ErrPayloadSize) {
+		t.Fatalf("oversized: %v", err)
+	}
+}
+
+func TestOpenLimit(t *testing.T) {
+	c := testCube(t, 6, 5, 4)
+	path := writeScene(t, c, BIP)
+	claimed := int64(6 * 5 * 4 * 4)
+	if _, err := OpenLimit(path, claimed-1); !errors.Is(err, ErrSceneTooLarge) {
+		t.Fatalf("under limit: %v", err)
+	}
+	r, err := OpenLimit(path, claimed)
+	if err != nil {
+		t.Fatalf("at limit: %v", err)
+	}
+	r.Close()
+}
+
+// Missing companion files are plain open errors, not panics.
+func TestOpenMissing(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(filepath.Join(dir, "nope.raw")); err == nil {
+		t.Fatal("missing header accepted")
+	}
+	hdr := Header{Samples: 2, Lines: 2, Bands: 1, Interleave: BIP, DataType: Float32}
+	path := filepath.Join(dir, "orphan.raw")
+	if err := os.WriteFile(path+".hdr", []byte(hdr.Marshal()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("missing data file accepted")
+	}
+}
+
+// Integer sample types and big-endian byte order must decode to the
+// expected float32 values in every interleave.
+func TestIntegerSampleDecoding(t *testing.T) {
+	// A 2x2x2 scene with distinct values per (pixel, band).
+	vals := []int32{-7, 1000, 0, 2, 3, -32000, 40, 5} // BIP order
+	for _, tc := range []struct {
+		dtype DataType
+		big   bool
+	}{
+		{Int16, false}, {Int16, true}, {Uint16, false}, {Int32, true}, {Uint8, false}, {Float64, true},
+	} {
+		for _, il := range []Interleave{BIP, BIL, BSQ} {
+			h := Header{Samples: 2, Lines: 2, Bands: 2, Interleave: il, DataType: tc.dtype, BigEndian: tc.big}
+			raw := encodeTestSamples(t, h, vals)
+			dir := t.TempDir()
+			path := filepath.Join(dir, "s.raw")
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path+".hdr", []byte(h.Marshal()), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			r, err := Open(path)
+			if err != nil {
+				t.Fatalf("%d/%s: %v", tc.dtype, il, err)
+			}
+			got, err := r.ReadCube()
+			r.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range vals {
+				want := clampFor(tc.dtype, v)
+				if got.Data[i] != want {
+					t.Fatalf("%d/%s big=%v: sample %d = %g, want %g", tc.dtype, il, tc.big, i, got.Data[i], want)
+				}
+			}
+		}
+	}
+}
+
+// encodeTestSamples lays out vals (given in BIP order for a 2x2x2 scene)
+// in the header's interleave and sample encoding.
+func encodeTestSamples(t *testing.T, h Header, vals []int32) []byte {
+	t.Helper()
+	W, L, B := h.Samples, h.Lines, h.Bands
+	ordered := make([]int32, 0, len(vals))
+	switch h.Interleave {
+	case BIP:
+		ordered = append(ordered, vals...)
+	case BIL:
+		for y := 0; y < L; y++ {
+			for b := 0; b < B; b++ {
+				for x := 0; x < W; x++ {
+					ordered = append(ordered, vals[(y*W+x)*B+b])
+				}
+			}
+		}
+	case BSQ:
+		for b := 0; b < B; b++ {
+			for y := 0; y < L; y++ {
+				for x := 0; x < W; x++ {
+					ordered = append(ordered, vals[(y*W+x)*B+b])
+				}
+			}
+		}
+	}
+	var buf bytes.Buffer
+	for _, v := range ordered {
+		v = int32(clampFor(h.DataType, v))
+		var word uint64
+		switch h.DataType {
+		case Uint8:
+			buf.WriteByte(byte(v))
+			continue
+		case Int16:
+			word = uint64(uint16(int16(v)))
+		case Uint16:
+			word = uint64(uint16(v))
+		case Int32:
+			word = uint64(uint32(v))
+		case Float64:
+			word = math.Float64bits(float64(v))
+		default:
+			t.Fatalf("unhandled dtype %d", h.DataType)
+		}
+		n := h.DataType.Size()
+		b := make([]byte, n)
+		for i := 0; i < n; i++ {
+			shift := 8 * i
+			if h.BigEndian {
+				shift = 8 * (n - 1 - i)
+			}
+			b[i] = byte(word >> shift)
+		}
+		buf.Write(b)
+	}
+	return buf.Bytes()
+}
+
+// clampFor maps a test value into the representable range of the type.
+func clampFor(d DataType, v int32) float32 {
+	switch d {
+	case Uint8:
+		if v < 0 {
+			return float32(uint8(v))
+		}
+		return float32(uint8(v % 256))
+	case Uint16:
+		return float32(uint16(v))
+	}
+	return float32(v)
+}
+
+// Streaming writes in arbitrary slab sizes must equal the one-shot write.
+func TestStreamingWriterSlabs(t *testing.T) {
+	c := testCube(t, 10, 8, 3)
+	for _, il := range []Interleave{BIP, BIL, BSQ} {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "s.raw")
+		h := Header{Samples: 10, Lines: 8, Bands: 3, Interleave: il, DataType: Float32, Wavelengths: c.Wavelengths}
+		w, err := NewWriter(path, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for y := 0; y < 8; {
+			rows := 1 + y%3
+			if y+rows > 8 {
+				rows = 8 - y
+			}
+			slab, err := hsi.Extract(c, hsi.RowRange{Y0: y, Y1: y + rows})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w.WriteRows(slab.Cube); err != nil {
+				t.Fatal(err)
+			}
+			y += rows
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		oneShot := writeScene(t, c, il)
+		a, _ := os.ReadFile(path)
+		b, _ := os.ReadFile(oneShot)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s: streamed bytes differ from one-shot", il)
+		}
+	}
+}
+
+func TestWriterErrors(t *testing.T) {
+	dir := t.TempDir()
+	h := Header{Samples: 4, Lines: 4, Bands: 2, Interleave: BIP, DataType: Int16}
+	if _, err := NewWriter(filepath.Join(dir, "a"), h); err == nil {
+		t.Fatal("non-float32 writer accepted")
+	}
+	h.DataType = Float32
+	w, err := NewWriter(filepath.Join(dir, "b"), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRows(hsi.MustNewCube(3, 1, 2)); err == nil {
+		t.Fatal("mismatched slab width accepted")
+	}
+	if err := w.WriteRows(hsi.MustNewCube(4, 5, 2)); err == nil {
+		t.Fatal("slab past the last line accepted")
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("short close accepted")
+	}
+}
+
+// A header whose geometry disagrees with its own wavelength table (shape
+// mismatch at validation, distinct from payload-size mismatch).
+func TestHeaderShapeMismatch(t *testing.T) {
+	h := Header{Samples: 4, Lines: 4, Bands: 3, Interleave: BIP, DataType: Float32,
+		Wavelengths: []float64{400, 500}}
+	if err := h.Validate(); err == nil || !errors.Is(err, ErrHeader) {
+		t.Fatalf("wavelength/bands mismatch: %v", err)
+	}
+	if _, err := NewReader(h, "/nonexistent"); err == nil {
+		t.Fatal("NewReader accepted invalid header")
+	}
+}
+
+func bitEqual(a, b *hsi.Cube) bool {
+	if a.Width != b.Width || a.Height != b.Height || a.Bands != b.Bands || len(a.Data) != len(b.Data) {
+		return false
+	}
+	for i := range a.Data {
+		if math.Float32bits(a.Data[i]) != math.Float32bits(b.Data[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Guard against the header parser accepting trailing junk after the
+// brace list (silent wavelength truncation).
+func TestBraceValueStopsAtClose(t *testing.T) {
+	text := "ENVI\nsamples = 2\nlines = 2\nbands = 2\ninterleave = bip\ndata type = 4\n" +
+		"wavelength = {400, 500} trailing\n"
+	h, err := ParseHeader(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Wavelengths) != 2 || h.Wavelengths[1] != 500 {
+		t.Fatalf("wavelengths %v", h.Wavelengths)
+	}
+	if !strings.Contains(h.Marshal(), "wavelength = {400, 500}") {
+		t.Fatalf("marshal: %s", h.Marshal())
+	}
+}

@@ -1,0 +1,93 @@
+package scene
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"resilientfusion/internal/core"
+	"resilientfusion/internal/hsi"
+	"resilientfusion/internal/scplib"
+)
+
+// fuseBoth runs the same options over the streamed tile path and the
+// in-memory path and asserts every result bit matches — the tentpole
+// guarantee: a scene fused off disk is indistinguishable from the cube
+// fused in memory.
+func fuseBoth(t *testing.T, cube *hsi.Cube, il Interleave, opts core.Options) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "scene.raw")
+	if err := Write(path, cube, il); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	streamed, err := core.FuseSource(scplib.NewRealSystem(), NewTiler(r), opts)
+	if err != nil {
+		t.Fatalf("streamed fuse: %v", err)
+	}
+	inMemory, err := core.Fuse(scplib.NewRealSystem(), cube, opts)
+	if err != nil {
+		t.Fatalf("in-memory fuse: %v", err)
+	}
+
+	if streamed.UniqueSetSize != inMemory.UniqueSetSize {
+		t.Fatalf("unique set %d != %d", streamed.UniqueSetSize, inMemory.UniqueSetSize)
+	}
+	for i := range inMemory.Mean {
+		if streamed.Mean[i] != inMemory.Mean[i] {
+			t.Fatalf("mean[%d] differs", i)
+		}
+	}
+	for i := range inMemory.Eigenvalues {
+		if streamed.Eigenvalues[i] != inMemory.Eigenvalues[i] {
+			t.Fatalf("eigenvalue[%d] differs", i)
+		}
+	}
+	if !bytes.Equal(streamed.Image.Pix, inMemory.Image.Pix) {
+		t.Fatal("composite images not bit-identical")
+	}
+}
+
+// synthScene generates the deterministic HYDICE-like synthetic scene at
+// the given geometry.
+func synthScene(t *testing.T, w, h, b int) *hsi.Cube {
+	t.Helper()
+	spec := hsi.DefaultSceneSpec()
+	spec.Width, spec.Height, spec.Bands, spec.Seed = w, h, b, 7
+	sc, err := hsi.GenerateScene(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc.Cube
+}
+
+func TestStreamedFusionMatchesInMemory(t *testing.T) {
+	cube := synthScene(t, 48, 40, 32)
+	for _, il := range []Interleave{BIP, BIL, BSQ} {
+		t.Run(string(il), func(t *testing.T) {
+			fuseBoth(t, cube, il, core.Options{Workers: 3, Granularity: 2, Threshold: 0.06})
+		})
+	}
+}
+
+// Single-row tiles: granularity pushes the decomposition to one row per
+// sub-cube (Partition clamps at the scene height).
+func TestStreamedFusionSingleRowTiles(t *testing.T) {
+	cube := synthScene(t, 24, 10, 16)
+	fuseBoth(t, cube, BIL, core.Options{Workers: 2, Granularity: 5, Threshold: 0.06})
+}
+
+// Paper-like geometry: the §4 evaluation cube shape (320×320×105). The
+// streamed BIL run must be bit-identical to the in-memory run.
+func TestStreamedFusionPaperGeometry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale parity skipped in -short")
+	}
+	cube := synthScene(t, 320, 320, 105)
+	fuseBoth(t, cube, BIL, core.Options{Workers: 4, Granularity: 2, Threshold: 0.04})
+}

@@ -1,0 +1,154 @@
+package scene
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+
+	"resilientfusion/internal/hsi"
+)
+
+// Writer encodes an ENVI scene incrementally, row ranges at a time, in
+// any supported interleave. Rows must arrive in order; Close writes the
+// companion .hdr once the payload is complete. BSQ scatters each window
+// across the band planes with WriteAt, so even band-sequential output
+// needs only one row-window of scratch.
+type Writer struct {
+	h    Header
+	f    *os.File
+	path string
+	y    int // next row expected
+	raw  []byte
+}
+
+// NewWriter creates dataPath (truncating) for a scene with the given
+// header. Only float32 output is supported: it is the lossless carrier
+// for hsi.Cube samples, which is what makes write→ingest round-trips
+// bit-exact. The header's Offset must be 0.
+func NewWriter(dataPath string, h Header) (*Writer, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	if h.DataType != Float32 || h.BigEndian {
+		return nil, fmt.Errorf("%w: writer emits little-endian float32 only (data type 4)", ErrHeader)
+	}
+	if h.Offset != 0 {
+		return nil, fmt.Errorf("%w: writer does not emit embedded offsets", ErrHeader)
+	}
+	f, err := os.Create(dataPath)
+	if err != nil {
+		return nil, err
+	}
+	return &Writer{h: h, f: f, path: dataPath}, nil
+}
+
+// WriteRows appends the next rows of the scene from a BIP cube slab
+// (width and bands must match the header; the slab's height advances the
+// row cursor).
+func (w *Writer) WriteRows(slab *hsi.Cube) error {
+	if slab.Width != w.h.Samples || slab.Bands != w.h.Bands {
+		return fmt.Errorf("%w: slab %dx%dx%d for scene %dx%dx%d",
+			hsi.ErrShape, slab.Width, slab.Height, slab.Bands, w.h.Samples, w.h.Lines, w.h.Bands)
+	}
+	if w.y+slab.Height > w.h.Lines {
+		return fmt.Errorf("%w: rows past line %d", hsi.ErrShape, w.h.Lines)
+	}
+	W, B := w.h.Samples, w.h.Bands
+	rows := slab.Height
+
+	switch w.h.Interleave {
+	case BIP:
+		raw := w.scratch(rows * W * B)
+		encodeF32(raw, slab.Data, 0, 1)
+		if _, err := w.f.Write(raw); err != nil {
+			return err
+		}
+
+	case BIL:
+		raw := w.scratch(rows * W * B)
+		for row := 0; row < rows; row++ {
+			for b := 0; b < B; b++ {
+				// raw line layout: [(row*B + b)*W + x]; source BIP index
+				// (row*W + x)*B + b.
+				encodeF32(raw[(row*B+b)*W*4:(row*B+b+1)*W*4], slab.Data[row*W*B+b:], 0, B)
+			}
+		}
+		if _, err := w.f.Write(raw); err != nil {
+			return err
+		}
+
+	case BSQ:
+		raw := w.scratch(rows * W)
+		for b := 0; b < B; b++ {
+			encodeF32(raw, slab.Data[b:], 0, B)
+			off := (int64(b)*int64(w.h.Lines) + int64(w.y)) * int64(W) * 4
+			if _, err := w.f.WriteAt(raw, off); err != nil {
+				return err
+			}
+		}
+
+	default:
+		return fmt.Errorf("%w: interleave %q", ErrHeader, w.h.Interleave)
+	}
+	w.y += rows
+	return nil
+}
+
+func (w *Writer) scratch(samples int) []byte {
+	n := samples * 4
+	if cap(w.raw) < n {
+		w.raw = make([]byte, n)
+	}
+	return w.raw[:n]
+}
+
+// encodeF32 writes src[0], src[stride], ... as little-endian float32 into
+// dst until dst is full — the inverse of Reader.decode's scatter.
+func encodeF32(dst []byte, src []float32, start, stride int) {
+	j := start
+	for i := 0; i+4 <= len(dst); i += 4 {
+		binary.LittleEndian.PutUint32(dst[i:], math.Float32bits(src[j]))
+		j += stride
+	}
+}
+
+// Close finalizes the scene: it errors if rows are missing, then writes
+// the .hdr companion next to the data file.
+func (w *Writer) Close() error {
+	if w.y != w.h.Lines {
+		w.f.Close()
+		return fmt.Errorf("%w: closed at row %d of %d", hsi.ErrShape, w.y, w.h.Lines)
+	}
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	return os.WriteFile(HeaderPath(w.path), []byte(w.h.Marshal()), 0o644)
+}
+
+// Write saves a whole cube as an ENVI scene at dataPath (header at
+// dataPath + ".hdr") in the given interleave, carrying the cube's
+// wavelength table into the header. The payload is float32, so ingesting
+// the scene reproduces the cube bit-for-bit.
+func Write(dataPath string, c *hsi.Cube, il Interleave) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	h := Header{
+		Samples:     c.Width,
+		Lines:       c.Height,
+		Bands:       c.Bands,
+		Interleave:  il,
+		DataType:    Float32,
+		Wavelengths: c.Wavelengths,
+	}
+	w, err := NewWriter(dataPath, h)
+	if err != nil {
+		return err
+	}
+	if err := w.WriteRows(c); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.Close()
+}

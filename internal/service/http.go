@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"strconv"
@@ -19,14 +20,16 @@ var maxCubeBytes int64 = 512 << 20
 
 // jobJSON is the wire form of a JobStatus.
 type jobJSON struct {
-	ID        string      `json:"id"`
-	State     JobState    `json:"state"`
-	CacheHit  bool        `json:"cache_hit"`
-	Error     string      `json:"error,omitempty"`
-	Submitted time.Time   `json:"submitted"`
-	Started   *time.Time  `json:"started,omitempty"`
-	Finished  *time.Time  `json:"finished,omitempty"`
-	Result    *resultJSON `json:"result,omitempty"`
+	ID        string        `json:"id"`
+	State     JobState      `json:"state"`
+	SceneID   string        `json:"scene_id,omitempty"`
+	CacheHit  bool          `json:"cache_hit"`
+	Error     string        `json:"error,omitempty"`
+	Progress  *TileProgress `json:"progress,omitempty"`
+	Submitted time.Time     `json:"submitted"`
+	Started   *time.Time    `json:"started,omitempty"`
+	Finished  *time.Time    `json:"finished,omitempty"`
+	Result    *resultJSON   `json:"result,omitempty"`
 }
 
 // resultJSON summarizes a core.Result for clients. The composite image
@@ -46,7 +49,9 @@ func statusJSON(st JobStatus) *jobJSON {
 	out := &jobJSON{
 		ID:        st.ID,
 		State:     st.State,
+		SceneID:   st.SceneID,
 		CacheHit:  st.CacheHit,
+		Progress:  st.Progress,
 		Submitted: st.Submitted,
 	}
 	if st.Err != nil {
@@ -120,6 +125,24 @@ func writeError(w http.ResponseWriter, code int, err error) {
 //	                     202 {id, state}
 //	GET  /v1/jobs/{id}   job status/result (?image=1 adds base64 PNG)
 //	GET  /v1/stats       queue depth, cache hit rate, throughput
+//
+// Scene endpoints (whole-scene streaming fusion):
+//
+//	POST   /v1/scenes               register an ENVI scene: multipart
+//	                                form with a "header" part (ENVI .hdr
+//	                                text, first) and a "data" part (raw
+//	                                payload in the header's interleave);
+//	                                the payload spools to disk, never to
+//	                                memory → 201 scene info
+//	GET    /v1/scenes               list registered scenes
+//	GET    /v1/scenes/{id}          scene info
+//	DELETE /v1/scenes/{id}          unregister + delete the spool
+//	POST   /v1/scenes/{id}/fuse     fuse the whole scene through the
+//	                                worker pool (same option params as
+//	                                /v1/jobs) → 202 job with per-tile
+//	                                progress; poll GET /v1/jobs/{id}
+//	GET    /v1/scenes/{id}/result   composite of the latest completed
+//	                                fusion as image/png
 func (p *Pool) Handler() http.Handler {
 	mux := http.NewServeMux()
 
@@ -182,6 +205,110 @@ func (p *Pool) Handler() http.Handler {
 
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, p.Stats())
+	})
+
+	mux.HandleFunc("POST /v1/scenes", func(w http.ResponseWriter, r *http.Request) {
+		// Stream the multipart body: the header part is read fully (it
+		// is small text), the data part flows straight to the spool.
+		mr, err := r.MultipartReader()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("multipart body required: %w", err))
+			return
+		}
+		hdrPart, err := mr.NextPart()
+		if err != nil || hdrPart.FormName() != "header" {
+			writeError(w, http.StatusBadRequest,
+				errors.New(`first multipart part must be "header" (ENVI header text)`))
+			return
+		}
+		// An ENVI header is a page of text; 1 MiB is generous.
+		hdrText, err := io.ReadAll(io.LimitReader(hdrPart, 1<<20))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("reading header part: %w", err))
+			return
+		}
+		dataPart, err := mr.NextPart()
+		if err != nil || dataPart.FormName() != "data" {
+			writeError(w, http.StatusBadRequest,
+				errors.New(`second multipart part must be "data" (raw scene payload)`))
+			return
+		}
+		info, err := p.RegisterScene(string(hdrText), dataPart)
+		switch {
+		case errors.Is(err, ErrSceneTooLarge):
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+			return
+		case errors.Is(err, ErrSceneLimit):
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		case errors.Is(err, ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		case err != nil:
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, info)
+	})
+
+	mux.HandleFunc("GET /v1/scenes", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"scenes": p.Scenes()})
+	})
+
+	mux.HandleFunc("GET /v1/scenes/{id}", func(w http.ResponseWriter, r *http.Request) {
+		info, err := p.Scene(r.PathValue("id"))
+		if errors.Is(err, ErrUnknownScene) {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+
+	mux.HandleFunc("DELETE /v1/scenes/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := p.RemoveScene(r.PathValue("id")); err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("POST /v1/scenes/{id}/fuse", func(w http.ResponseWriter, r *http.Request) {
+		opts, err := optionsFromQuery(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		st, err := p.FuseScene(r.PathValue("id"), opts)
+		switch {
+		case errors.Is(err, ErrUnknownScene):
+			writeError(w, http.StatusNotFound, err)
+			return
+		case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		case err != nil:
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, statusJSON(st))
+	})
+
+	mux.HandleFunc("GET /v1/scenes/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		data, err := p.SceneResultPNG(r.PathValue("id"))
+		switch {
+		case errors.Is(err, ErrUnknownScene), errors.Is(err, ErrNoSceneResult), errors.Is(err, ErrUnknownJob):
+			writeError(w, http.StatusNotFound, err)
+			return
+		case errors.Is(err, ErrImageExpired):
+			writeError(w, http.StatusGone, err)
+			return
+		case err != nil:
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "image/png")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(data)
 	})
 
 	return mux

@@ -3,12 +3,15 @@ package service
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"resilientfusion/internal/core"
 	"resilientfusion/internal/hsi"
 	"resilientfusion/internal/resilient"
+	"resilientfusion/internal/scene"
 	"resilientfusion/internal/scplib"
 )
 
@@ -31,6 +34,20 @@ type Job struct {
 	digest string
 	key    string
 
+	// Scene jobs stream tiles from a registered scene instead of holding
+	// a cube: sceneID names the registry entry, and sceneFile is the
+	// job's own open handle on the spooled payload, taken at submit so
+	// removing the scene (which unlinks the file) cannot strand an
+	// accepted job — the handle stays readable until finish() closes it.
+	// The tile counters publish per-tile progress from the manager
+	// thread to HTTP pollers; tilesTotal is immutable after enqueue.
+	sceneID          string
+	sceneHdr         scene.Header
+	sceneFile        *os.File
+	tilesTotal       int
+	tilesScreened    atomic.Int64
+	tilesTransformed atomic.Int64
+
 	done chan struct{} // closed on completion (done or failed)
 
 	// Guarded by the pool's mutex.
@@ -50,18 +67,52 @@ type Job struct {
 	pngB64 string
 }
 
+// TileProgress is a scene job's per-tile pipeline position: each tile
+// passes screening and then the transform, so Transformed trails
+// Screened and both end at Total.
+type TileProgress struct {
+	Total       int `json:"total"`
+	Screened    int `json:"screened"`
+	Transformed int `json:"transformed"`
+}
+
 // JobStatus is an immutable snapshot of a job.
 type JobStatus struct {
-	ID       string
-	State    JobState
+	ID    string
+	State JobState
+	// SceneID is set for scene jobs (FuseScene).
+	SceneID  string
 	CacheHit bool
 	Err      error
 	// Result is set once State is StateDone. It is shared with the result
 	// cache and other jobs: treat it as read-only.
-	Result    *core.Result
+	Result *core.Result
+	// Progress is set for scene jobs.
+	Progress  *TileProgress
 	Submitted time.Time
 	Started   time.Time
 	Finished  time.Time
+}
+
+// progress snapshots the tile counters (nil for non-scene jobs).
+func (j *Job) progress() *TileProgress {
+	if j.sceneID == "" {
+		return nil
+	}
+	return &TileProgress{
+		Total:       j.tilesTotal,
+		Screened:    int(j.tilesScreened.Load()),
+		Transformed: int(j.tilesTransformed.Load()),
+	}
+}
+
+// markTilesComplete reports every tile done — the cache-hit fast path
+// finishes a scene job without running its tiles. tilesTotal itself was
+// set under the pool lock at enqueue (the same min(G·W, lines) the
+// manager derives) and is never written afterwards.
+func (j *Job) markTilesComplete() {
+	j.tilesScreened.Store(int64(j.tilesTotal))
+	j.tilesTransformed.Store(int64(j.tilesTotal))
 }
 
 // jobEnv adapts a plain scplib thread environment to the resilient.REnv

@@ -1,0 +1,500 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"resilientfusion/internal/core"
+	"resilientfusion/internal/hsi"
+	"resilientfusion/internal/scene"
+)
+
+// enviPayload renders a cube as ENVI header text + raw payload bytes in
+// the given interleave (via the scene writer, so the payload is exactly
+// what a real scene file holds).
+func enviPayload(t *testing.T, cube *hsi.Cube, il scene.Interleave) (string, []byte) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "scene.raw")
+	if err := scene.Write(path, cube, il); err != nil {
+		t.Fatal(err)
+	}
+	hdr, err := os.ReadFile(path + ".hdr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(hdr), data
+}
+
+// postScene uploads header+data as the multipart form POST /v1/scenes
+// expects.
+func postScene(t *testing.T, client *http.Client, url, hdr string, data []byte) *http.Response {
+	t.Helper()
+	var body bytes.Buffer
+	mw := multipart.NewWriter(&body)
+	hw, err := mw.CreateFormField("header")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.WriteString(hw, hdr); err != nil {
+		t.Fatal(err)
+	}
+	dw, err := mw.CreateFormFile("data", "scene.raw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dw.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := mw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", mw.FormDataContentType())
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func pollJob(t *testing.T, client *http.Client, base, id string) jobJSON {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		r, err := client.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		job := decodeJob(t, r)
+		if job.State == StateDone || job.State == StateFailed {
+			return job
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in state %s", id, job.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestSceneHTTPEndToEnd exercises the whole-scene flow over HTTP —
+// register an ENVI upload, fuse it with per-tile progress, fetch the
+// mosaic — and pins the acceptance criterion: the streamed scene fusion
+// is bit-identical to fusing the same cube uploaded in memory (the two
+// jobs' PNG composites are byte-equal, and they share one result-cache
+// entry because the scene digest equals the cube digest).
+func TestSceneHTTPEndToEnd(t *testing.T) {
+	pool, err := NewPool(Config{Workers: 2, MaxConcurrent: 2, SpoolDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	srv := httptest.NewServer(pool.Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	cube := testCube(t, 33)
+	const params = "?threshold=0.05&granularity=3"
+
+	// In-memory reference: upload the cube through the historical path.
+	resp := postCube(t, client, srv.URL+"/v1/jobs"+params, cube)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cube submit status %d", resp.StatusCode)
+	}
+	ref := pollJob(t, client, srv.URL, decodeJob(t, resp).ID)
+	if ref.State != StateDone {
+		t.Fatalf("reference job failed: %s", ref.Error)
+	}
+	refPNG, err := pool.ImagePNG(ref.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Register the same samples as a streamed BIL scene.
+	hdr, data := enviPayload(t, cube, scene.BIL)
+	resp = postScene(t, client, srv.URL+"/v1/scenes", hdr, data)
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("scene register status %d: %s", resp.StatusCode, body)
+	}
+	var info SceneInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if info.Width != cube.Width || info.Height != cube.Height || info.Bands != cube.Bands {
+		t.Fatalf("scene info %+v", info)
+	}
+	wantDigest, err := cube.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Digest != wantDigest {
+		t.Fatalf("scene digest %s, want cube digest %s", info.Digest, wantDigest)
+	}
+
+	// Fuse the scene. The digest matches the in-memory upload, so this
+	// must be served from the result cache — the strongest possible
+	// equality statement — but the composite must also match byte-wise.
+	resp2, err := client.Post(srv.URL+"/v1/scenes/"+info.ID+"/fuse"+params, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("fuse status %d", resp2.StatusCode)
+	}
+	job := decodeJob(t, resp2)
+	if job.SceneID != info.ID {
+		t.Fatalf("job scene_id %q", job.SceneID)
+	}
+	job = pollJob(t, client, srv.URL, job.ID)
+	if job.State != StateDone {
+		t.Fatalf("scene job failed: %s", job.Error)
+	}
+	if !job.CacheHit {
+		t.Fatal("scene fuse of identical samples+options missed the shared cache")
+	}
+	if job.Progress == nil || job.Progress.Total == 0 ||
+		job.Progress.Screened != job.Progress.Total ||
+		job.Progress.Transformed != job.Progress.Total {
+		t.Fatalf("progress %+v", job.Progress)
+	}
+
+	// Fetch the mosaic and compare bytes with the in-memory composite.
+	imgResp, err := client.Get(srv.URL + "/v1/scenes/" + info.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imgResp.StatusCode != http.StatusOK || imgResp.Header.Get("Content-Type") != "image/png" {
+		t.Fatalf("result status %d type %s", imgResp.StatusCode, imgResp.Header.Get("Content-Type"))
+	}
+	gotPNG, err := io.ReadAll(imgResp.Body)
+	imgResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotPNG, refPNG) {
+		t.Fatal("scene mosaic differs from in-memory composite")
+	}
+}
+
+// TestSceneHTTPStreamedComputation disables the cache so the scene job
+// must actually stream tiles through the workers, then compares the
+// composite with a direct in-memory run — bit-identical output without
+// cache assistance, exercised end to end through the endpoints.
+func TestSceneHTTPStreamedComputation(t *testing.T) {
+	pool, err := NewPool(Config{Workers: 2, MaxConcurrent: 1, CacheEntries: -1, SpoolDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	srv := httptest.NewServer(pool.Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	cube := testCube(t, 44)
+	hdr, data := enviPayload(t, cube, scene.BSQ)
+	resp := postScene(t, client, srv.URL+"/v1/scenes", hdr, data)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register status %d", resp.StatusCode)
+	}
+	var info SceneInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if info.Digest != "" {
+		t.Fatalf("digest computed with caching disabled: %s", info.Digest)
+	}
+
+	resp2, err := client.Post(srv.URL+"/v1/scenes/"+info.ID+"/fuse?threshold=0.05&granularity=5", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := decodeJob(t, resp2)
+	job = pollJob(t, client, srv.URL, job.ID)
+	if job.State != StateDone {
+		t.Fatalf("scene job failed: %s", job.Error)
+	}
+	if job.CacheHit {
+		t.Fatal("cache hit with caching disabled")
+	}
+	if job.Progress == nil || job.Progress.Transformed != job.Progress.Total || job.Progress.Total == 0 {
+		t.Fatalf("progress %+v", job.Progress)
+	}
+
+	// Reference: the same options through the pool's in-memory path.
+	opts := core.Options{Threshold: 0.05, Granularity: 5}
+	st, err := pool.Submit(cube.Clone(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err = pool.Wait(st.ID)
+	if err != nil || st.State != StateDone {
+		t.Fatalf("reference: %v %s", err, st.State)
+	}
+	refPNG, err := pool.ImagePNG(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenePNG, err := pool.SceneResultPNG(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(scenePNG, refPNG) {
+		t.Fatal("streamed scene composite differs from in-memory composite")
+	}
+}
+
+// TestSceneHTTPErrors covers the upload and fuse failure surfaces:
+// malformed headers, truncated/oversized payloads, size limits, unknown
+// scenes, and result-before-fuse.
+func TestSceneHTTPErrors(t *testing.T) {
+	pool, err := NewPool(Config{Workers: 1, MaxConcurrent: 1, MaxSceneBytes: 4096, SpoolDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	srv := httptest.NewServer(pool.Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	cube := testCube(t, 55) // 24x24x8 float32 = 18432 bytes > MaxSceneBytes
+	hdr, data := enviPayload(t, cube, scene.BIP)
+
+	// Over the size limit → 413.
+	resp := postScene(t, client, srv.URL+"/v1/scenes", hdr, data)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized scene status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	small := hsi.MustNewCube(8, 8, 4)
+	for i := range small.Data {
+		small.Data[i] = float32(i%97) - 48
+	}
+	hdr, data = enviPayload(t, small, scene.BIL)
+
+	// Truncated payload → 400.
+	resp = postScene(t, client, srv.URL+"/v1/scenes", hdr, data[:len(data)-5])
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("truncated payload status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Oversized payload → 400.
+	resp = postScene(t, client, srv.URL+"/v1/scenes", hdr, append(append([]byte(nil), data...), 1, 2, 3))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized payload status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Malformed header → 400.
+	resp = postScene(t, client, srv.URL+"/v1/scenes", "not an envi header", data)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad header status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Non-multipart body → 400.
+	r2, err := client.Post(srv.URL+"/v1/scenes", "application/octet-stream", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("non-multipart status %d", r2.StatusCode)
+	}
+	r2.Body.Close()
+
+	// Unknown scene: fuse, info, result, delete → 404.
+	for _, req := range []*http.Request{
+		mustReq(t, http.MethodPost, srv.URL+"/v1/scenes/scene-99/fuse"),
+		mustReq(t, http.MethodGet, srv.URL+"/v1/scenes/scene-99"),
+		mustReq(t, http.MethodGet, srv.URL+"/v1/scenes/scene-99/result"),
+		mustReq(t, http.MethodDelete, srv.URL+"/v1/scenes/scene-99"),
+	} {
+		r, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s %s status %d", req.Method, req.URL.Path, r.StatusCode)
+		}
+		r.Body.Close()
+	}
+
+	// Valid registration, then: result before any fuse → 404; bad fuse
+	// options → 400; delete → 204; fuse after delete → 404.
+	resp = postScene(t, client, srv.URL+"/v1/scenes", hdr, data)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register status %d", resp.StatusCode)
+	}
+	var info SceneInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	r3, _ := client.Get(srv.URL + "/v1/scenes/" + info.ID + "/result")
+	if r3.StatusCode != http.StatusNotFound {
+		t.Fatalf("result before fuse status %d", r3.StatusCode)
+	}
+	r3.Body.Close()
+
+	r4, _ := client.Post(srv.URL+"/v1/scenes/"+info.ID+"/fuse?threshold=9", "", nil)
+	if r4.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad threshold status %d", r4.StatusCode)
+	}
+	r4.Body.Close()
+
+	del := mustReq(t, http.MethodDelete, srv.URL+"/v1/scenes/"+info.ID)
+	r5, err := client.Do(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r5.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status %d", r5.StatusCode)
+	}
+	r5.Body.Close()
+	r6, _ := client.Post(srv.URL+"/v1/scenes/"+info.ID+"/fuse", "", nil)
+	if r6.StatusCode != http.StatusNotFound {
+		t.Fatalf("fuse after delete status %d", r6.StatusCode)
+	}
+	r6.Body.Close()
+}
+
+func mustReq(t *testing.T, method, url string) *http.Request {
+	t.Helper()
+	req, err := http.NewRequest(method, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return req
+}
+
+// TestSceneRegistryLimits pins MaxScenes admission and the list/remove
+// lifecycle through the Go API.
+func TestSceneRegistryLimits(t *testing.T) {
+	pool, err := NewPool(Config{Workers: 1, MaxConcurrent: 1, MaxScenes: 2, SpoolDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	small := hsi.MustNewCube(4, 4, 2)
+	hdr, data := enviPayloadRaw(t, small)
+	var ids []string
+	for i := 0; i < 2; i++ {
+		info, err := pool.RegisterScene(hdr, bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, info.ID)
+	}
+	if _, err := pool.RegisterScene(hdr, bytes.NewReader(data)); !errors.Is(err, ErrSceneLimit) {
+		t.Fatalf("over-limit registration: %v", err)
+	}
+	if got := pool.Scenes(); len(got) != 2 || got[0].ID != ids[0] || got[1].ID != ids[1] {
+		t.Fatalf("scene list %+v", got)
+	}
+	if err := pool.RemoveScene(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.RegisterScene(hdr, bytes.NewReader(data)); err != nil {
+		t.Fatalf("registration after removal: %v", err)
+	}
+}
+
+// TestRegisterSceneFile registers a scene by local path (no spool copy)
+// and fuses it through the Go API.
+func TestRegisterSceneFile(t *testing.T) {
+	pool, err := NewPool(Config{Workers: 2, MaxConcurrent: 1, SpoolDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	cube := testCube(t, 66)
+	path := filepath.Join(t.TempDir(), "local.raw")
+	if err := scene.Write(path, cube, scene.BIL); err != nil {
+		t.Fatal(err)
+	}
+	info, err := pool.RegisterSceneFile(path + ".hdr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := pool.FuseScene(info.ID, core.Options{Threshold: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err = pool.Wait(st.ID)
+	if err != nil || st.State != StateDone {
+		t.Fatalf("fuse: %v %s", err, st.State)
+	}
+	// The registered files must survive removal of a non-owned entry.
+	if err := pool.RemoveScene(info.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("local scene file deleted: %v", err)
+	}
+}
+
+// enviPayloadRaw is enviPayload for cubes without a testing geometry
+// helper (BIP, no wavelengths).
+func enviPayloadRaw(t *testing.T, cube *hsi.Cube) (string, []byte) {
+	t.Helper()
+	return enviPayload(t, cube, scene.BIP)
+}
+
+// Removing a scene while an accepted fusion of it is still queued must
+// not strand the job: the job holds its own handle from submit time, so
+// the unlink is invisible to it.
+func TestRemoveSceneWithQueuedFuse(t *testing.T) {
+	pool, err := NewPool(Config{Workers: 2, MaxConcurrent: 1, CacheEntries: -1, SpoolDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	cube := testCube(t, 77)
+	hdr, data := enviPayload(t, cube, scene.BIL)
+	info, err := pool.RegisterScene(hdr, bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Occupy the single dispatcher so the scene fuse sits in the queue.
+	blocker, err := pool.Submit(testCube(t, 78), core.Options{Threshold: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := pool.FuseScene(info.ID, core.Options{Threshold: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unlink the spool while the fuse is (most likely) still queued.
+	if err := pool.RemoveScene(info.ID); err != nil {
+		t.Fatal(err)
+	}
+	if st, err = pool.Wait(st.ID); err != nil || st.State != StateDone {
+		t.Fatalf("queued fuse after scene removal: %v %s (%v)", err, st.State, st.Err)
+	}
+	if _, err := pool.Wait(blocker.ID); err != nil {
+		t.Fatal(err)
+	}
+}

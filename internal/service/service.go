@@ -20,11 +20,13 @@ import (
 	"fmt"
 	"image/png"
 	"math"
+	"os"
 	"sync"
 	"time"
 
 	"resilientfusion/internal/core"
 	"resilientfusion/internal/hsi"
+	"resilientfusion/internal/scene"
 	"resilientfusion/internal/scplib"
 )
 
@@ -71,6 +73,16 @@ type Config struct {
 	// daemon. The result cache keeps its own (CacheEntries-bounded) full
 	// copies.
 	RetainResults int
+	// SpoolDir is where uploaded scenes are spooled; empty selects a
+	// fresh temporary directory that Close removes.
+	SpoolDir string
+	// MaxSceneBytes bounds a registered scene's raw payload (default
+	// 512 MiB), checked against the header's claim before any byte is
+	// spooled.
+	MaxSceneBytes int64
+	// MaxScenes bounds concurrently registered scenes (default 64);
+	// registrations past it are rejected until scenes are removed.
+	MaxScenes int
 	// LogTo receives diagnostics (nil silences them).
 	LogTo func(format string, args ...any)
 }
@@ -93,6 +105,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetainResults <= 0 {
 		c.RetainResults = 64
+	}
+	if c.MaxSceneBytes <= 0 {
+		c.MaxSceneBytes = 512 << 20
+	}
+	if c.MaxScenes <= 0 {
+		c.MaxScenes = 64
 	}
 	return c
 }
@@ -135,6 +153,13 @@ type Pool struct {
 	completed  int64
 	failed     int64
 	rejected   int64
+
+	// Scene registry (see scene.go). spoolDir is resolved at NewPool;
+	// ownSpool marks a pool-created temporary directory removed by Close.
+	scenes    map[string]*sceneEntry
+	nextScene uint64
+	spoolDir  string
+	ownSpool  bool
 }
 
 // NewPool builds and starts a pool: the system begins running with all
@@ -150,7 +175,18 @@ func NewPool(cfg Config) (*Pool, error) {
 		queue:      make(chan *Job, cfg.QueueDepth),
 		t0:         time.Now(),
 		jobs:       make(map[string]*Job),
+		scenes:     make(map[string]*sceneEntry),
+		spoolDir:   cfg.SpoolDir,
 		nextThread: scplib.ThreadID(cfg.Workers + 1),
+	}
+	if p.spoolDir == "" {
+		dir, err := os.MkdirTemp("", "fusiond-scenes-")
+		if err != nil {
+			return nil, err
+		}
+		p.spoolDir, p.ownSpool = dir, true
+	} else if err := os.MkdirAll(p.spoolDir, 0o755); err != nil {
+		return nil, err
 	}
 	for w := 1; w <= cfg.Workers; w++ {
 		id := scplib.ThreadID(w)
@@ -178,6 +214,35 @@ func (p *Pool) Submit(cube *hsi.Cube, opts core.Options) (JobStatus, error) {
 	if err := cube.Validate(); err != nil {
 		return JobStatus{}, err
 	}
+	opts, err := p.canonicalOptions(opts)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	// The content-addressed key is only worth the full-cube hash when a
+	// cache exists to serve it.
+	var digest string
+	if p.cfg.CacheEntries > 0 {
+		if digest, err = cube.Digest(); err != nil {
+			return JobStatus{}, err
+		}
+	}
+	return p.enqueue(func(num uint64) *Job {
+		return &Job{
+			id:     fmt.Sprintf("job-%d", num),
+			num:    num,
+			cube:   cube,
+			opts:   opts,
+			digest: digest,
+		}
+	})
+}
+
+// canonicalOptions applies the pool's fixed policy to client options and
+// rejects configurations the workers would refuse, so clients get a
+// synchronous error instead of an asynchronous failed job that occupied
+// a queue slot. Shared by the in-memory (Submit) and scene (FuseScene)
+// submission paths.
+func (p *Pool) canonicalOptions(opts core.Options) (core.Options, error) {
 	// Jobs always run at the pool's worker count and without replication:
 	// process pooling, not thread replication, is this layer's resilience
 	// story (workers are goroutines in one process).
@@ -193,18 +258,16 @@ func (p *Pool) Submit(cube *hsi.Cube, opts core.Options) (JobStatus, error) {
 	}
 	opts = opts.Canonical()
 	if opts.Components < 3 {
-		return JobStatus{}, fmt.Errorf("%w: need >=3 components for color mapping", core.ErrBadOptions)
+		return opts, fmt.Errorf("%w: need >=3 components for color mapping", core.ErrBadOptions)
 	}
 	if opts.Granularity < 1 {
-		return JobStatus{}, fmt.Errorf("%w: Granularity=%d", core.ErrBadOptions, opts.Granularity)
+		return opts, fmt.Errorf("%w: Granularity=%d", core.ErrBadOptions, opts.Granularity)
 	}
-	// Reject thresholds the screening kernel will refuse, so the client
-	// gets a synchronous error instead of an asynchronous failed job
-	// that occupied a queue slot. Canonical options map 0 to the default,
-	// so anything non-positive (or NaN, which fails both comparisons'
-	// negations) is out of range here.
+	// Canonical options map 0 to the default threshold, so anything
+	// non-positive (or NaN, which fails both comparisons' negations) is
+	// out of range here.
 	if !(opts.Threshold > 0) || opts.Threshold > math.Pi {
-		return JobStatus{}, fmt.Errorf("%w: Threshold=%g not in (0, π]", core.ErrBadOptions, opts.Threshold)
+		return opts, fmt.Errorf("%w: Threshold=%g not in (0, π]", core.ErrBadOptions, opts.Threshold)
 	}
 	// Bound the decomposition: the manager's transform phase keeps all
 	// sub-cube requests in flight at once, so an unbounded client-chosen
@@ -214,46 +277,43 @@ func (p *Pool) Submit(cube *hsi.Cube, opts core.Options) (JobStatus, error) {
 	// digits).
 	// The Granularity pre-check keeps the product from overflowing.
 	if opts.Granularity > maxSubCubes || opts.Granularity*opts.Workers > maxSubCubes {
-		return JobStatus{}, fmt.Errorf("%w: Granularity=%d yields over %d sub-cubes",
+		return opts, fmt.Errorf("%w: Granularity=%d yields over %d sub-cubes",
 			core.ErrBadOptions, opts.Granularity, maxSubCubes)
 	}
-	// The content-addressed key is only worth the full-cube hash when a
-	// cache exists to serve it.
-	var digest string
-	if p.cfg.CacheEntries > 0 {
-		var err error
-		if digest, err = cube.Digest(); err != nil {
-			return JobStatus{}, err
-		}
-	}
+	return opts, nil
+}
 
+// enqueue admits one job built by mk (called with the job's allocated
+// sequence number; mk must fill everything but the lifecycle fields).
+// It serves the content-addressed fast path and applies admission
+// control, with the exact close/queue atomicity the dispatcher relies
+// on.
+func (p *Pool) enqueue(mk func(num uint64) *Job) (JobStatus, error) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
 		return JobStatus{}, ErrClosed
 	}
 	p.nextJob++
-	job := &Job{
-		id:        fmt.Sprintf("job-%d", p.nextJob),
-		num:       p.nextJob,
-		cube:      cube,
-		opts:      opts,
-		digest:    digest,
-		done:      make(chan struct{}),
-		state:     StateQueued,
-		submitted: time.Now(),
-	}
-	if digest != "" {
-		job.key = digest + "|" + opts.ResultKey()
+	job := mk(p.nextJob)
+	job.done = make(chan struct{})
+	job.state = StateQueued
+	job.submitted = time.Now()
+	if job.digest != "" {
+		job.key = job.digest + "|" + job.opts.ResultKey()
 	}
 	p.submitted++
 	p.jobs[job.id] = job
 	p.mu.Unlock()
 
-	// Content-addressed fast path: identical cube + options already
-	// computed.
+	// Content-addressed fast path: identical samples + options already
+	// computed (scene jobs digest-match equivalent in-memory uploads, so
+	// the two submission paths share entries).
 	if job.key != "" {
 		if res, ok := p.cache.get(job.key); ok {
+			if job.sceneID != "" {
+				job.markTilesComplete()
+			}
 			p.finish(job, res, nil, true)
 			return p.snapshot(job), nil
 		}
@@ -412,7 +472,19 @@ func (p *Pool) Close() error {
 	p.mu.Unlock()
 	p.wg.Wait()  // dispatchers drain remaining queued jobs
 	p.sys.Stop() // kill persistent workers
-	return p.sys.Wait()
+	err := p.sys.Wait()
+	// Release spooled scenes after the drain: queued scene jobs read
+	// their files until the dispatchers finish.
+	p.mu.Lock()
+	for _, ent := range p.scenes {
+		ent.removeFiles()
+	}
+	p.scenes = map[string]*sceneEntry{}
+	p.mu.Unlock()
+	if p.ownSpool {
+		os.RemoveAll(p.spoolDir)
+	}
+	return err
 }
 
 // dispatch is one unit of the concurrency budget: it runs queued jobs to
@@ -465,7 +537,21 @@ func (p *Pool) runJob(job *Job) {
 				je.stopWorkers()
 				errc <- jobErr
 			}()
-			jobErr = core.RunManager(je, job.cube, job.opts, res)
+			if job.sceneID != "" {
+				// Scene jobs stream row tiles straight off the spooled
+				// file, through the handle the job has held since submit
+				// (finish() closes it; tile reads are manager-thread
+				// sequential).
+				rdr, err := scene.NewReaderFrom(job.sceneHdr, job.sceneFile)
+				if err != nil {
+					jobErr = fmt.Errorf("service: opening scene %s: %w", job.sceneID, err)
+					return nil
+				}
+				src := &sceneSource{tiler: scene.NewTiler(rdr), job: job}
+				jobErr = core.RunManagerSource(je, src, job.opts, res)
+			} else {
+				jobErr = core.RunManager(je, job.cube, job.opts, res)
+			}
 			// Job failures are reported on the job, not accumulated as
 			// system errors.
 			return nil
@@ -491,8 +577,15 @@ func (p *Pool) finish(job *Job, res *core.Result, err error, fromCache bool) {
 	// Release the input cube: it is never read after the run, and
 	// finished jobs stay queryable for up to RetainJobs — holding their
 	// cubes would grow a long-lived daemon by the full upload size per
-	// job.
+	// job. Scene jobs release their spool handle the same way (finish is
+	// each job's single terminal transition, so the close is exactly
+	// once; for removed scenes this drops the last reference to the
+	// unlinked file).
 	job.cube = nil
+	if job.sceneFile != nil {
+		job.sceneFile.Close()
+		job.sceneFile = nil
+	}
 	job.finished = time.Now()
 	job.cacheHit = fromCache
 	if err != nil {
@@ -503,6 +596,12 @@ func (p *Pool) finish(job *Job, res *core.Result, err error, fromCache bool) {
 		job.state = StateDone
 		job.result = res
 		p.completed++
+		// The scene's result endpoint serves its most recent success.
+		if job.sceneID != "" {
+			if ent := p.scenes[job.sceneID]; ent != nil {
+				ent.lastDone = job.id
+			}
+		}
 	}
 	p.doneOrder = append(p.doneOrder, job.id)
 	for len(p.doneOrder) > p.cfg.RetainJobs {
@@ -541,9 +640,11 @@ func (p *Pool) snapshot(job *Job) JobStatus {
 	return JobStatus{
 		ID:        job.id,
 		State:     job.state,
+		SceneID:   job.sceneID,
 		CacheHit:  job.cacheHit,
 		Err:       job.err,
 		Result:    job.result,
+		Progress:  job.progress(),
 		Submitted: job.submitted,
 		Started:   job.started,
 		Finished:  job.finished,

@@ -60,6 +60,10 @@ func envelopeJobID(p []byte) (uint64, bool) {
 func poolWorkerBody() scplib.Body {
 	return func(env scplib.Env) error {
 		states := make(map[uint64]*core.WorkerState)
+		// Worker-lifetime kernel buffers, shared across the jobs this
+		// thread serves: the K≈7 screened-covariance path reuses one sum
+		// matrix instead of allocating n×n per job.
+		scratch := core.NewScratch()
 		for {
 			m, err := env.Recv()
 			if err != nil {
@@ -79,6 +83,7 @@ func poolWorkerBody() scplib.Body {
 				// model is irrelevant here; the default keeps WorkerState
 				// construction uniform with the resilient path.
 				ws = core.NewWorkerState(threshold, parallelism, perfmodel.Default())
+				ws.UseScratch(scratch)
 				states[jobID] = ws
 			}
 			replyKind, reply, flops, err := ws.Handle(m.Kind, inner)
