@@ -9,6 +9,7 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -283,6 +284,61 @@ func BenchmarkScreen(b *testing.B) {
 		if _, _, err := spectral.Screen(vectors, 0.03); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+var (
+	paperSubOnce sync.Once
+	paperSubVecs []linalg.Vector
+)
+
+// paperSubVectors stages the pixel vectors of one paper-geometry
+// sub-cube: §4's 320×320×105 cube split into 32 sub-cubes (P=16,
+// granularity 2) gives 10-row slabs of 3200 pixels — the unit of
+// screening work a worker performs per request.
+func paperSubVectors(b *testing.B) []linalg.Vector {
+	paperSubOnce.Do(func() {
+		scene, err := hsi.GenerateScene(experiments.PaperScale().Scene)
+		if err != nil {
+			panic(err)
+		}
+		sub, err := hsi.Extract(scene.Cube, hsi.Partition(scene.Cube.Height, 32)[0])
+		if err != nil {
+			panic(err)
+		}
+		paperSubVecs = sub.PixelVectors()
+	})
+	b.Helper()
+	return paperSubVecs
+}
+
+// BenchmarkScreenBatched measures the deterministic parallel screening
+// engine on the paper-geometry sub-cube: seq is the sequential Screen
+// reference on the same input, par=N the batched engine at that
+// parallelism (output bit-identical across all cases). Recorded with
+// BenchmarkScreen to BENCH_screen.json via cmd/benchkernels -screen.
+func BenchmarkScreenBatched(b *testing.B) {
+	vectors := paperSubVectors(b)
+	threshold := experiments.PaperScale().Threshold
+	b.Run("seq", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := spectral.Screen(vectors, threshold); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	pars := []int{1, 2, 4}
+	if gm := runtime.GOMAXPROCS(0); gm != 1 && gm != 2 && gm != 4 {
+		pars = append(pars, gm)
+	}
+	for _, par := range pars {
+		b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := spectral.ScreenBatched(vectors, threshold, par); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

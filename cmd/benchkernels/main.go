@@ -9,6 +9,11 @@
 //
 //	go run ./cmd/benchkernels -label post-PR2
 //	go run ./cmd/benchkernels -label pre-PR2 -input saved-bench-output.txt
+//	go run ./cmd/benchkernels -label post-PR4 -screen
+//
+// -screen selects the screening-engine benchmark pair
+// (BenchmarkScreen/BenchmarkScreenBatched) and records it to
+// BENCH_screen.json instead of the kernel set.
 //
 // Without -input the tool runs `go test -run ^$ -bench <set> -benchmem`
 // itself (with -count runs, keeping each benchmark's fastest run to damp
@@ -34,6 +39,11 @@ import (
 // benchSet is the tracked kernel set: the hot per-worker kernels plus
 // the real-runtime end-to-end fusion.
 const benchSet = "BenchmarkScreen$|BenchmarkMeanOf$|BenchmarkCovarianceSum$|BenchmarkCovarianceSumDense$|BenchmarkTransformCube$|BenchmarkRealRuntimeFusion"
+
+// screenBenchSet is the screening-engine set tracked in
+// BENCH_screen.json (-screen): the sequential kernel on the small scene
+// plus the sequential-vs-batched pair on the paper-geometry sub-cube.
+const screenBenchSet = "BenchmarkScreen$|BenchmarkScreenBatched"
 
 type benchResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
@@ -71,10 +81,20 @@ func main() {
 	benchtime := flag.String("benchtime", "2s", "benchtime per run")
 	count := flag.Int("count", 3, "runs per benchmark; the fastest is kept")
 	bench := flag.String("bench", benchSet, "benchmark regex")
+	screen := flag.Bool("screen", false,
+		"record the screening-engine set to BENCH_screen.json (overrides -bench/-out defaults)")
 	flag.Parse()
 	if *label == "" {
 		fmt.Fprintln(os.Stderr, "benchkernels: -label is required")
 		os.Exit(2)
+	}
+	if *screen {
+		if *bench == benchSet {
+			*bench = screenBenchSet
+		}
+		if *out == "BENCH_kernels.json" {
+			*out = "BENCH_screen.json"
+		}
 	}
 
 	var text string

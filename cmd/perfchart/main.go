@@ -77,10 +77,16 @@ func main() {
 		emit(f4.Table())
 		if *speedup || *all {
 			emit(f4.SpeedupTable())
+			emit(f4.ScreenTable())
 			fmt.Printf("worst shortfall from linear (no resiliency): %.1f%%\n",
 				100*metrics.WithinOfLinear(f4.SpeedupBase, f4.Procs))
 			fmt.Printf("mean overhead beyond replication factor: %.1f%%\n\n",
 				100*metrics.Mean(f4.OverheadBeyondReplication))
+			if n := len(f4.ScreenStats); n > 0 {
+				st := f4.ScreenStats[0]
+				fmt.Printf("screening workload per run: %d comparisons by the engine, %d sequential-equivalent charged to the cost model\n\n",
+					st.Comparisons, st.SeqComparisons)
+			}
 		}
 	}
 	if *all || *fig == "5" {

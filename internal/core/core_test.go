@@ -77,6 +77,12 @@ func TestDistributedMatchesSequential(t *testing.T) {
 			if dist.UniqueSetSize != seq.UniqueSetSize {
 				t.Fatalf("P=%d g=%d: K %d vs %d", P, g, dist.UniqueSetSize, seq.UniqueSetSize)
 			}
+			if dist.ScreenStats != seq.ScreenStats {
+				t.Fatalf("P=%d g=%d: screen stats %+v vs %+v", P, g, dist.ScreenStats, seq.ScreenStats)
+			}
+			if dist.ScreenStats.Comparisons == 0 || dist.ScreenStats.Scanned == 0 {
+				t.Fatalf("P=%d g=%d: empty screen stats %+v", P, g, dist.ScreenStats)
+			}
 			if !dist.Mean.Equal(seq.Mean, 0) {
 				t.Fatalf("P=%d g=%d: mean differs", P, g)
 			}

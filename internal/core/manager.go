@@ -41,6 +41,13 @@ type Result struct {
 	Times PhaseTimes
 	// SubCubes is the number of screening sub-problems (granularity).
 	SubCubes int
+	// ScreenStats aggregates the screening workload of the whole job:
+	// every sub-cube's worker screen (counted once per sub-cube, however
+	// many replicas or reissues answered) plus the manager's merge. The
+	// per-part counts are deterministic and the aggregate is a sum, so
+	// the value is independent of arrival order, parallelism, and
+	// resiliency events — Sequential reports the identical value.
+	ScreenStats spectral.Stats
 	// Reissues counts timeout-driven retransmissions of sub-problems.
 	Reissues int
 	// CacheMisses counts transform requests that needed a data resend.
@@ -243,6 +250,7 @@ func (m *manager) screenPhase() ([][]linalg.Vector, error) {
 		if resp.Index < 0 || resp.Index >= S || uniq[resp.Index] != nil {
 			continue // duplicate (reissue raced the original)
 		}
+		m.res.ScreenStats.Add(resp.Stats)
 		uniq[resp.Index] = resp.Vectors
 		if len(resp.Vectors) == 0 {
 			uniq[resp.Index] = []linalg.Vector{} // mark done distinctly from nil
@@ -276,6 +284,7 @@ func (m *manager) mergePhase(uniq [][]linalg.Vector) (*spectral.UniqueSet, error
 	if err != nil {
 		return nil, err
 	}
+	m.res.ScreenStats.Add(st)
 	return merged, m.env.Compute(m.opts.Cost.ScreenFlops(st, m.bands))
 }
 

@@ -30,7 +30,8 @@ func Sequential(cube *hsi.Cube, opts Options) (*Result, error) {
 	ranges := hsi.Partition(cube.Height, subCubes)
 	res.SubCubes = subCubes
 
-	// Steps 1–2.
+	// Steps 1–2. The batched engine is bit-identical to the sequential
+	// spectral.Screen reference, so the oracle's contract is unchanged.
 	parts := make([]*spectral.UniqueSet, len(ranges))
 	subs := make([]*hsi.SubCube, len(ranges))
 	for i, rr := range ranges {
@@ -39,16 +40,18 @@ func Sequential(cube *hsi.Cube, opts Options) (*Result, error) {
 			return nil, err
 		}
 		subs[i] = sub
-		u, _, err := spectral.Screen(sub.PixelVectors(), opts.Threshold)
+		u, st, err := spectral.ScreenBatched(sub.PixelVectors(), opts.Threshold, opts.Parallelism)
 		if err != nil {
 			return nil, err
 		}
 		parts[i] = u
+		res.ScreenStats.Add(st)
 	}
-	merged, _, err := spectral.Merge(parts, opts.Threshold)
+	merged, mst, err := spectral.Merge(parts, opts.Threshold)
 	if err != nil {
 		return nil, err
 	}
+	res.ScreenStats.Add(mst)
 	res.UniqueSetSize = merged.Len()
 
 	// Step 3.

@@ -18,6 +18,7 @@ import (
 	"resilientfusion/internal/colormap"
 	"resilientfusion/internal/hsi"
 	"resilientfusion/internal/linalg"
+	"resilientfusion/internal/spectral"
 )
 
 // Application message kinds (all below resilient.CtrlBase).
@@ -191,13 +192,22 @@ func DecodeScreenReq(p []byte) (*ScreenReq, error) {
 	}, nil
 }
 
-// --- ScreenResp: index, K, n, vectors ---
+// --- ScreenResp: index, K, n, stats, vectors ---
 
-// ScreenResp carries a sub-cube's unique set back to the manager.
+// ScreenResp carries a sub-cube's unique set back to the manager, plus
+// the screening workload the worker measured (the manager aggregates
+// Result.ScreenStats from these so experiment reporting sees the whole
+// job's screening cost, actual and sequential-equivalent).
 type ScreenResp struct {
 	Index   int
+	Stats   spectral.Stats
 	Vectors []linalg.Vector
 }
+
+// screenRespHeader is the fixed prefix: index, K, n (u32 each) plus the
+// three stats counters (u64 each — comparison counts overflow u32 on
+// large sub-cubes).
+const screenRespHeader = 12 + 24
 
 // EncodeScreenResp serializes a screening response into one exact-size
 // buffer (all vectors share the unique set's dimension).
@@ -206,11 +216,14 @@ func EncodeScreenResp(resp *ScreenResp) []byte {
 	if len(resp.Vectors) > 0 {
 		n = len(resp.Vectors[0])
 	}
-	buf := make([]byte, 12+8*len(resp.Vectors)*n)
+	buf := make([]byte, screenRespHeader+8*len(resp.Vectors)*n)
 	binary.LittleEndian.PutUint32(buf[0:], uint32(resp.Index))
 	binary.LittleEndian.PutUint32(buf[4:], uint32(len(resp.Vectors)))
 	binary.LittleEndian.PutUint32(buf[8:], uint32(n))
-	off := 12
+	binary.LittleEndian.PutUint64(buf[12:], uint64(resp.Stats.Scanned))
+	binary.LittleEndian.PutUint64(buf[20:], uint64(resp.Stats.Comparisons))
+	binary.LittleEndian.PutUint64(buf[28:], uint64(resp.Stats.SeqComparisons))
+	off := screenRespHeader
 	for _, v := range resp.Vectors {
 		encodeF64s(buf[off:], v)
 		off += 8 * len(v)
@@ -237,11 +250,23 @@ func DecodeScreenResp(p []byte) (*ScreenResp, error) {
 	if k > 1<<24 || n > 1<<20 {
 		return nil, ErrWire
 	}
+	var st spectral.Stats
+	for _, dst := range []*int{&st.Scanned, &st.Comparisons, &st.SeqComparisons} {
+		raw, err := r.bytes(8)
+		if err != nil {
+			return nil, err
+		}
+		v := binary.LittleEndian.Uint64(raw)
+		if v > math.MaxInt {
+			return nil, ErrWire
+		}
+		*dst = int(v)
+	}
 	vectors, err := r.f64Vectors(int(k), int(n))
 	if err != nil {
 		return nil, err
 	}
-	return &ScreenResp{Index: int(idx), Vectors: vectors}, nil
+	return &ScreenResp{Index: int(idx), Stats: st, Vectors: vectors}, nil
 }
 
 // --- CovReq: part, count, n, mean, vectors ---

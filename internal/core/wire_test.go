@@ -8,6 +8,7 @@ import (
 	"resilientfusion/internal/colormap"
 	"resilientfusion/internal/hsi"
 	"resilientfusion/internal/linalg"
+	"resilientfusion/internal/spectral"
 )
 
 func smallCube(t *testing.T, w, h, b int, seed int64) *hsi.Cube {
@@ -44,13 +45,21 @@ func TestScreenReqRoundTrip(t *testing.T) {
 }
 
 func TestScreenRespRoundTrip(t *testing.T) {
-	resp := &ScreenResp{Index: 3, Vectors: []linalg.Vector{{1, 2}, {3, 4}, {5, 6}}}
+	resp := &ScreenResp{
+		Index: 3,
+		// Counters past 2^32 must survive the wire (large sub-cubes).
+		Stats:   spectral.Stats{Scanned: 64, Comparisons: 1 << 40, SeqComparisons: 1<<40 - 7},
+		Vectors: []linalg.Vector{{1, 2}, {3, 4}, {5, 6}},
+	}
 	got, err := DecodeScreenResp(EncodeScreenResp(resp))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got.Index != 3 || len(got.Vectors) != 3 {
 		t.Fatalf("got %+v", got)
+	}
+	if got.Stats != resp.Stats {
+		t.Fatalf("stats %+v, want %+v", got.Stats, resp.Stats)
 	}
 	for i := range resp.Vectors {
 		if !got.Vectors[i].Equal(resp.Vectors[i], 0) {

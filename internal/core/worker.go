@@ -52,8 +52,9 @@ func (s *Scratch) covFor(n int) *linalg.Matrix {
 }
 
 // NewWorkerState returns empty per-job worker state. parallelism is the
-// kernel parallelism of the statistics and transform steps (0 selects
-// GOMAXPROCS); it never changes the computed bits, only the wall clock.
+// kernel parallelism of the screening, statistics and transform steps
+// (0 selects GOMAXPROCS); it never changes the computed bits, only the
+// wall clock.
 func NewWorkerState(threshold float64, parallelism int, cost perfmodel.Model) *WorkerState {
 	return &WorkerState{
 		threshold:   threshold,
@@ -89,12 +90,16 @@ func (ws *WorkerState) Handle(kind uint16, payload []byte) (replyKind uint16, re
 		}
 		sub := &hsi.SubCube{Range: req.Range, Cube: req.Cube}
 		ws.cache[req.Range.Index] = sub
-		// Step 1: form the sub-cube's unique spectral set.
-		u, st, err := spectral.Screen(sub.PixelVectors(), ws.threshold)
+		// Step 1: form the sub-cube's unique spectral set. The batched
+		// engine parallelizes the scan under the job's kernel parallelism
+		// with output bit-identical to the sequential reference, and the
+		// modeled cost is charged from the sequential-equivalent count, so
+		// neither the result nor the virtual time depends on the knob.
+		u, st, err := spectral.ScreenBatched(sub.PixelVectors(), ws.threshold, ws.parallelism)
 		if err != nil {
 			return 0, nil, 0, err
 		}
-		enc := EncodeScreenResp(&ScreenResp{Index: req.Range.Index, Vectors: u.Members})
+		enc := EncodeScreenResp(&ScreenResp{Index: req.Range.Index, Stats: st, Vectors: u.Members})
 		ws.screened[req.Range.Index] = enc
 		return KindScreenResp, enc, ws.cost.ScreenFlops(st, req.Cube.Bands), nil
 

@@ -39,6 +39,27 @@ func TestFig4Shapes(t *testing.T) {
 			t.Fatalf("P=%d resiliency ratio %.2f outside [1.6, 2.8]", p, ratio)
 		}
 	}
+	// Figure 4 holds the decomposition fixed, so the aggregate screening
+	// workload — and with it the cost charged per run — must be
+	// identical at every P, and the batched engine must not have done
+	// redundant work relative to the sequential reference it is charged
+	// as.
+	if len(f4.ScreenStats) != len(f4.Procs) {
+		t.Fatalf("screen stats for %d of %d points", len(f4.ScreenStats), len(f4.Procs))
+	}
+	for i, st := range f4.ScreenStats {
+		if st.Comparisons == 0 || st.Scanned == 0 {
+			t.Fatalf("P=%d: empty screen stats %+v", f4.Procs[i], st)
+		}
+		if st != f4.ScreenStats[0] {
+			t.Fatalf("screening workload varies across P with a fixed decomposition: %+v vs %+v",
+				st, f4.ScreenStats[0])
+		}
+		if st.Comparisons != st.SeqComparisons {
+			t.Fatalf("P=%d: engine comparisons %d != sequential-equivalent %d",
+				f4.Procs[i], st.Comparisons, st.SeqComparisons)
+		}
+	}
 }
 
 func TestFig5Shapes(t *testing.T) {
@@ -150,6 +171,9 @@ func TestTablesRender(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := f4.SpeedupTable().Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := f4.ScreenTable().Write(&sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()

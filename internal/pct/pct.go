@@ -21,11 +21,13 @@ type Options struct {
 	// DisableScreening computes statistics over every pixel instead of
 	// the unique set — the plain-PCT baseline of ablation A1.
 	DisableScreening bool
-	// Parallelism is the kernel worker count for the statistics and
-	// transform steps (0 selects GOMAXPROCS; negative forces serial,
-	// matching core.Options.Parallelism). It is a throughput knob only:
-	// every setting produces bit-identical results, because the kernels
-	// reduce over a fixed shard grid in a fixed order.
+	// Parallelism is the kernel worker count for the screening,
+	// statistics and transform steps (0 selects GOMAXPROCS; negative
+	// forces serial, matching core.Options.Parallelism). It is a
+	// throughput knob only: every setting produces bit-identical
+	// results, because the kernels reduce over a fixed shard grid in a
+	// fixed order and the screening engine resolves its batches in the
+	// sequential reference's order.
 	Parallelism int
 }
 
@@ -83,7 +85,9 @@ func Run(cube *hsi.Cube, opts Options) (*Result, error) {
 		statVecs = pixels
 		k = len(pixels)
 	} else {
-		u, st, err := spectral.Screen(pixels, opts.Threshold)
+		// The batched engine is bit-identical to the sequential
+		// spectral.Screen reference at every parallelism.
+		u, st, err := spectral.ScreenBatched(pixels, opts.Threshold, opts.Parallelism)
 		if err != nil {
 			return nil, err
 		}

@@ -60,10 +60,14 @@ const EffectiveWorkstationRate = 12e6
 // ScreenFlops is the cost of a screening pass: one norm per scanned
 // vector plus a dot product, an arccosine and the implementation
 // overhead per comparison (algorithm step 1, and the manager's merge in
-// step 2).
+// step 2). The comparison term is charged from the sequential-equivalent
+// count (Stats.SeqComparisons), not the engine's actual count: the model
+// prices the paper's sequential 1999 kernel, so a modern engine that
+// parallelizes or reorders its comparisons changes wall clock without
+// perturbing modeled virtual time.
 func (m Model) ScreenFlops(st spectral.Stats, bands int) float64 {
 	n := float64(bands)
-	return float64(st.Scanned)*2*n + float64(st.Comparisons)*(2*n+m.AcosFlops+m.CompareOverheadFlops)
+	return float64(st.Scanned)*2*n + float64(st.SeqComparisons)*(2*n+m.AcosFlops+m.CompareOverheadFlops)
 }
 
 // MeanFlops is the cost of the unique-set mean (step 3): K·n adds plus n

@@ -8,19 +8,27 @@ import (
 
 func TestScreenFlopsScalesWithWork(t *testing.T) {
 	m := Default()
-	small := m.ScreenFlops(spectral.Stats{Comparisons: 10, Scanned: 10}, 100)
-	big := m.ScreenFlops(spectral.Stats{Comparisons: 1000, Scanned: 10}, 100)
+	small := m.ScreenFlops(spectral.Stats{Comparisons: 10, SeqComparisons: 10, Scanned: 10}, 100)
+	big := m.ScreenFlops(spectral.Stats{Comparisons: 1000, SeqComparisons: 1000, Scanned: 10}, 100)
 	if big <= small {
 		t.Fatal("more comparisons must cost more")
 	}
 	// A comparison costs a 2n dot product, an acos, and the calibrated
 	// implementation overhead.
-	one := m.ScreenFlops(spectral.Stats{Comparisons: 1}, 100)
+	one := m.ScreenFlops(spectral.Stats{Comparisons: 1, SeqComparisons: 1}, 100)
 	if one != 2*100+m.AcosFlops+m.CompareOverheadFlops {
 		t.Fatalf("single comparison = %g", one)
 	}
 	if m.ScreenFlops(spectral.Stats{}, 100) != 0 {
 		t.Fatal("empty stats should cost nothing")
+	}
+	// The model prices the sequential reference: only the
+	// sequential-equivalent counter is charged for comparisons, so an
+	// engine's extra (or saved) actual comparisons leave virtual time
+	// untouched.
+	engine := m.ScreenFlops(spectral.Stats{Comparisons: 5000, SeqComparisons: 1000, Scanned: 10}, 100)
+	if engine != big {
+		t.Fatalf("engine overwork leaked into modeled cost: %g != %g", engine, big)
 	}
 }
 

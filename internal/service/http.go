@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"sort"
 	"strconv"
 	"time"
 
@@ -79,30 +80,48 @@ func statusJSON(st JobStatus) *jobJSON {
 }
 
 // optionsFromQuery builds per-job options from request query parameters.
-// The pool fixes Workers; clients tune the algorithm knobs.
+// The pool fixes Workers; clients tune the algorithm knobs. Unrecognized
+// keys are rejected rather than ignored: a typo like granularty=8 must
+// fail loudly, not silently run the defaults.
 func optionsFromQuery(r *http.Request) (core.Options, error) {
 	var opts core.Options
 	q := r.URL.Query()
-	for key, set := range map[string]func(int){
+	intKnobs := map[string]func(int){
 		"granularity": func(v int) { opts.Granularity = v },
 		"prefetch":    func(v int) { opts.Prefetch = v },
 		"components":  func(v int) { opts.Components = v },
 		"parallelism": func(v int) { opts.Parallelism = v },
-	} {
-		if s := q.Get(key); s != "" {
+	}
+	// Walk the keys in sorted order so multi-error requests fail on a
+	// deterministic key. A present-but-empty value ("granularity=") is a
+	// bad value, not an absent knob: it fails the parse below.
+	keys := make([]string, 0, len(q))
+	for key := range q {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		if len(q[key]) > 1 {
+			return opts, fmt.Errorf("option %q given %d times", key, len(q[key]))
+		}
+		s := q.Get(key)
+		if set, ok := intKnobs[key]; ok {
 			v, err := strconv.Atoi(s)
 			if err != nil {
 				return opts, fmt.Errorf("bad %s %q", key, s)
 			}
 			set(v)
+			continue
 		}
-	}
-	if s := q.Get("threshold"); s != "" {
-		v, err := strconv.ParseFloat(s, 64)
-		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
-			return opts, fmt.Errorf("bad threshold %q", s)
+		if key == "threshold" {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+				return opts, fmt.Errorf("bad threshold %q", s)
+			}
+			opts.Threshold = v
+			continue
 		}
-		opts.Threshold = v
+		return opts, fmt.Errorf("unknown option %q (valid: components, granularity, parallelism, prefetch, threshold)", key)
 	}
 	return opts, nil
 }
@@ -183,8 +202,14 @@ func (p *Pool) Handler() http.Handler {
 
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		st, err := p.Status(r.PathValue("id"))
-		if errors.Is(err, ErrUnknownJob) {
+		switch {
+		case errors.Is(err, ErrUnknownJob):
 			writeError(w, http.StatusNotFound, err)
+			return
+		case err != nil:
+			// Any other Status failure must not serialize a zero-value
+			// snapshot as a healthy 200.
+			writeError(w, http.StatusInternalServerError, err)
 			return
 		}
 		body := statusJSON(st)

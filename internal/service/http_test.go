@@ -161,6 +161,18 @@ func TestHTTPBadRequests(t *testing.T) {
 		t.Errorf("bad option status %d", resp.StatusCode)
 	}
 
+	// Unknown option keys are rejected, not silently defaulted: a typo
+	// like granularty=8 must not run a different computation than asked.
+	// Same for a known knob with an empty value (a lost shell variable).
+	for _, q := range []string{"granularty=8", "treshold=0.05", "granularity=3&foo=1", "granularity=", "threshold=", "granularity=2&granularity=16"} {
+		resp = postCube(t, srv.Client(), srv.URL+"/v1/jobs?"+q, testCube(t, 2))
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("unknown option %q status %d, want 400", q, resp.StatusCode)
+		}
+	}
+
 	// Unknown job.
 	r, err := srv.Client().Get(srv.URL + "/v1/jobs/job-999999")
 	if err != nil {

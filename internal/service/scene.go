@@ -215,12 +215,21 @@ func spoolExact(path string, data io.Reader, claimed int64) error {
 		os.Remove(path)
 		return fmt.Errorf("%w: payload is %d bytes, header claims %d", ErrScenePayload, n, claimed)
 	}
-	// One more byte readable means the payload overruns the header.
+	// One more byte readable means the payload overruns the header. A
+	// single Read is not a valid probe: io.Reader lets an implementation
+	// return (0, nil) with more data still to come (chunked bodies and
+	// pipes do), which would falsely accept an oversized payload.
+	// io.ReadFull loops until a byte, io.EOF, or a real error.
 	var extra [1]byte
-	if m, _ := data.Read(extra[:]); m > 0 {
+	switch m, err := io.ReadFull(data, extra[:]); {
+	case m > 0:
 		f.Close()
 		os.Remove(path)
 		return fmt.Errorf("%w: payload exceeds the %d bytes the header claims", ErrScenePayload, claimed)
+	case !errors.Is(err, io.EOF):
+		f.Close()
+		os.Remove(path)
+		return err
 	}
 	return f.Close()
 }

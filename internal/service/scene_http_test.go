@@ -362,6 +362,13 @@ func TestSceneHTTPErrors(t *testing.T) {
 	}
 	r4.Body.Close()
 
+	// Unknown option key (typo) → 400, same contract as /v1/jobs.
+	r4b, _ := client.Post(srv.URL+"/v1/scenes/"+info.ID+"/fuse?granularty=8", "", nil)
+	if r4b.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown fuse option status %d", r4b.StatusCode)
+	}
+	r4b.Body.Close()
+
 	del := mustReq(t, http.MethodDelete, srv.URL+"/v1/scenes/"+info.ID)
 	r5, err := client.Do(del)
 	if err != nil {
@@ -417,6 +424,60 @@ func TestSceneRegistryLimits(t *testing.T) {
 	}
 	if _, err := pool.RegisterScene(hdr, bytes.NewReader(data)); err != nil {
 		t.Fatalf("registration after removal: %v", err)
+	}
+}
+
+// stutterSurplusReader serves the claimed payload, then returns a
+// single (0, nil) — legal under the io.Reader contract — before
+// revealing its surplus bytes. A one-shot Read probe accepts this
+// oversized payload; the spool's overrun check must keep reading until
+// a byte or EOF.
+type stutterSurplusReader struct {
+	payload   []byte
+	surplus   []byte
+	stuttered bool
+}
+
+func (r *stutterSurplusReader) Read(p []byte) (int, error) {
+	if len(r.payload) > 0 {
+		n := copy(p, r.payload)
+		r.payload = r.payload[n:]
+		return n, nil
+	}
+	if !r.stuttered {
+		r.stuttered = true
+		return 0, nil
+	}
+	if len(r.surplus) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.surplus)
+	r.surplus = r.surplus[n:]
+	return n, nil
+}
+
+// TestRegisterSceneStutteringOverrun pins the spoolExact overrun probe:
+// a reader that returns (0, nil) before its surplus data must still be
+// rejected as oversized, and one that stutters before EOF must still be
+// accepted.
+func TestRegisterSceneStutteringOverrun(t *testing.T) {
+	pool, err := NewPool(Config{Workers: 1, MaxConcurrent: 1, SpoolDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	small := hsi.MustNewCube(4, 4, 2)
+	hdr, data := enviPayloadRaw(t, small)
+
+	overrun := &stutterSurplusReader{payload: append([]byte(nil), data...), surplus: []byte{1, 2, 3}}
+	if _, err := pool.RegisterScene(hdr, overrun); !errors.Is(err, ErrScenePayload) {
+		t.Fatalf("stuttering oversized payload accepted: err = %v", err)
+	}
+
+	exact := &stutterSurplusReader{payload: append([]byte(nil), data...)}
+	if _, err := pool.RegisterScene(hdr, exact); err != nil {
+		t.Fatalf("stuttering exact payload rejected: %v", err)
 	}
 }
 

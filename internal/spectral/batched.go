@@ -1,0 +1,100 @@
+package spectral
+
+import (
+	"resilientfusion/internal/linalg"
+)
+
+// Batch geometry of ScreenBatched. Both constants are fixed — never
+// derived from the parallelism or the host — so the engine's comparison
+// counts, like its membership decisions, are bit-identical at every
+// worker count (the repo's kernel parity standard).
+const (
+	// screenBatchSize is the number of candidates filtered per round.
+	// Large enough that the filter pass dominates once the unique set has
+	// a few members, small enough that the sequential resolve pass of the
+	// first rounds (no confirmed members to filter against yet) stays a
+	// vanishing fraction of a sub-cube.
+	screenBatchSize = 512
+	// screenShardSize is the candidate-shard granule of the parallel
+	// filter pass within a round: 16 shards per full round, enough for
+	// dynamic claiming to balance the uneven early-exit scans.
+	screenShardSize = 32
+)
+
+// screenCand is one candidate's filter-pass outcome within a round.
+type screenCand struct {
+	norm    float64
+	cmp     int
+	covered bool
+}
+
+// ScreenBatched is the deterministic parallel screening engine: it
+// builds a unique set whose members — values, storage identity, and
+// order — are bit-identical to the sequential Screen reference for the
+// same input at every parallelism (0 selects GOMAXPROCS, negative forces
+// serial, matching core.Options.Parallelism).
+//
+// Screening is order-dependent (whether a candidate is admitted depends
+// on every earlier admission), so the engine works in rounds of
+// screenBatchSize candidates. Each round has two passes:
+//
+//  1. Filter (parallel): every candidate in the batch is screened
+//     against the members confirmed before the round started. Those
+//     members precede the whole batch in input order, so a hit here is
+//     exactly a rejection the sequential scan would have made; the scan
+//     is in member order with early exit, so the comparison count per
+//     candidate equals the reference's. The batch is sharded over a
+//     fixed candidate grid (linalg.ParallelShards) — this pass is the
+//     dominant cost and embarrassingly parallel.
+//  2. Resolve (sequential): survivors are processed in input order
+//     against only the members added earlier in this round, resuming the
+//     scan exactly where the filter pass left off. The few intra-round
+//     admissions are decided in the reference's order, which is what
+//     pins the member order.
+//
+// Because the filter scans members in order and the resolve pass resumes
+// from the confirmed boundary, the engine performs no redundant
+// comparisons: Stats.Comparisons equals Stats.SeqComparisons, and both
+// equal the sequential Screen's count bit-for-bit (the parity tests pin
+// all three). threshold 0 selects DefaultThreshold.
+func ScreenBatched(vectors []linalg.Vector, threshold float64, parallelism int) (*UniqueSet, Stats, error) {
+	u, err := NewUniqueSet(threshold)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	var st Stats
+	cosThr := u.cosThreshold()
+	cands := make([]screenCand, min(screenBatchSize, len(vectors)))
+	for lo := 0; lo < len(vectors); lo += screenBatchSize {
+		batch := vectors[lo:min(lo+screenBatchSize, len(vectors))]
+		confirmed := u.Len()
+		// Filter pass. The member slices are read-only here (mutation
+		// happens only in the resolve pass below), so shards race on
+		// nothing but their own cands slots.
+		linalg.ParallelShards(linalg.ShardCount(len(batch), screenShardSize), parallelism, func(s int) {
+			clo, chi := linalg.ShardRange(len(batch), screenShardSize, s)
+			for i := clo; i < chi; i++ {
+				c := &cands[i]
+				c.norm = batch[i].Norm()
+				c.covered, c.cmp = u.scanRange(batch[i], c.norm, cosThr, 0, confirmed)
+			}
+		})
+		// Resolve pass: input order, members added this round only.
+		for i, v := range batch {
+			st.Scanned++
+			c := cands[i]
+			cmp := c.cmp
+			if !c.covered {
+				covered, more := u.scanRange(v, c.norm, cosThr, confirmed, u.Len())
+				cmp += more
+				if !covered {
+					u.Members = append(u.Members, v)
+					u.norms = append(u.norms, c.norm)
+				}
+			}
+			st.Comparisons += cmp
+			st.SeqComparisons += cmp
+		}
+	}
+	return u, st, nil
+}

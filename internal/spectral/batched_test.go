@@ -1,0 +1,182 @@
+package spectral
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"resilientfusion/internal/linalg"
+)
+
+// parityParallelisms is the grid every batched-vs-sequential parity case
+// runs under: serial, small odd/even counts that don't divide the shard
+// grid evenly, the host's GOMAXPROCS, and the automatic setting.
+func parityParallelisms() []int {
+	return []int{-1, 1, 2, 3, runtime.GOMAXPROCS(0), 0}
+}
+
+// clusteredVectors builds spatially coherent imagery: noisy copies of a
+// few base spectra, the shape screening exists for.
+func clusteredVectors(seed int64, count, dim, clusters int, noise float64) []linalg.Vector {
+	rng := rand.New(rand.NewSource(seed))
+	bases := make([]linalg.Vector, clusters)
+	for i := range bases {
+		v := make(linalg.Vector, dim)
+		for j := range v {
+			v[j] = rng.Float64()*1000 + 1
+		}
+		bases[i] = v
+	}
+	out := make([]linalg.Vector, count)
+	for i := range out {
+		v := bases[i%clusters].Clone()
+		for j := range v {
+			v[j] *= 1 + rng.NormFloat64()*noise
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// withZeroRuns splices runs of all-zero pixels (dead detector lines)
+// into vectors at a fixed stride.
+func withZeroRuns(vectors []linalg.Vector, dim, stride, run int) []linalg.Vector {
+	out := make([]linalg.Vector, 0, len(vectors)+len(vectors)/stride*run)
+	for i, v := range vectors {
+		if i%stride == 0 {
+			for k := 0; k < run; k++ {
+				out = append(out, make(linalg.Vector, dim))
+			}
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// assertScreenParity pins ScreenBatched ≡ Screen bit-for-bit: member
+// count, canonical order, storage identity (the engines keep candidate
+// vectors by reference, so identical backing arrays prove the
+// added/rejected decision of every input matched), cached norms, and
+// both Stats counters.
+func assertScreenParity(t *testing.T, vectors []linalg.Vector, threshold float64) {
+	t.Helper()
+	want, wantStats, err := Screen(vectors, threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range parityParallelisms() {
+		got, gotStats, err := ScreenBatched(vectors, threshold, par)
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		if got.Len() != want.Len() {
+			t.Fatalf("par=%d: %d members, sequential reference has %d", par, got.Len(), want.Len())
+		}
+		for i := range want.Members {
+			w, g := want.Members[i], got.Members[i]
+			if len(w) != len(g) || (len(w) > 0 && &w[0] != &g[0]) {
+				t.Fatalf("par=%d: member %d is not the same vector the reference admitted", par, i)
+			}
+			if math.Float64bits(got.norms[i]) != math.Float64bits(want.norms[i]) {
+				t.Fatalf("par=%d: member %d norm %g != %g", par, i, got.norms[i], want.norms[i])
+			}
+		}
+		if gotStats != wantStats {
+			t.Fatalf("par=%d: stats %+v, sequential reference %+v", par, gotStats, wantStats)
+		}
+		if gotStats.Comparisons != gotStats.SeqComparisons {
+			t.Fatalf("par=%d: engine performed %d comparisons but charged %d — the ordered two-pass must be redundancy-free",
+				par, gotStats.Comparisons, gotStats.SeqComparisons)
+		}
+	}
+}
+
+func TestScreenBatchedParityClustered(t *testing.T) {
+	for _, n := range []int{1, 2, 31, 32, 33, 511, 512, 513, 1300} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			assertScreenParity(t, clusteredVectors(int64(n), n, 24, 5, 0.02), 0.1)
+		})
+	}
+}
+
+func TestScreenBatchedParityUncorrelated(t *testing.T) {
+	// Independent random spectra at a tight threshold: nearly every
+	// candidate is admitted, maximizing intra-round resolve work.
+	assertScreenParity(t, randVectors(7, 900, 12), 0.02)
+}
+
+func TestScreenBatchedParityZeroVectors(t *testing.T) {
+	vectors := withZeroRuns(clusteredVectors(3, 700, 16, 4, 0.03), 16, 90, 7)
+	assertScreenParity(t, vectors, 0.1)
+	// All-zero input: dropout-only imagery collapses to one member.
+	zeros := make([]linalg.Vector, 600)
+	for i := range zeros {
+		zeros[i] = make(linalg.Vector, 16)
+	}
+	assertScreenParity(t, zeros, 0.05)
+}
+
+func TestScreenBatchedParityThresholds(t *testing.T) {
+	vectors := clusteredVectors(11, 650, 8, 3, 0.05)
+	for _, threshold := range []float64{0.001, DefaultThreshold, math.Pi / 2, math.Pi} {
+		t.Run(fmt.Sprintf("threshold=%g", threshold), func(t *testing.T) {
+			assertScreenParity(t, vectors, threshold)
+		})
+	}
+}
+
+func TestScreenBatchedEmptyAndErrors(t *testing.T) {
+	u, st, err := ScreenBatched(nil, 0.1, 0)
+	if err != nil || u.Len() != 0 || st != (Stats{}) {
+		t.Fatalf("empty input: %v %v %+v", u, err, st)
+	}
+	if _, _, err := ScreenBatched(randVectors(1, 3, 4), -2, 0); err == nil {
+		t.Fatal("bad threshold accepted")
+	}
+	if _, _, err := ScreenBatched(randVectors(1, 3, 4), math.NaN(), 0); err == nil {
+		t.Fatal("NaN threshold accepted")
+	}
+}
+
+// TestZeroVectorsCollapseToOneMember pins the satellite fix: identical
+// zero vectors cover each other, so N dead-detector pixels yield exactly
+// one unique-set member instead of N (which made screening quadratic on
+// dropout-heavy imagery).
+func TestZeroVectorsCollapseToOneMember(t *testing.T) {
+	for _, screen := range []struct {
+		name string
+		run  func([]linalg.Vector, float64) (*UniqueSet, Stats, error)
+	}{
+		{"Screen", func(vs []linalg.Vector, th float64) (*UniqueSet, Stats, error) { return Screen(vs, th) }},
+		{"ScreenBatched", func(vs []linalg.Vector, th float64) (*UniqueSet, Stats, error) {
+			return ScreenBatched(vs, th, 2)
+		}},
+	} {
+		t.Run(screen.name, func(t *testing.T) {
+			vectors := make([]linalg.Vector, 50)
+			for i := range vectors {
+				vectors[i] = make(linalg.Vector, 8)
+			}
+			vectors = append(vectors, linalg.Vector{1, 2, 3, 4, 5, 6, 7, 8})
+			u, _, err := screen.run(vectors, 0.1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if u.Len() != 2 {
+				t.Fatalf("unique set size %d, want 2 (one zero member, one signal member)", u.Len())
+			}
+			if !u.Covers(make(linalg.Vector, 8)) {
+				t.Fatal("zero vector not covered by the zero member")
+			}
+		})
+	}
+	// The convention stays threshold-independent for the mixed case:
+	// zero vs non-zero is still π/2.
+	u, _ := NewUniqueSet(0.1)
+	u.Insert(make(linalg.Vector, 4))
+	if u.Covers(linalg.Vector{1, 0, 0, 0}) {
+		t.Fatal("non-zero vector covered by zero member at threshold 0.1")
+	}
+}

@@ -42,10 +42,8 @@ func (s *SAM) Classify(v linalg.Vector) (int, float64) {
 	nv := v.Norm()
 	best, bestAngle := 0, math.Inf(1)
 	for i, sig := range s.Signatures {
-		var a float64
-		if nv == 0 || s.norms[i] == 0 {
-			a = math.Pi / 2
-		} else {
+		a, degenerate := zeroAngle(nv, s.norms[i])
+		if !degenerate {
 			c := v.Dot(sig) / (nv * s.norms[i])
 			if c > 1 {
 				c = 1

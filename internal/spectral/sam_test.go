@@ -44,6 +44,13 @@ func TestClassifyZeroVector(t *testing.T) {
 	if angle <= 0 {
 		t.Fatalf("zero pixel angle = %g", angle)
 	}
+	// Package-wide zero convention: a zero pixel matches an all-zero
+	// "no-data" signature at angle 0 (identical), not π/2.
+	s2, _ := NewSAM([]string{"x", "nodata"}, []linalg.Vector{{1, 0}, {0, 0}})
+	idx, angle := s2.Classify(linalg.Vector{0, 0})
+	if idx != 1 || angle != 0 {
+		t.Fatalf("zero pixel vs zero signature: idx=%d angle=%g, want 1, 0", idx, angle)
+	}
 }
 
 func TestMaterialSAMOnSyntheticScene(t *testing.T) {

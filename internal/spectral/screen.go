@@ -49,11 +49,29 @@ type UniqueSet struct {
 	cosValid bool
 }
 
-// Stats reports the work performed by a screening pass; the performance
-// model charges CPU cost from these counts.
+// Stats reports the work performed by a screening pass. Comparisons is
+// what the executing engine actually did; SeqComparisons is what the
+// sequential reference implementation of the same step would have done
+// on the same input — the count the performance model charges, so the
+// modeled cost stays faithful to the paper's sequential kernel no matter
+// which engine ran or how it parallelized. Screen and Merge perform
+// exactly their reference counts, and ScreenBatched's ordered two-pass
+// filter performs no redundant comparisons either, so today the two
+// counters agree everywhere (the parity tests pin this); the split is
+// the contract that lets a future engine trade extra comparisons for
+// throughput without perturbing modeled virtual time.
 type Stats struct {
-	Comparisons int // pairwise angle evaluations
-	Scanned     int // candidate vectors examined
+	Comparisons    int // pairwise angle evaluations actually performed
+	SeqComparisons int // sequential-reference equivalent (cost model input)
+	Scanned        int // candidate vectors examined
+}
+
+// Add accumulates o into s (aggregating per-part stats is a plain sum,
+// so aggregates are independent of arrival order).
+func (s *Stats) Add(o Stats) {
+	s.Comparisons += o.Comparisons
+	s.SeqComparisons += o.SeqComparisons
+	s.Scanned += o.Scanned
 }
 
 // NewUniqueSet returns an empty unique set with the given threshold
@@ -91,9 +109,8 @@ func (u *UniqueSet) Len() int { return len(u.Members) }
 // the set's cached cos(Threshold) (see cosThreshold).
 func (u *UniqueSet) withinCached(v linalg.Vector, nv, cosThr float64, i int) bool {
 	nm := u.norms[i]
-	if nv == 0 || nm == 0 {
-		// The angle to a zero vector is defined as π/2.
-		return math.Pi/2 <= u.Threshold
+	if a, degenerate := zeroAngle(nv, nm); degenerate {
+		return a <= u.Threshold
 	}
 	if cosThr <= -1 {
 		// Threshold π: the Acos reference clamped the cosine to [-1, 1],
@@ -104,14 +121,51 @@ func (u *UniqueSet) withinCached(v linalg.Vector, nv, cosThr float64, i int) boo
 	return v.Dot(u.Members[i]) >= cosThr*(nv*nm)
 }
 
+// zeroAngle is the package-wide zero-vector convention, used by every
+// angle computation (UniqueSet screening and SAM classification alike):
+// two zero vectors are identical (angle 0, so they always cover each
+// other), while the angle between a zero vector and a non-zero one is
+// defined as π/2. Without the first rule every all-zero pixel — dead
+// detector lines produce them in bulk — would enter the unique set as a
+// fresh member at any threshold below π/2, inflating the set and making
+// screening quadratic on dropout-heavy imagery. degenerate reports
+// whether the convention applies (some norm is zero); a is meaningless
+// otherwise.
+func zeroAngle(nv, nm float64) (a float64, degenerate bool) {
+	if nv == 0 || nm == 0 {
+		if nv == 0 && nm == 0 {
+			return 0, true
+		}
+		return math.Pi / 2, true
+	}
+	return 0, false
+}
+
+// scanRange screens v (with precomputed norm nv) against members
+// [lo, hi) in index order with early exit, reporting whether some member
+// covers v and how many comparisons were made. It is the single scan
+// body behind Insert's plain path, Covers, and both passes of
+// ScreenBatched — the bit-parity guarantee between the engines depends
+// on these scans staying behaviorally identical, so there is exactly
+// one of them.
+func (u *UniqueSet) scanRange(v linalg.Vector, nv, cosThr float64, lo, hi int) (covered bool, comparisons int) {
+	for i := lo; i < hi; i++ {
+		comparisons++
+		if u.withinCached(v, nv, cosThr, i) {
+			return true, comparisons
+		}
+	}
+	return false, comparisons
+}
+
 // angleCached computes the spectral angle between v (with precomputed norm
 // nv) and member i. Kept for callers that need the actual angle
 // (MinPairwiseAngle, diagnostics); the screening loops use withinCached.
 func (u *UniqueSet) angleCached(v linalg.Vector, nv float64, i int) float64 {
 	m := u.Members[i]
 	nm := u.norms[i]
-	if nv == 0 || nm == 0 {
-		return math.Pi / 2
+	if a, degenerate := zeroAngle(nv, nm); degenerate {
+		return a
 	}
 	c := v.Dot(m) / (nv * nm)
 	if c > 1 {
@@ -150,11 +204,9 @@ func (u *UniqueSet) Insert(v linalg.Vector) (added bool, comparisons int) {
 		u.scan[0] = len(u.Members) - 1
 		return true, comparisons
 	}
-	for i := range u.Members {
-		comparisons++
-		if u.withinCached(v, nv, cosThr, i) {
-			return false, comparisons
-		}
+	covered, comparisons := u.scanRange(v, nv, cosThr, 0, len(u.Members))
+	if covered {
+		return false, comparisons
 	}
 	u.Members = append(u.Members, v)
 	u.norms = append(u.norms, nv)
@@ -163,14 +215,8 @@ func (u *UniqueSet) Insert(v linalg.Vector) (added bool, comparisons int) {
 
 // Covers reports whether v is within the threshold of some member.
 func (u *UniqueSet) Covers(v linalg.Vector) bool {
-	nv := v.Norm()
-	cosThr := u.cosThreshold()
-	for i := range u.Members {
-		if u.withinCached(v, nv, cosThr, i) {
-			return true
-		}
-	}
-	return false
+	covered, _ := u.scanRange(v, v.Norm(), u.cosThreshold(), 0, len(u.Members))
+	return covered
 }
 
 // MinPairwiseAngle returns the smallest angle between distinct members
@@ -200,6 +246,7 @@ func Screen(vectors []linalg.Vector, threshold float64) (*UniqueSet, Stats, erro
 		st.Scanned++
 		_, cmp := u.Insert(v)
 		st.Comparisons += cmp
+		st.SeqComparisons += cmp
 	}
 	return u, st, nil
 }
@@ -226,6 +273,10 @@ func Merge(parts []*UniqueSet, threshold float64) (*UniqueSet, Stats, error) {
 			st.Scanned++
 			_, cmp := u.Insert(v)
 			st.Comparisons += cmp
+			// The merge IS the sequential reference of step 2 (its
+			// move-to-front probe order is the pinned behaviour), so the
+			// engine count and the reference count coincide.
+			st.SeqComparisons += cmp
 		}
 	}
 	return u, st, nil

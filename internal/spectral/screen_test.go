@@ -197,8 +197,12 @@ func TestZeroVectorHandling(t *testing.T) {
 	if !added {
 		t.Fatal("vector rejected against zero member")
 	}
-	// A second zero vector is also π/2 away from everything: admitted.
-	// (Zero pixels are degenerate; the convention just has to be total.)
+	// A second zero vector is identical to the zero member (angle 0):
+	// covered, so dead-detector pixels collapse to one member.
+	added, _ = u.Insert(linalg.Vector{0, 0, 0})
+	if added {
+		t.Fatal("duplicate zero vector admitted")
+	}
 	if u.MinPairwiseAngle() < 0 {
 		t.Fatal("angle must be non-negative")
 	}
