@@ -54,6 +54,14 @@ func main() {
 		log.Fatal(err)
 	}
 
+	opts := core.Options{
+		Workers:     *workers,
+		Granularity: *granularity,
+		Threshold:   *threshold,
+		Replication: *replication,
+		Regenerate:  *replication > 1,
+	}
+
 	var cube *hsi.Cube
 	var truth []hsi.Material
 	var src core.CubeSource // streaming tile source (scene mode)
@@ -73,7 +81,12 @@ func main() {
 				log.Fatalf("reading scene: %v", err)
 			}
 		} else {
-			src = scene.NewTiler(rdr)
+			// Read-ahead over the decomposition the manager will derive:
+			// the next row-window decodes off disk while the current
+			// tile is encoded for the wire (bit-identical output).
+			pre := scene.NewPrefetchTiler(scene.NewTiler(rdr), opts.TileRanges(h.Lines))
+			defer pre.Drain()
+			src = pre
 		}
 	case *in != "":
 		var err error
@@ -91,14 +104,6 @@ func main() {
 		}
 		cube, truth = scene.Cube, scene.Truth
 		log.Printf("generated synthetic HYDICE scene %s", cube)
-	}
-
-	opts := core.Options{
-		Workers:     *workers,
-		Granularity: *granularity,
-		Threshold:   *threshold,
-		Replication: *replication,
-		Regenerate:  *replication > 1,
 	}
 
 	if src == nil && cube != nil {

@@ -1,0 +1,348 @@
+// fusionctl is the command-line client for the fusion service's v2 API,
+// built on the fusionclient SDK.
+//
+//	fusionctl [-addr http://localhost:8080] <command> [flags] [args]
+//
+// Commands:
+//
+//	submit <cube.hsic>         submit an HSIC cube for fusion
+//	                           (-granularity, -prefetch, -threshold,
+//	                           -components, -parallelism; -wait blocks
+//	                           until the job is terminal)
+//	status <job-id>            print a job resource
+//	wait   <job-id>            long-poll a job to its terminal state
+//	                           (-timeout bounds the wait client-side)
+//	jobs                       list jobs (-state, -limit)
+//	result <job-id>            fetch a result: -o writes the composite
+//	                           PNG, otherwise the JSON summary prints
+//	scenes                     list registered scenes
+//	scenes register <path>     upload an ENVI scene (header or data path)
+//	scenes fuse <scene-id>     fuse a registered scene (same option
+//	                           flags as submit; -wait blocks)
+//	scenes rm <scene-id>       unregister a scene
+//	stats                      print pool counters
+//
+// The service address can also come from the FUSIOND_ADDR environment
+// variable; the -addr flag wins.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"resilientfusion/fusionclient"
+	"resilientfusion/internal/scene"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fusionctl: ")
+
+	addr := flag.String("addr", defaultAddr(), "fusion service base URL (or FUSIOND_ADDR)")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	client := fusionclient.New(*addr)
+	ctx := context.Background()
+
+	var err error
+	switch cmd := args[0]; cmd {
+	case "submit":
+		err = cmdSubmit(ctx, client, args[1:])
+	case "status":
+		err = cmdStatus(ctx, client, args[1:])
+	case "wait":
+		err = cmdWait(ctx, client, args[1:])
+	case "jobs":
+		err = cmdJobs(ctx, client, args[1:])
+	case "result":
+		err = cmdResult(ctx, client, args[1:])
+	case "scenes":
+		err = cmdScenes(ctx, client, args[1:])
+	case "stats":
+		err = cmdStats(ctx, client)
+	default:
+		log.Printf("unknown command %q", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func defaultAddr() string {
+	if v := os.Getenv("FUSIOND_ADDR"); v != "" {
+		return v
+	}
+	return "http://localhost:8080"
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: fusionctl [-addr URL] <command> [flags] [args]
+
+commands:
+  submit <cube.hsic>       submit an HSIC cube (-threshold, -granularity,
+                           -prefetch, -components, -parallelism, -wait)
+  status <job-id>          print a job resource
+  wait <job-id>            long-poll a job to a terminal state (-timeout)
+  jobs                     list jobs (-state, -limit)
+  result <job-id>          fetch a result (-o composite.png for the image)
+  scenes                   list registered scenes
+  scenes register <path>   upload an ENVI scene (header or data path)
+  scenes fuse <scene-id>   fuse a registered scene (option flags + -wait)
+  scenes rm <scene-id>     unregister a scene
+  stats                    print pool counters`)
+}
+
+// optionFlags registers the shared fusion-knob flags on fs and returns a
+// builder that yields nil when no knob was set (pool defaults).
+func optionFlags(fs *flag.FlagSet) func() *fusionclient.Options {
+	granularity := fs.Int("granularity", 0, "sub-cubes = granularity x pool workers")
+	prefetch := fs.Int("prefetch", 0, "per-worker sub-problem overlap (-1 disables)")
+	threshold := fs.Float64("threshold", 0, "spectral-angle screening threshold (radians)")
+	components := fs.Int("components", 0, "principal components retained (min 3)")
+	parallelism := fs.Int("parallelism", 0, "per-worker kernel parallelism")
+	return func() *fusionclient.Options {
+		var opts fusionclient.Options
+		set := false
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "granularity":
+				opts.Granularity, set = granularity, true
+			case "prefetch":
+				opts.Prefetch, set = prefetch, true
+			case "threshold":
+				opts.Threshold, set = threshold, true
+			case "components":
+				opts.Components, set = components, true
+			case "parallelism":
+				opts.Parallelism, set = parallelism, true
+			}
+		})
+		if !set {
+			return nil
+		}
+		return &opts
+	}
+}
+
+func printJob(job *fusionclient.Job) {
+	fmt.Printf("%s  state=%s", job.ID, job.State)
+	if job.SceneID != "" {
+		fmt.Printf("  scene=%s", job.SceneID)
+	}
+	if job.CacheHit {
+		fmt.Printf("  cache_hit")
+	}
+	if job.Progress != nil {
+		fmt.Printf("  tiles=%d/%d", job.Progress.Transformed, job.Progress.Total)
+	}
+	if job.Options != nil {
+		o := job.Options
+		fmt.Printf("  [w=%d g=%d t=%g c=%d]", o.Workers, o.Granularity, o.Threshold, o.Components)
+	}
+	if job.Result != nil {
+		fmt.Printf("  K=%d sub_cubes=%d", job.Result.UniqueSetSize, job.Result.SubCubes)
+	}
+	if job.Error != "" {
+		fmt.Printf("  error=%q", job.Error)
+	}
+	fmt.Println()
+}
+
+func cmdSubmit(ctx context.Context, client *fusionclient.Client, args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	buildOpts := optionFlags(fs)
+	wait := fs.Bool("wait", false, "block until the job is terminal")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("submit needs exactly one cube path, got %d args", fs.NArg())
+	}
+	// The HSIC bytes stream straight from disk onto the wire; the
+	// service validates the encoding.
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	job, err := client.SubmitHSIC(ctx, f, buildOpts())
+	if err != nil {
+		return err
+	}
+	if *wait && !job.Terminal() {
+		if job, err = client.Wait(ctx, job.ID); err != nil {
+			return err
+		}
+	}
+	printJob(job)
+	return nil
+}
+
+func cmdStatus(ctx context.Context, client *fusionclient.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("status needs exactly one job ID")
+	}
+	job, err := client.Job(ctx, args[0])
+	if err != nil {
+		return err
+	}
+	printJob(job)
+	return nil
+}
+
+func cmdWait(ctx context.Context, client *fusionclient.Client, args []string) error {
+	fs := flag.NewFlagSet("wait", flag.ExitOnError)
+	timeout := fs.Duration("timeout", 0, "client-side bound on the wait (0: none)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("wait needs exactly one job ID")
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	job, err := client.Wait(ctx, fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	printJob(job)
+	if job.State == fusionclient.StateFailed {
+		os.Exit(1)
+	}
+	return nil
+}
+
+func cmdJobs(ctx context.Context, client *fusionclient.Client, args []string) error {
+	fs := flag.NewFlagSet("jobs", flag.ExitOnError)
+	state := fs.String("state", "", "filter by state (queued, running, done, failed)")
+	limit := fs.Int("limit", 0, "bound the listing (0: server default)")
+	fs.Parse(args)
+	jobs, err := client.Jobs(ctx, fusionclient.JobState(*state), *limit)
+	if err != nil {
+		return err
+	}
+	for i := range jobs {
+		printJob(&jobs[i])
+	}
+	return nil
+}
+
+func cmdResult(ctx context.Context, client *fusionclient.Client, args []string) error {
+	fs := flag.NewFlagSet("result", flag.ExitOnError)
+	out := fs.String("o", "", "write the composite PNG here (otherwise print the JSON summary)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("result needs exactly one job ID")
+	}
+	id := fs.Arg(0)
+	if *out != "" {
+		data, err := client.ResultPNG(ctx, id)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", *out, len(data))
+		return nil
+	}
+	sum, err := client.Result(ctx, id)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sum)
+}
+
+func cmdScenes(ctx context.Context, client *fusionclient.Client, args []string) error {
+	if len(args) == 0 {
+		scenes, err := client.Scenes(ctx)
+		if err != nil {
+			return err
+		}
+		for _, s := range scenes {
+			fmt.Printf("%s  %dx%dx%d %s  %d bytes  last_done=%s\n",
+				s.ID, s.Width, s.Height, s.Bands, s.Interleave, s.Bytes, orDash(s.LastDoneJob))
+		}
+		return nil
+	}
+	switch sub := args[0]; sub {
+	case "register":
+		if len(args) != 2 {
+			return fmt.Errorf("scenes register needs exactly one ENVI path")
+		}
+		hdrText, err := os.ReadFile(scene.HeaderPath(args[1]))
+		if err != nil {
+			return err
+		}
+		raw, err := os.Open(scene.DataPath(args[1]))
+		if err != nil {
+			return err
+		}
+		defer raw.Close()
+		info, err := client.RegisterScene(ctx, string(hdrText), raw)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s  %dx%dx%d %s  digest=%.12s\n",
+			info.ID, info.Width, info.Height, info.Bands, info.Interleave, info.Digest)
+		return nil
+	case "fuse":
+		fs := flag.NewFlagSet("scenes fuse", flag.ExitOnError)
+		buildOpts := optionFlags(fs)
+		wait := fs.Bool("wait", false, "block until the fusion is terminal")
+		fs.Parse(args[1:])
+		if fs.NArg() != 1 {
+			return fmt.Errorf("scenes fuse needs exactly one scene ID")
+		}
+		job, err := client.FuseScene(ctx, fs.Arg(0), buildOpts())
+		if err != nil {
+			return err
+		}
+		if *wait && !job.Terminal() {
+			if job, err = client.Wait(ctx, job.ID); err != nil {
+				return err
+			}
+		}
+		printJob(job)
+		return nil
+	case "rm":
+		if len(args) != 2 {
+			return fmt.Errorf("scenes rm needs exactly one scene ID")
+		}
+		return client.RemoveScene(ctx, args[1])
+	default:
+		return fmt.Errorf("unknown scenes subcommand %q (valid: register, fuse, rm)", sub)
+	}
+}
+
+func cmdStats(ctx context.Context, client *fusionclient.Client) error {
+	st, err := client.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workers=%d running=%d queued=%d\n", st.Workers, st.Running, st.QueueDepth)
+	fmt.Printf("submitted=%d completed=%d failed=%d rejected=%d\n",
+		st.Submitted, st.Completed, st.Failed, st.Rejected)
+	fmt.Printf("cache: %d hits, %d misses, %d entries\n", st.CacheHits, st.CacheMisses, st.CacheSize)
+	fmt.Printf("throughput=%.2f jobs/s over %.0fs\n", st.Throughput, st.UptimeSeconds)
+	return nil
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

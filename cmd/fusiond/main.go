@@ -19,6 +19,13 @@
 //	POST   /v1/scenes/{id}/fuse     fuse with per-tile progress
 //	GET    /v1/scenes/{id}/result   latest composite as image/png
 //	DELETE /v1/scenes/{id}          unregister and delete the spool
+//
+// The same pool is also served as the v2 resource API — JSON option
+// bodies, structured {"error": {"code", "message"}} envelope, GET
+// /v2/jobs listing, long-poll GET /v2/jobs/{id}?wait=30s, and
+// content-negotiated GET /v2/jobs/{id}/result — documented in
+// docs/openapi.yaml and wrapped by the fusionclient SDK and the
+// fusionctl CLI.
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -45,6 +53,7 @@ func main() {
 	spool := flag.String("spool", "", "scene spool directory (default: a fresh temp dir, removed on exit)")
 	maxSceneMB := flag.Int64("max-scene-mb", 512, "largest registrable scene payload in MiB")
 	maxScenes := flag.Int("max-scenes", 64, "concurrently registered scenes")
+	maxWait := flag.Duration("max-wait", 60*time.Second, "cap on one v2 long-poll request")
 	verbose := flag.Bool("v", false, "log thread diagnostics")
 	flag.Parse()
 
@@ -59,6 +68,7 @@ func main() {
 		SpoolDir:      *spool,
 		MaxSceneBytes: *maxSceneMB << 20,
 		MaxScenes:     *maxScenes,
+		MaxLongPoll:   *maxWait,
 	}
 	if *verbose {
 		cfg.LogTo = log.Printf
@@ -68,7 +78,16 @@ func main() {
 		log.Fatal(err)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: pool.Handler()}
+	// Request contexts derive from baseCtx so shutdown can release
+	// handlers parked in v2 long-polls: they return the current job
+	// snapshot immediately instead of holding the drain open for up to
+	// -max-wait.
+	baseCtx, releaseWaiters := context.WithCancel(context.Background())
+	srv := &http.Server{
+		Addr:        *addr,
+		Handler:     pool.Handler(),
+		BaseContext: func(net.Listener) context.Context { return baseCtx },
+	}
 	go func() {
 		log.Printf("fusiond: serving on %s (%d workers, %d concurrent jobs, queue %d)",
 			*addr, *workers, *concurrency, *queue)
@@ -81,6 +100,7 @@ func main() {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
 	log.Print("fusiond: draining")
+	releaseWaiters()
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {

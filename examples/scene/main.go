@@ -1,51 +1,36 @@
-// Scene example: the whole-scene streaming pipeline end to end. A
-// synthetic HYDICE-like scene is written to disk as an ENVI BIL raster,
-// uploaded to the fusion service through the multipart /v1/scenes
-// endpoint (the payload spools to disk, never to memory), fused
-// tile-by-tile over the pooled workers with per-tile progress, and the
-// mosaic fetched back as PNG. The same cube is then submitted through
-// the in-memory /v1/jobs path to show the two produce byte-identical
-// composites — and that the second submission is a content-addressed
-// cache hit, because a streamed scene digests identically to its
-// in-memory cube.
+// Scene example: the whole-scene streaming pipeline end to end, driven
+// through the typed fusionclient SDK. A synthetic HYDICE-like scene is
+// written to disk as an ENVI BIL raster, uploaded with a streaming
+// multipart request (the payload spools to disk, never to memory), fused
+// tile-by-tile over the pooled workers, and the mosaic fetched back as
+// PNG — all with a single long-poll wait instead of a status-poll loop.
+// The same cube is then submitted through the in-memory path to show the
+// two produce byte-identical composites, and that the second submission
+// is a content-addressed cache hit (a streamed scene digests identically
+// to its in-memory cube).
 //
 //	go run ./examples/scene
 package main
 
 import (
 	"bytes"
-	"encoding/json"
+	"context"
 	"fmt"
-	"io"
 	"log"
-	"mime/multipart"
-	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
-	"time"
 
+	"resilientfusion/fusionclient"
 	"resilientfusion/internal/hsi"
 	"resilientfusion/internal/scene"
 	"resilientfusion/internal/service"
 )
 
-type jobView struct {
-	ID       string `json:"id"`
-	State    string `json:"state"`
-	SceneID  string `json:"scene_id"`
-	CacheHit bool   `json:"cache_hit"`
-	Error    string `json:"error"`
-	Progress *struct {
-		Total       int `json:"total"`
-		Screened    int `json:"screened"`
-		Transformed int `json:"transformed"`
-	} `json:"progress"`
-}
-
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("scene-example: ")
+	ctx := context.Background()
 
 	// A paper-shaped (if reduced) synthetic scene, written as ENVI BIL.
 	spec := hsi.DefaultSceneSpec()
@@ -73,9 +58,10 @@ func main() {
 	defer pool.Close()
 	srv := httptest.NewServer(pool.Handler())
 	defer srv.Close()
-	client := srv.Client()
+	client := fusionclient.New(srv.URL, fusionclient.WithHTTPClient(srv.Client()))
 
-	// Upload: multipart header + raw payload, streamed.
+	// Upload: the SDK streams header + raw payload as multipart; the
+	// service spools it without ever materializing the scene in memory.
 	hdrText, err := os.ReadFile(rawPath + ".hdr")
 	if err != nil {
 		log.Fatal(err)
@@ -85,69 +71,36 @@ func main() {
 		log.Fatal(err)
 	}
 	defer raw.Close()
-	var body bytes.Buffer
-	mw := multipart.NewWriter(&body)
-	hw, _ := mw.CreateFormField("header")
-	_, _ = hw.Write(hdrText)
-	dw, _ := mw.CreateFormFile("data", "hydice.raw")
-	if _, err := io.Copy(dw, raw); err != nil {
-		log.Fatal(err)
-	}
-	mw.Close()
-	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/scenes", &body)
-	req.Header.Set("Content-Type", mw.FormDataContentType())
-	resp, err := client.Do(req)
+	info, err := client.RegisterScene(ctx, string(hdrText), raw)
 	if err != nil {
 		log.Fatal(err)
 	}
-	var info service.SceneInfo
-	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
-		log.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusCreated {
-		log.Fatalf("register: HTTP %d", resp.StatusCode)
-	}
-	log.Printf("registered %s: %dx%dx%d %s, digest %.12s…", info.ID, info.Width, info.Height, info.Bands, info.Interleave, info.Digest)
+	log.Printf("registered %s: %dx%dx%d %s, digest %.12s…",
+		info.ID, info.Width, info.Height, info.Bands, info.Interleave, info.Digest)
 
-	// Fuse the scene, watching per-tile progress.
-	resp, err = client.Post(srv.URL+"/v1/scenes/"+info.ID+"/fuse?threshold=0.05&granularity=4", "", nil)
+	// Fuse the scene and long-poll straight to the terminal state.
+	opts := &fusionclient.Options{
+		Threshold:   fusionclient.Float(0.05),
+		Granularity: fusionclient.Int(4),
+	}
+	job, err := client.FuseScene(ctx, info.ID, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	var job jobView
-	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+	job, err = client.Wait(ctx, job.ID)
+	if err != nil {
 		log.Fatal(err)
 	}
-	resp.Body.Close()
-	for job.State != "done" && job.State != "failed" {
-		time.Sleep(20 * time.Millisecond)
-		r, err := client.Get(srv.URL + "/v1/jobs/" + job.ID)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := json.NewDecoder(r.Body).Decode(&job); err != nil {
-			log.Fatal(err)
-		}
-		r.Body.Close()
-		if job.Progress != nil {
-			log.Printf("  %s: screened %d/%d, transformed %d/%d", job.State,
-				job.Progress.Screened, job.Progress.Total, job.Progress.Transformed, job.Progress.Total)
-		}
-	}
-	if job.State != "done" {
+	if job.State != fusionclient.StateDone {
 		log.Fatalf("scene fuse failed: %s", job.Error)
 	}
+	log.Printf("fused %s: %d/%d tiles streamed through the pool, K=%d",
+		job.ID, job.Progress.Transformed, job.Progress.Total, job.Result.UniqueSetSize)
 
-	// Fetch the mosaic.
-	r, err := client.Get(srv.URL + "/v1/scenes/" + info.ID + "/result")
+	// Fetch the mosaic through the content-negotiated result endpoint.
+	scenePNG, err := client.ResultPNG(ctx, job.ID)
 	if err != nil {
 		log.Fatal(err)
-	}
-	scenePNG, err := io.ReadAll(r.Body)
-	r.Body.Close()
-	if err != nil || r.StatusCode != http.StatusOK {
-		log.Fatalf("result: HTTP %d (%v)", r.StatusCode, err)
 	}
 	outPath := filepath.Join(dir, "mosaic.png")
 	if err := os.WriteFile(outPath, scenePNG, 0o644); err != nil {
@@ -158,31 +111,16 @@ func main() {
 	// Submit the identical cube through the in-memory path: the scene
 	// digest matches the cube digest, so this is a cache hit, and the
 	// composites are byte-identical.
-	var cubeBody bytes.Buffer
-	if _, err := sc.Cube.WriteTo(&cubeBody); err != nil {
-		log.Fatal(err)
-	}
-	resp, err = client.Post(srv.URL+"/v1/jobs?threshold=0.05&granularity=4", "application/octet-stream", &cubeBody)
+	memJob, err := client.SubmitCube(ctx, sc.Cube, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	var memJob jobView
-	if err := json.NewDecoder(resp.Body).Decode(&memJob); err != nil {
-		log.Fatal(err)
-	}
-	resp.Body.Close()
-	for memJob.State != "done" && memJob.State != "failed" {
-		time.Sleep(10 * time.Millisecond)
-		r, err := client.Get(srv.URL + "/v1/jobs/" + memJob.ID)
-		if err != nil {
+	if !memJob.Terminal() {
+		if memJob, err = client.Wait(ctx, memJob.ID); err != nil {
 			log.Fatal(err)
 		}
-		if err := json.NewDecoder(r.Body).Decode(&memJob); err != nil {
-			log.Fatal(err)
-		}
-		r.Body.Close()
 	}
-	memPNG, err := pool.ImagePNG(memJob.ID)
+	memPNG, err := client.ResultPNG(ctx, memJob.ID)
 	if err != nil {
 		log.Fatal(err)
 	}

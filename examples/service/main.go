@@ -1,77 +1,26 @@
-// Service example: run the multi-job fusion service in-process, submit a
-// burst of cubes over its HTTP API, and watch the pool multiplex them
-// over one set of persistent workers — then resubmit a scene and see it
-// answered from the content-addressed result cache.
+// Service example: run the multi-job fusion service in-process and drive
+// it through the typed fusionclient SDK over the v2 API — submit a burst
+// of cubes, wait for each with a single server-side long-poll (no
+// hand-rolled status polling), then resubmit a scene and see it answered
+// from the content-addressed result cache.
 //
 //	go run ./examples/service
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"fmt"
 	"log"
-	"net/http"
 	"net/http/httptest"
-	"time"
 
+	"resilientfusion/fusionclient"
 	"resilientfusion/internal/hsi"
 	"resilientfusion/internal/service"
 )
 
-type jobView struct {
-	ID       string `json:"id"`
-	State    string `json:"state"`
-	CacheHit bool   `json:"cache_hit"`
-	Error    string `json:"error"`
-	Result   *struct {
-		UniqueSetSize int       `json:"unique_set_size"`
-		SubCubes      int       `json:"sub_cubes"`
-		Eigenvalues   []float64 `json:"eigenvalues"`
-	} `json:"result"`
-}
-
-func submit(client *http.Client, base string, cube *hsi.Cube) (jobView, error) {
-	var body bytes.Buffer
-	if _, err := cube.WriteTo(&body); err != nil {
-		return jobView{}, err
-	}
-	resp, err := client.Post(base+"/v1/jobs?threshold=0.05", "application/octet-stream", &body)
-	if err != nil {
-		return jobView{}, err
-	}
-	defer resp.Body.Close()
-	var jv jobView
-	if err := json.NewDecoder(resp.Body).Decode(&jv); err != nil {
-		return jobView{}, err
-	}
-	if resp.StatusCode != http.StatusAccepted {
-		return jv, fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, jv.Error)
-	}
-	return jv, nil
-}
-
-func poll(client *http.Client, base, id string) (jobView, error) {
-	for {
-		resp, err := client.Get(base + "/v1/jobs/" + id)
-		if err != nil {
-			return jobView{}, err
-		}
-		var jv jobView
-		err = json.NewDecoder(resp.Body).Decode(&jv)
-		resp.Body.Close()
-		if err != nil {
-			return jobView{}, err
-		}
-		if jv.State == "done" || jv.State == "failed" {
-			return jv, nil
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
-}
-
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
 	// 1. One long-lived pool: 4 workers shared by every job, up to 4
 	//    jobs in flight, the rest queued (admission-controlled).
@@ -82,8 +31,10 @@ func main() {
 	defer pool.Close()
 	srv := httptest.NewServer(pool.Handler())
 	defer srv.Close()
-	client := srv.Client()
+	client := fusionclient.New(srv.URL, fusionclient.WithHTTPClient(srv.Client()))
 	fmt.Printf("fusion service on %s: 4 pooled workers, 4 concurrent jobs\n\n", srv.URL)
+
+	opts := &fusionclient.Options{Threshold: fusionclient.Float(0.05)}
 
 	// 2. A burst of distinct scenes — new imagery from many sensors.
 	const burst = 8
@@ -97,27 +48,29 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		jv, err := submit(client, srv.URL, scene.Cube)
+		job, err := client.SubmitCube(ctx, scene.Cube, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
-		ids[i] = jv.ID
+		ids[i] = job.ID
 	}
 	fmt.Printf("submitted %d jobs\n", burst)
 	for i, id := range ids {
-		jv, err := poll(client, srv.URL, id)
+		// One long-poll per job: the server parks the request until the
+		// job is terminal — no client-side polling loop.
+		job, err := client.Wait(ctx, id)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if jv.State != "done" {
-			log.Fatalf("%s failed: %s", id, jv.Error)
+		if job.State != fusionclient.StateDone {
+			log.Fatalf("%s failed: %s", id, job.Error)
 		}
-		fmt.Printf("  %-7s scene %d: K=%-4d over %d sub-cubes\n",
-			jv.ID, 100+i, jv.Result.UniqueSetSize, jv.Result.SubCubes)
+		fmt.Printf("  %-7s scene %d: K=%-4d over %d sub-cubes (ran with granularity %d)\n",
+			job.ID, 100+i, job.Result.UniqueSetSize, job.Result.SubCubes, job.Options.Granularity)
 	}
 
 	// 3. Re-image scene 100: identical cube + options → served from the
-	//    content-addressed cache, no recomputation.
+	//    content-addressed cache, already terminal at submit time.
 	scene, err := hsi.GenerateScene(hsi.SceneSpec{
 		Width: 48, Height: 48, Bands: 16, Seed: 100,
 		NoiseSigma: 5, Illumination: 0.12, OpenVehicles: 1,
@@ -125,20 +78,24 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	jv, err := submit(client, srv.URL, scene.Cube)
+	job, err := client.SubmitCube(ctx, scene.Cube, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nresubmitted scene 100: state=%s cache_hit=%v\n", jv.State, jv.CacheHit)
+	fmt.Printf("\nresubmitted scene 100: state=%s cache_hit=%v\n", job.State, job.CacheHit)
 
-	// 4. Service counters.
-	resp, err := client.Get(srv.URL + "/v1/stats")
+	// 4. The unified job listing and the service counters.
+	done, err := client.Jobs(ctx, fusionclient.StateDone, 3)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer resp.Body.Close()
-	var stats service.Stats
-	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+	fmt.Printf("last %d done jobs:", len(done))
+	for _, j := range done {
+		fmt.Printf(" %s", j.ID)
+	}
+	fmt.Println()
+	stats, err := client.Stats(ctx)
+	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("stats: %d submitted, %d completed, cache %d/%d hit/miss, %.1f jobs/s\n",

@@ -1,0 +1,83 @@
+package fusionclient
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Stable machine-readable error codes of the v2 API, mirrored from the
+// service contract (a parity test in the service repo pins the two
+// lists together). Branch on these via ErrorCode or errors.As:
+//
+//	var apiErr *fusionclient.APIError
+//	if errors.As(err, &apiErr) && apiErr.Code == fusionclient.CodeQueueFull {
+//		// back off and resubmit
+//	}
+const (
+	CodeBadOption       = "bad_option"
+	CodeBadPayload      = "bad_payload"
+	CodePayloadTooLarge = "payload_too_large"
+	CodeQueueFull       = "queue_full"
+	CodePoolClosed      = "pool_closed"
+	CodeUnknownJob      = "unknown_job"
+	CodeUnknownScene    = "unknown_scene"
+	CodeSceneLimit      = "scene_limit"
+	CodeNoSceneResult   = "no_scene_result"
+	CodeImageExpired    = "image_expired"
+	CodeJobNotFinished  = "job_not_finished"
+	CodeJobFailed       = "job_failed"
+	CodeInternal        = "internal"
+)
+
+// APIError is a structured service error, round-tripped from the v2
+// envelope {"error": {"code", "message"}}.
+type APIError struct {
+	// Code is one of the stable Code* values (empty when the server
+	// response carried no envelope — a proxy error page, for instance).
+	Code string
+	// Message is the human-readable failure description.
+	Message string
+	// HTTPStatus is the response status the envelope arrived with.
+	HTTPStatus int
+}
+
+func (e *APIError) Error() string {
+	if e.Code == "" {
+		return fmt.Sprintf("fusion service: HTTP %d: %s", e.HTTPStatus, e.Message)
+	}
+	return fmt.Sprintf("fusion service: %s (%s)", e.Message, e.Code)
+}
+
+// ErrorCode extracts the stable code from an error chain, or "" when the
+// error is not a structured service error.
+func ErrorCode(err error) string {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Code
+	}
+	return ""
+}
+
+// decodeError turns a non-2xx response into an *APIError, preferring the
+// v2 envelope and degrading gracefully for bodies that are not one.
+func decodeError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &env); err == nil && env.Error.Code != "" {
+		return &APIError{Code: env.Error.Code, Message: env.Error.Message, HTTPStatus: resp.StatusCode}
+	}
+	msg := strings.TrimSpace(string(body))
+	if msg == "" {
+		msg = resp.Status
+	}
+	return &APIError{Message: msg, HTTPStatus: resp.StatusCode}
+}

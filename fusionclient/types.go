@@ -1,0 +1,136 @@
+package fusionclient
+
+import "time"
+
+// JobState is a job's position in its lifecycle, as reported by the
+// service.
+type JobState string
+
+const (
+	StateQueued  JobState = "queued"
+	StateRunning JobState = "running"
+	StateDone    JobState = "done"
+	StateFailed  JobState = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool { return s == StateDone || s == StateFailed }
+
+// Options are the client-settable fusion knobs. Nil fields take the
+// pool's defaults (so does an explicit zero — the service treats zero
+// as unset, like v1's granularity=0); the canonical values a job
+// actually ran with come back in Job.Options. Use the Int and Float
+// helpers for literals:
+//
+//	fusionclient.Options{Threshold: fusionclient.Float(0.05)}
+type Options struct {
+	// Granularity sets sub-cubes = Granularity × pool workers.
+	Granularity *int `json:"granularity,omitempty"`
+	// Prefetch is the per-worker sub-problem overlap (-1 disables).
+	Prefetch *int `json:"prefetch,omitempty"`
+	// Threshold is the spectral-angle screening threshold in radians,
+	// in (0, π].
+	Threshold *float64 `json:"threshold,omitempty"`
+	// Components retained by the PCT (min 3).
+	Components *int `json:"components,omitempty"`
+	// Parallelism is the per-worker kernel parallelism (result-invariant).
+	Parallelism *int `json:"parallelism,omitempty"`
+}
+
+// Int returns a pointer to v, for Options literals.
+func Int(v int) *int { return &v }
+
+// Float returns a pointer to v, for Options literals.
+func Float(v float64) *float64 { return &v }
+
+// JobOptions is the canonical options echo: every knob the job actually
+// ran with, defaults filled in, including the pool-fixed worker count.
+type JobOptions struct {
+	Workers     int     `json:"workers"`
+	Granularity int     `json:"granularity"`
+	Prefetch    int     `json:"prefetch"`
+	Threshold   float64 `json:"threshold"`
+	Components  int     `json:"components"`
+	Parallelism int     `json:"parallelism"`
+}
+
+// TileProgress is a scene job's per-tile pipeline position.
+type TileProgress struct {
+	Total       int `json:"total"`
+	Screened    int `json:"screened"`
+	Transformed int `json:"transformed"`
+}
+
+// PhaseTimes records when each algorithm phase completed, in runtime
+// seconds. Field names mirror the service's JSON (no tags there).
+type PhaseTimes struct {
+	Screen     float64
+	Statistics float64
+	Eigen      float64
+	Transform  float64
+	Total      float64
+}
+
+// ResultSummary is a finished job's scalar result (the composite image
+// travels separately via ResultPNG).
+type ResultSummary struct {
+	UniqueSetSize int        `json:"unique_set_size"`
+	SubCubes      int        `json:"sub_cubes"`
+	Reissues      int        `json:"reissues"`
+	CacheMisses   int        `json:"cache_misses"`
+	Eigenvalues   []float64  `json:"eigenvalues"`
+	PhaseTimes    PhaseTimes `json:"phase_times"`
+}
+
+// Job is the unified v2 job resource, covering cube and scene fusions.
+type Job struct {
+	ID       string   `json:"id"`
+	State    JobState `json:"state"`
+	SceneID  string   `json:"scene_id,omitempty"`
+	CacheHit bool     `json:"cache_hit"`
+	// Error is the failure message for StateFailed jobs.
+	Error string `json:"error,omitempty"`
+	// Options echoes the canonical options the job ran with.
+	Options *JobOptions `json:"options,omitempty"`
+	// Progress is set for scene jobs.
+	Progress  *TileProgress  `json:"progress,omitempty"`
+	Submitted time.Time      `json:"submitted"`
+	Started   *time.Time     `json:"started,omitempty"`
+	Finished  *time.Time     `json:"finished,omitempty"`
+	Result    *ResultSummary `json:"result,omitempty"`
+}
+
+// Terminal reports whether the job has reached a final state.
+func (j *Job) Terminal() bool { return j.State.Terminal() }
+
+// SceneInfo is a registered scene's snapshot.
+type SceneInfo struct {
+	ID         string    `json:"id"`
+	Width      int       `json:"width"`
+	Height     int       `json:"height"`
+	Bands      int       `json:"bands"`
+	Interleave string    `json:"interleave"`
+	DataType   int       `json:"data_type"`
+	Bytes      int64     `json:"bytes"`
+	Digest     string    `json:"digest,omitempty"`
+	Registered time.Time `json:"registered"`
+	// LastDoneJob is the job whose composite the scene's v1 result
+	// endpoint serves (empty until a fuse completes).
+	LastDoneJob string `json:"last_done_job,omitempty"`
+}
+
+// Stats is the pool's counter snapshot.
+type Stats struct {
+	Workers       int     `json:"workers"`
+	QueueDepth    int     `json:"queue_depth"`
+	Running       int     `json:"running"`
+	Submitted     int64   `json:"submitted"`
+	Completed     int64   `json:"completed"`
+	Failed        int64   `json:"failed"`
+	Rejected      int64   `json:"rejected"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+	CacheSize     int     `json:"cache_size"`
+	Throughput    float64 `json:"throughput_jobs_per_s"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}

@@ -104,13 +104,9 @@ func (m *manager) run() error {
 	t0 := m.env.Now()
 	opts := m.opts
 
-	subCubes := opts.Granularity * opts.Workers
-	if subCubes > m.height {
-		subCubes = m.height
-	}
-	m.ranges = hsi.Partition(m.height, subCubes)
+	m.ranges = opts.TileRanges(m.height)
 	m.owner = make([]resilient.LogicalID, len(m.ranges))
-	m.res.SubCubes = subCubes
+	m.res.SubCubes = len(m.ranges)
 
 	// Steps 1–2: distributed screening, then sequential merge.
 	uniqueSets, err := m.screenPhase()

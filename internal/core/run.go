@@ -119,6 +119,27 @@ func SharedKernelParallelism(workers int) int {
 	return p
 }
 
+// SubCubes returns the number of row-tile sub-problems the manager
+// derives for a scene of the given height: Granularity × Workers, the
+// knob of the paper's Figure 5, clamped to one row per tile. This is
+// THE decomposition formula — the service's tile-progress totals and
+// the prefetching tilers' prediction grids all call it so they can
+// never drift from what the manager actually does.
+func (o Options) SubCubes(height int) int {
+	o = o.withDefaults()
+	n := o.Granularity * o.Workers
+	if n > height {
+		n = height
+	}
+	return n
+}
+
+// TileRanges returns the exact row decomposition RunManagerSource will
+// request from its CubeSource for a scene of the given height.
+func (o Options) TileRanges(height int) []hsi.RowRange {
+	return hsi.Partition(height, o.SubCubes(height))
+}
+
 // ResultKey returns a deterministic string over exactly the fields that
 // influence the fusion output: Workers, Granularity, Threshold,
 // Components and Solver (see Sequential's contract). Scheduling and

@@ -1,0 +1,104 @@
+package scene
+
+import (
+	"resilientfusion/internal/hsi"
+)
+
+// PrefetchTiler wraps a Tiler with one-tile read-ahead: while the
+// manager encodes and ships the tile it just received, a background
+// goroutine already decodes the next row-window off disk, overlapping
+// disk latency with wire work (the scene-layer analogue of the paper's
+// worker-side prefetch). The read-ahead is double-buffered — at most one
+// tile in flight — so the working set grows by exactly one tile.
+//
+// Prediction follows the decomposition the manager derives from the
+// scene's shape: after serving ranges[i] the successor ranges[i+1] is
+// prefetched. Requests outside the predicted sequence (transform-phase
+// cache misses, reissues) fall back to a synchronous read after the
+// in-flight tile is drained, so any request order returns exactly the
+// bytes the wrapped Tiler would — streamed output stays bit-identical to
+// the sequential reader (see TestPrefetchTilerParity).
+//
+// Like the Tiler it wraps, a PrefetchTiler is single-goroutine on the
+// caller's side: Tile and Drain must come from one thread (the fusion
+// manager). The background read is internally serialized with those
+// calls, so the underlying Reader's scratch buffer is never shared.
+type PrefetchTiler struct {
+	t       *Tiler
+	ranges  []hsi.RowRange
+	pending *pendingTile
+}
+
+type pendingTile struct {
+	rr hsi.RowRange
+	ch chan tileResult
+}
+
+type tileResult struct {
+	cube *hsi.Cube
+	err  error
+}
+
+// NewPrefetchTiler wraps t with read-ahead over the given decomposition
+// (the same hsi.Partition the manager will derive). An empty ranges
+// slice disables prediction: every read is synchronous.
+func NewPrefetchTiler(t *Tiler, ranges []hsi.RowRange) *PrefetchTiler {
+	return &PrefetchTiler{t: t, ranges: ranges}
+}
+
+// Shape returns the scene geometry (core.CubeSource).
+func (p *PrefetchTiler) Shape() (int, int, int) { return p.t.Shape() }
+
+// Tile returns the row range, serving it from the in-flight read-ahead
+// when the prediction hit, and kicks off the next prefetch before
+// returning (core.CubeSource).
+func (p *PrefetchTiler) Tile(rr hsi.RowRange) (*hsi.Cube, error) {
+	var cube *hsi.Cube
+	var err error
+	if p.pending != nil && p.pending.rr == rr {
+		res := <-p.pending.ch
+		p.pending = nil
+		cube, err = res.cube, res.err
+	} else {
+		// Prediction miss (or nothing in flight): the in-flight read, if
+		// any, must complete before the Tiler is touched again.
+		p.Drain()
+		cube, err = p.t.Tile(rr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if next, ok := p.successor(rr); ok {
+		ch := make(chan tileResult, 1)
+		p.pending = &pendingTile{rr: next, ch: ch}
+		go func() {
+			c, e := p.t.Tile(next)
+			ch <- tileResult{cube: c, err: e}
+		}()
+	}
+	return cube, nil
+}
+
+// successor returns the range that follows rr in the decomposition.
+func (p *PrefetchTiler) successor(rr hsi.RowRange) (hsi.RowRange, bool) {
+	for i, r := range p.ranges {
+		if r == rr {
+			if i+1 < len(p.ranges) {
+				return p.ranges[i+1], true
+			}
+			return hsi.RowRange{}, false
+		}
+	}
+	return hsi.RowRange{}, false
+}
+
+// Drain discards the in-flight read-ahead, blocking until the background
+// goroutine is done with the underlying Tiler. Callers must Drain before
+// closing the Reader under the Tiler — a prefetch racing the close would
+// read from a closed file.
+func (p *PrefetchTiler) Drain() {
+	if p.pending != nil {
+		<-p.pending.ch
+		p.pending = nil
+	}
+}

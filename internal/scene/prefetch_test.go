@@ -1,0 +1,148 @@
+package scene
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"resilientfusion/internal/core"
+	"resilientfusion/internal/hsi"
+	"resilientfusion/internal/scplib"
+)
+
+// TestPrefetchTilerParity pins the double-buffered reader bit-identical
+// to the sequential reader: every request pattern the manager can
+// produce — the in-order screening sweep, transform-phase re-reads of
+// sporadic indices, repeats, and out-of-prediction jumps — must return
+// exactly the bytes a plain Tiler does.
+func TestPrefetchTilerParity(t *testing.T) {
+	cube := synthScene(t, 40, 37, 24)
+	for _, il := range []Interleave{BIP, BIL, BSQ} {
+		t.Run(string(il), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "scene.raw")
+			if err := Write(path, cube, il); err != nil {
+				t.Fatal(err)
+			}
+			seqR, err := Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer seqR.Close()
+			preR, err := Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer preR.Close()
+
+			ranges := hsi.Partition(cube.Height, 7)
+			seq := NewTiler(seqR)
+			pre := NewPrefetchTiler(NewTiler(preR), ranges)
+			defer pre.Drain()
+
+			// In-order sweep (prediction hits), then out-of-order
+			// re-reads and repeats (prediction misses, drained reads).
+			requests := append([]hsi.RowRange{}, ranges...)
+			requests = append(requests, ranges[3], ranges[0], ranges[6], ranges[6], ranges[2])
+			for _, rr := range requests {
+				want, err := seq.Tile(rr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := pre.Tile(rr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Width != want.Width || got.Height != want.Height || got.Bands != want.Bands {
+					t.Fatalf("%v: shape %dx%dx%d != %dx%dx%d", rr,
+						got.Width, got.Height, got.Bands, want.Width, want.Height, want.Bands)
+				}
+				if !floats32Equal(got.Data, want.Data) {
+					t.Fatalf("%v: prefetched tile differs from sequential read", rr)
+				}
+			}
+		})
+	}
+}
+
+func floats32Equal(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPrefetchTilerUnknownRange covers requests outside the
+// decomposition (no successor to predict) and an empty prediction list.
+func TestPrefetchTilerUnknownRange(t *testing.T) {
+	cube := synthScene(t, 16, 12, 8)
+	path := filepath.Join(t.TempDir(), "scene.raw")
+	if err := Write(path, cube, BIP); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	pre := NewPrefetchTiler(NewTiler(r), nil)
+	defer pre.Drain()
+	rr := hsi.RowRange{Index: 0, Y0: 2, Y1: 5}
+	got, err := pre.Tile(rr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := hsi.Extract(cube, rr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !floats32Equal(got.Data, sub.Cube.Data) {
+		t.Fatal("unpredicted tile differs from in-memory extract")
+	}
+	// Out-of-bounds ranges surface the reader's error, not a panic.
+	if _, err := pre.Tile(hsi.RowRange{Y0: 10, Y1: 20}); err == nil {
+		t.Fatal("out-of-bounds tile did not error")
+	}
+}
+
+// TestPrefetchTilerStreamedFusion runs a whole fusion through the
+// prefetching source and checks the result bit-identical to the
+// in-memory run — the guarantee the service relies on when it wraps
+// every scene job's tiler with read-ahead.
+func TestPrefetchTilerStreamedFusion(t *testing.T) {
+	cube := synthScene(t, 48, 40, 32)
+	path := filepath.Join(t.TempDir(), "scene.raw")
+	if err := Write(path, cube, BIL); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	opts := core.Options{Workers: 3, Granularity: 2, Threshold: 0.06}
+	subCubes := min(opts.Granularity*opts.Workers, cube.Height)
+	pre := NewPrefetchTiler(NewTiler(r), hsi.Partition(cube.Height, subCubes))
+	defer pre.Drain()
+
+	streamed, err := core.FuseSource(scplib.NewRealSystem(), pre, opts)
+	if err != nil {
+		t.Fatalf("prefetched streamed fuse: %v", err)
+	}
+	inMemory, err := core.Fuse(scplib.NewRealSystem(), cube, opts)
+	if err != nil {
+		t.Fatalf("in-memory fuse: %v", err)
+	}
+	if streamed.UniqueSetSize != inMemory.UniqueSetSize {
+		t.Fatalf("unique set %d != %d", streamed.UniqueSetSize, inMemory.UniqueSetSize)
+	}
+	if !bytes.Equal(streamed.Image.Pix, inMemory.Image.Pix) {
+		t.Fatal("prefetched composite not bit-identical to in-memory run")
+	}
+}

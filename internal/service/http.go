@@ -7,8 +7,10 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"slices"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"resilientfusion/internal/core"
@@ -19,13 +21,18 @@ import (
 // tests can exercise the limit without half-gigabyte uploads.
 var maxCubeBytes int64 = 512 << 20
 
-// jobJSON is the wire form of a JobStatus.
+// jobJSON is the wire form of a JobStatus — the job resource shared by
+// both API versions (v2 serves the same shape; only error transport
+// differs).
 type jobJSON struct {
-	ID        string        `json:"id"`
-	State     JobState      `json:"state"`
-	SceneID   string        `json:"scene_id,omitempty"`
-	CacheHit  bool          `json:"cache_hit"`
-	Error     string        `json:"error,omitempty"`
+	ID       string   `json:"id"`
+	State    JobState `json:"state"`
+	SceneID  string   `json:"scene_id,omitempty"`
+	CacheHit bool     `json:"cache_hit"`
+	Error    string   `json:"error,omitempty"`
+	// Options echoes the canonical options the job ran with, defaults
+	// filled in, so clients see the knobs their submission resolved to.
+	Options   *JobOptions   `json:"options,omitempty"`
 	Progress  *TileProgress `json:"progress,omitempty"`
 	Submitted time.Time     `json:"submitted"`
 	Started   *time.Time    `json:"started,omitempty"`
@@ -58,6 +65,9 @@ func statusJSON(st JobStatus) *jobJSON {
 	if st.Err != nil {
 		out.Error = st.Err.Error()
 	}
+	if st.Options.Workers > 0 {
+		out.Options = jobOptions(st.Options)
+	}
 	if !st.Started.IsZero() {
 		t := st.Started
 		out.Started = &t
@@ -79,22 +89,12 @@ func statusJSON(st JobStatus) *jobJSON {
 	return out
 }
 
-// optionsFromQuery builds per-job options from request query parameters.
-// The pool fixes Workers; clients tune the algorithm knobs. Unrecognized
-// keys are rejected rather than ignored: a typo like granularty=8 must
-// fail loudly, not silently run the defaults.
-func optionsFromQuery(r *http.Request) (core.Options, error) {
-	var opts core.Options
-	q := r.URL.Query()
-	intKnobs := map[string]func(int){
-		"granularity": func(v int) { opts.Granularity = v },
-		"prefetch":    func(v int) { opts.Prefetch = v },
-		"components":  func(v int) { opts.Components = v },
-		"parallelism": func(v int) { opts.Parallelism = v },
-	}
-	// Walk the keys in sorted order so multi-error requests fail on a
-	// deterministic key. A present-but-empty value ("granularity=") is a
-	// bad value, not an absent knob: it fails the parse below.
+// queryKeys validates a query against the allowed keys — unknown and
+// duplicated keys are rejected rather than ignored (a typo like
+// granularty=8 must fail loudly, not silently run the defaults) — and
+// the keys come back sorted, so multi-error requests fail on a
+// deterministic key. Shared by v1's option parsing and the v2 handlers.
+func queryKeys(q map[string][]string, allowed ...string) ([]string, error) {
 	keys := make([]string, 0, len(q))
 	for key := range q {
 		keys = append(keys, key)
@@ -102,28 +102,55 @@ func optionsFromQuery(r *http.Request) (core.Options, error) {
 	sort.Strings(keys)
 	for _, key := range keys {
 		if len(q[key]) > 1 {
-			return opts, fmt.Errorf("option %q given %d times", key, len(q[key]))
+			return nil, fmt.Errorf("option %q given %d times", key, len(q[key]))
 		}
+		if !slices.Contains(allowed, key) {
+			return nil, fmt.Errorf("unknown option %q (valid: %s)", key, strings.Join(allowed, ", "))
+		}
+	}
+	return keys, nil
+}
+
+// optionsFromQuery builds per-job options from request query parameters
+// by filling the same OptionsJSON form the v2 JSON bodies decode into,
+// so both surfaces canonicalize through identical validation. The pool
+// fixes Workers; clients tune the algorithm knobs. A present-but-empty
+// value ("granularity=") is a bad value, not an absent knob: it fails
+// the parse below.
+func optionsFromQuery(r *http.Request) (core.Options, error) {
+	var oj OptionsJSON
+	q := r.URL.Query()
+	intKnobs := map[string]**int{
+		"granularity": &oj.Granularity,
+		"prefetch":    &oj.Prefetch,
+		"components":  &oj.Components,
+		"parallelism": &oj.Parallelism,
+	}
+	keys, err := queryKeys(q, "components", "granularity", "parallelism", "prefetch", "threshold")
+	if err != nil {
+		return core.Options{}, err
+	}
+	for _, key := range keys {
 		s := q.Get(key)
-		if set, ok := intKnobs[key]; ok {
+		if field, ok := intKnobs[key]; ok {
 			v, err := strconv.Atoi(s)
 			if err != nil {
-				return opts, fmt.Errorf("bad %s %q", key, s)
+				return core.Options{}, fmt.Errorf("bad %s %q", key, s)
 			}
-			set(v)
+			*field = &v
 			continue
 		}
-		if key == "threshold" {
-			v, err := strconv.ParseFloat(s, 64)
-			if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
-				return opts, fmt.Errorf("bad threshold %q", s)
-			}
-			opts.Threshold = v
-			continue
+		// threshold is the only non-int knob. NaN/Inf are re-checked in
+		// OptionsJSON.Options, but rejecting them here keeps the v1
+		// error string quoting the client's raw input, byte-identical
+		// to the historical parser.
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+			return core.Options{}, fmt.Errorf("bad threshold %q", s)
 		}
-		return opts, fmt.Errorf("unknown option %q (valid: components, granularity, parallelism, prefetch, threshold)", key)
+		oj.Threshold = &v
 	}
-	return opts, nil
+	return oj.Options()
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -162,6 +189,10 @@ func writeError(w http.ResponseWriter, code int, err error) {
 //	                                progress; poll GET /v1/jobs/{id}
 //	GET    /v1/scenes/{id}/result   composite of the latest completed
 //	                                fusion as image/png
+//
+// The same handler also serves the v2 resource API — JSON option bodies,
+// structured error envelope, job listing, long-poll, content-negotiated
+// results — see registerV2 in http_v2.go.
 func (p *Pool) Handler() http.Handler {
 	mux := http.NewServeMux()
 
@@ -233,32 +264,7 @@ func (p *Pool) Handler() http.Handler {
 	})
 
 	mux.HandleFunc("POST /v1/scenes", func(w http.ResponseWriter, r *http.Request) {
-		// Stream the multipart body: the header part is read fully (it
-		// is small text), the data part flows straight to the spool.
-		mr, err := r.MultipartReader()
-		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("multipart body required: %w", err))
-			return
-		}
-		hdrPart, err := mr.NextPart()
-		if err != nil || hdrPart.FormName() != "header" {
-			writeError(w, http.StatusBadRequest,
-				errors.New(`first multipart part must be "header" (ENVI header text)`))
-			return
-		}
-		// An ENVI header is a page of text; 1 MiB is generous.
-		hdrText, err := io.ReadAll(io.LimitReader(hdrPart, 1<<20))
-		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("reading header part: %w", err))
-			return
-		}
-		dataPart, err := mr.NextPart()
-		if err != nil || dataPart.FormName() != "data" {
-			writeError(w, http.StatusBadRequest,
-				errors.New(`second multipart part must be "data" (raw scene payload)`))
-			return
-		}
-		info, err := p.RegisterScene(string(hdrText), dataPart)
+		info, err := p.sceneFromMultipart(r)
 		switch {
 		case errors.Is(err, ErrSceneTooLarge):
 			writeError(w, http.StatusRequestEntityTooLarge, err)
@@ -336,5 +342,41 @@ func (p *Pool) Handler() http.Handler {
 		_, _ = w.Write(data)
 	})
 
+	p.registerV2(mux)
 	return mux
+}
+
+// uploadFormatError marks a malformed multipart upload — client-caused,
+// distinct from server-side registration failures. Error() is the bare
+// message, so v1's bare-string error responses are byte-identical to
+// the historical inline handler; v2 classifies it as bad_payload.
+type uploadFormatError struct{ msg string }
+
+func (e *uploadFormatError) Error() string { return e.msg }
+
+// sceneFromMultipart parses the two-part scene upload — a "header" part
+// of ENVI header text, then a "data" part streaming the raw payload —
+// and registers it. The header part is read fully (it is a page of
+// text); the data part flows straight to the spool. Framing failures
+// come back as *uploadFormatError; everything else is RegisterScene's
+// error surface.
+func (p *Pool) sceneFromMultipart(r *http.Request) (SceneInfo, error) {
+	mr, err := r.MultipartReader()
+	if err != nil {
+		return SceneInfo{}, &uploadFormatError{msg: fmt.Sprintf("multipart body required: %v", err)}
+	}
+	hdrPart, err := mr.NextPart()
+	if err != nil || hdrPart.FormName() != "header" {
+		return SceneInfo{}, &uploadFormatError{msg: `first multipart part must be "header" (ENVI header text)`}
+	}
+	// An ENVI header is a page of text; 1 MiB is generous.
+	hdrText, err := io.ReadAll(io.LimitReader(hdrPart, 1<<20))
+	if err != nil {
+		return SceneInfo{}, &uploadFormatError{msg: fmt.Sprintf("reading header part: %v", err)}
+	}
+	dataPart, err := mr.NextPart()
+	if err != nil || dataPart.FormName() != "data" {
+		return SceneInfo{}, &uploadFormatError{msg: `second multipart part must be "data" (raw scene payload)`}
+	}
+	return p.RegisterScene(string(hdrText), dataPart)
 }

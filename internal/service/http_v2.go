@@ -1,0 +1,379 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"slices"
+	"strconv"
+	"strings"
+	"time"
+
+	"resilientfusion/internal/core"
+	"resilientfusion/internal/hsi"
+	"resilientfusion/internal/scene"
+)
+
+// registerV2 mounts the v2 resource API. It serves the same pool as v1
+// with a contract built for programs instead of curl sessions:
+//
+//   - Errors travel in a structured envelope {"error": {"code", "message"}}
+//     with stable machine-readable codes (apierror.go).
+//   - Job submission options are JSON bodies decoded into the same
+//     OptionsJSON form v1's query parser fills, so both surfaces
+//     canonicalize identically.
+//   - Jobs are a unified resource covering cube and scene fusions, with
+//     listing, canonical-options echo, and server-side long-poll.
+//
+// Endpoints:
+//
+//	POST   /v2/jobs                 multipart: optional "options" part
+//	                                (JSON) then "cube" part (HSIC bytes)
+//	                                → 202 job resource
+//	GET    /v2/jobs                 list jobs (?state=queued|running|
+//	                                done|failed, ?limit=N), newest first
+//	GET    /v2/jobs/{id}            job resource; ?wait=30s long-polls
+//	                                until the job is terminal, the wait
+//	                                elapses, or the server cap
+//	                                (Config.MaxLongPoll) trims it
+//	GET    /v2/jobs/{id}/result     content-negotiated artifact: the
+//	                                composite as image/png when Accept
+//	                                includes it, else the JSON summary
+//	GET    /v2/stats                pool counters (same shape as v1)
+//	POST   /v2/scenes               multipart "header" + "data" upload
+//	GET    /v2/scenes               scene listing
+//	GET    /v2/scenes/{id}          scene info
+//	DELETE /v2/scenes/{id}          unregister + delete the spool
+//	POST   /v2/scenes/{id}/fuse     JSON options body → 202 job resource
+func (p *Pool) registerV2(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v2/jobs", p.v2SubmitJob)
+	mux.HandleFunc("GET /v2/jobs", p.v2ListJobs)
+	mux.HandleFunc("GET /v2/jobs/{id}", p.v2GetJob)
+	mux.HandleFunc("GET /v2/jobs/{id}/result", p.v2JobResult)
+	mux.HandleFunc("GET /v2/stats", func(w http.ResponseWriter, r *http.Request) {
+		if !v2NoQuery(w, r) {
+			return
+		}
+		writeJSON(w, http.StatusOK, p.Stats())
+	})
+	mux.HandleFunc("POST /v2/scenes", p.v2RegisterScene)
+	mux.HandleFunc("GET /v2/scenes", func(w http.ResponseWriter, r *http.Request) {
+		if !v2NoQuery(w, r) {
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"scenes": p.Scenes()})
+	})
+	mux.HandleFunc("GET /v2/scenes/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if !v2NoQuery(w, r) {
+			return
+		}
+		info, err := p.Scene(r.PathValue("id"))
+		if err != nil {
+			writeAPIError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+	mux.HandleFunc("DELETE /v2/scenes/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if !v2NoQuery(w, r) {
+			return
+		}
+		if err := p.RemoveScene(r.PathValue("id")); err != nil {
+			writeAPIError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /v2/scenes/{id}/fuse", p.v2FuseScene)
+}
+
+// v2NoQuery rejects any query parameter on endpoints that take none —
+// the same no-silent-typos rule the option-bearing endpoints enforce.
+// It reports whether the handler may proceed.
+func v2NoQuery(w http.ResponseWriter, r *http.Request) bool {
+	q := r.URL.Query()
+	if len(q) == 0 {
+		return true
+	}
+	keys := make([]string, 0, len(q))
+	for key := range q {
+		keys = append(keys, key)
+	}
+	slices.Sort(keys)
+	writeAPIErrorCode(w, http.StatusBadRequest, CodeBadOption,
+		fmt.Sprintf("unknown option %q (this endpoint takes no query parameters)", keys[0]))
+	return false
+}
+
+// v2SubmitJob accepts a multipart submission: an optional "options" part
+// holding the OptionsJSON body, then a "cube" part streaming the
+// HSIC-encoded cube.
+func (p *Pool) v2SubmitJob(w http.ResponseWriter, r *http.Request) {
+	// Options travel in the body on v2; a v1-style ?threshold=... here
+	// would otherwise be dropped silently.
+	if !v2NoQuery(w, r) {
+		return
+	}
+	mr, err := r.MultipartReader()
+	if err != nil {
+		writeAPIErrorCode(w, http.StatusBadRequest, CodeBadPayload,
+			fmt.Sprintf("multipart body required: %v", err))
+		return
+	}
+	part, err := mr.NextPart()
+	if err != nil {
+		writeAPIErrorCode(w, http.StatusBadRequest, CodeBadPayload,
+			`multipart needs an optional "options" part then a "cube" part`)
+		return
+	}
+	var opts core.Options
+	if part.FormName() == "options" {
+		opts, err = decodeOptionsBody(part)
+		if err != nil {
+			writeAPIErrorCode(w, http.StatusBadRequest, CodeBadOption, err.Error())
+			return
+		}
+		if part, err = mr.NextPart(); err != nil {
+			writeAPIErrorCode(w, http.StatusBadRequest, CodeBadPayload,
+				`"cube" part missing after "options"`)
+			return
+		}
+	}
+	if part.FormName() != "cube" {
+		writeAPIErrorCode(w, http.StatusBadRequest, CodeBadPayload,
+			fmt.Sprintf(`unexpected multipart part %q (want "cube")`, part.FormName()))
+		return
+	}
+	// ReadCubeLimit bounds the upload by the header's claimed dimensions
+	// before allocating, exactly like the v1 path.
+	cube, err := hsi.ReadCubeLimit(part, maxCubeBytes)
+	if err != nil {
+		if errors.Is(err, hsi.ErrCubeTooLarge) {
+			writeAPIErrorCode(w, http.StatusRequestEntityTooLarge, CodePayloadTooLarge,
+				fmt.Sprintf("cube exceeds the %d-byte upload limit", maxCubeBytes))
+			return
+		}
+		writeAPIErrorCode(w, http.StatusBadRequest, CodeBadPayload,
+			fmt.Sprintf("decoding cube: %v", err))
+		return
+	}
+	// Multipart form fields are unordered in general; a part trailing
+	// the cube (an out-of-place "options", say) would otherwise be
+	// dropped silently — the exact failure mode unknown query keys and
+	// unknown JSON fields are rejected to prevent.
+	if extra, err := mr.NextPart(); err == nil {
+		writeAPIErrorCode(w, http.StatusBadRequest, CodeBadPayload,
+			fmt.Sprintf(`unexpected multipart part %q after "cube" (options must precede the cube)`, extra.FormName()))
+		return
+	} else if !errors.Is(err, io.EOF) {
+		writeAPIErrorCode(w, http.StatusBadRequest, CodeBadPayload,
+			fmt.Sprintf("reading multipart body: %v", err))
+		return
+	}
+	st, err := p.Submit(cube, opts)
+	if err != nil {
+		writeAPIError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, statusJSON(st))
+}
+
+// v2ListJobs serves the job listing, newest submission first.
+func (p *Pool) v2ListJobs(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var state JobState
+	limit := 100
+	keys, err := queryKeys(q, "state", "limit")
+	if err != nil {
+		writeAPIErrorCode(w, http.StatusBadRequest, CodeBadOption, err.Error())
+		return
+	}
+	for _, key := range keys {
+		switch key {
+		case "state":
+			switch s := JobState(q.Get(key)); s {
+			case StateQueued, StateRunning, StateDone, StateFailed:
+				state = s
+			default:
+				writeAPIErrorCode(w, http.StatusBadRequest, CodeBadOption,
+					fmt.Sprintf("unknown state %q (valid: queued, running, done, failed)", q.Get(key)))
+				return
+			}
+		case "limit":
+			v, err := strconv.Atoi(q.Get(key))
+			if err != nil || v < 1 {
+				writeAPIErrorCode(w, http.StatusBadRequest, CodeBadOption,
+					fmt.Sprintf("bad limit %q", q.Get(key)))
+				return
+			}
+			limit = v
+		}
+	}
+	statuses := p.Jobs(state, limit)
+	jobs := make([]*jobJSON, len(statuses))
+	for i, st := range statuses {
+		jobs[i] = statusJSON(st)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": jobs})
+}
+
+// v2GetJob serves a job resource, long-polling when ?wait= is given: the
+// response carries a terminal state unless the wait (trimmed to the
+// server cap) elapsed first, so clients need no status-poll loops.
+func (p *Pool) v2GetJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	q := r.URL.Query()
+	if _, err := queryKeys(q, "wait"); err != nil {
+		writeAPIErrorCode(w, http.StatusBadRequest, CodeBadOption, err.Error())
+		return
+	}
+	if !q.Has("wait") {
+		st, err := p.Status(id)
+		if err != nil {
+			writeAPIError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, statusJSON(st))
+		return
+	}
+	// A present-but-empty value ("?wait=", a lost shell variable) is a
+	// bad value, not an absent knob: it fails the parse below.
+	waitStr := q.Get("wait")
+	d, err := time.ParseDuration(waitStr)
+	if err != nil || d <= 0 {
+		writeAPIErrorCode(w, http.StatusBadRequest, CodeBadOption,
+			fmt.Sprintf("bad wait %q (want a positive duration like 30s)", waitStr))
+		return
+	}
+	if d > p.cfg.MaxLongPoll {
+		d = p.cfg.MaxLongPoll
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	defer cancel()
+	st, err := p.WaitContext(ctx, id)
+	switch {
+	case err == nil, errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		// Terminal, the wait elapsed, or the request context was torn
+		// down (server draining — see fusiond's BaseContext — or the
+		// client went away, where the write just fails silently): the
+		// current snapshot is the answer and a live client decides
+		// whether to long-poll again.
+		writeJSON(w, http.StatusOK, statusJSON(st))
+	default:
+		writeAPIError(w, err)
+	}
+}
+
+// v2JobResult serves a finished job's artifact with content negotiation:
+// image/png when the Accept header asks for it, the JSON result summary
+// otherwise.
+func (p *Pool) v2JobResult(w http.ResponseWriter, r *http.Request) {
+	if !v2NoQuery(w, r) {
+		return
+	}
+	id := r.PathValue("id")
+	st, err := p.Status(id)
+	if err != nil {
+		writeAPIError(w, err)
+		return
+	}
+	switch st.State {
+	case StateFailed:
+		writeAPIErrorCode(w, http.StatusConflict, CodeJobFailed,
+			fmt.Sprintf("job %s failed: %v", id, st.Err))
+		return
+	case StateDone:
+	default:
+		writeAPIErrorCode(w, http.StatusConflict, CodeJobNotFinished,
+			fmt.Sprintf("job %s is %s", id, st.State))
+		return
+	}
+	if acceptsPNG(r.Header.Get("Accept")) {
+		data, err := p.ImagePNG(id)
+		if err != nil {
+			writeAPIError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "image/png")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(data)
+		return
+	}
+	body := statusJSON(st)
+	writeJSON(w, http.StatusOK, body.Result)
+}
+
+// acceptsPNG reports whether an Accept header asks for the composite
+// image rather than the JSON summary. This is a deliberate two-outcome
+// rule, not full RFC 9110 ranking: naming image/png (or image/*) with
+// any nonzero quality opts in, a q=0 refusal opts out, and a bare */*
+// (or no header) keeps the JSON default — programs must opt in to
+// image bytes.
+func acceptsPNG(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		params := strings.Split(part, ";")
+		// Media types and parameter names are case-insensitive (RFC
+		// 9110 §8.3.1).
+		mt := strings.TrimSpace(params[0])
+		if !strings.EqualFold(mt, "image/png") && !strings.EqualFold(mt, "image/*") {
+			continue
+		}
+		refused := false
+		for _, param := range params[1:] {
+			if k, v, ok := strings.Cut(strings.TrimSpace(param), "="); ok && strings.EqualFold(strings.TrimSpace(k), "q") {
+				if q, err := strconv.ParseFloat(strings.TrimSpace(v), 64); err == nil && q == 0 {
+					refused = true
+				}
+			}
+		}
+		if !refused {
+			return true
+		}
+	}
+	return false
+}
+
+// v2RegisterScene is the v1 multipart upload with envelope errors.
+func (p *Pool) v2RegisterScene(w http.ResponseWriter, r *http.Request) {
+	if !v2NoQuery(w, r) {
+		return
+	}
+	info, err := p.sceneFromMultipart(r)
+	if err != nil {
+		// Client-caused failures — multipart framing, a bad ENVI header
+		// — are bad_payload; anything else unmapped (spool I/O, say) is
+		// a genuine server fault and must stay a 5xx so machine clients
+		// retry instead of concluding their upload is malformed.
+		var ufe *uploadFormatError
+		if errors.As(err, &ufe) || errors.Is(err, scene.ErrHeader) {
+			writeAPIErrorCode(w, http.StatusBadRequest, CodeBadPayload, err.Error())
+			return
+		}
+		writeAPIError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+// v2FuseScene enqueues a whole-scene fusion with a JSON options body
+// (empty body selects the pool defaults).
+func (p *Pool) v2FuseScene(w http.ResponseWriter, r *http.Request) {
+	// Options travel in the JSON body on v2; a v1-style ?threshold=...
+	// here would otherwise be dropped silently.
+	if !v2NoQuery(w, r) {
+		return
+	}
+	opts, err := decodeOptionsBody(r.Body)
+	if err != nil {
+		writeAPIErrorCode(w, http.StatusBadRequest, CodeBadOption, err.Error())
+		return
+	}
+	st, err := p.FuseScene(r.PathValue("id"), opts)
+	if err != nil {
+		writeAPIError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, statusJSON(st))
+}

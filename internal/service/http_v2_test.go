@@ -1,0 +1,699 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"image/png"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"resilientfusion/internal/core"
+	"resilientfusion/internal/hsi"
+	"resilientfusion/internal/scene"
+)
+
+// postCubeV2 submits a cube through the v2 multipart form, with an
+// optional options JSON document.
+func postCubeV2(t *testing.T, client *http.Client, url string, cube *hsi.Cube, optionsJSON string) *http.Response {
+	t.Helper()
+	var body bytes.Buffer
+	mw := multipart.NewWriter(&body)
+	if optionsJSON != "" {
+		ow, err := mw.CreateFormField("options")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.WriteString(ow, optionsJSON); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cw, err := mw.CreateFormFile("cube", "cube.hsic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cube.WriteTo(cw); err != nil {
+		t.Fatal(err)
+	}
+	mw.Close()
+	resp, err := client.Post(url, mw.FormDataContentType(), &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// wantEnvelope asserts the response is a structured error envelope with
+// the wanted status and code.
+func wantEnvelope(t *testing.T, resp *http.Response, wantStatus int, wantCode string) {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d, want %d (body %s)", resp.StatusCode, wantStatus, body)
+	}
+	var env errorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("decoding envelope: %v", err)
+	}
+	if env.Error.Code != wantCode {
+		t.Fatalf("code %q, want %q (message %q)", env.Error.Code, wantCode, env.Error.Message)
+	}
+	if env.Error.Message == "" {
+		t.Fatalf("empty message for code %q", env.Error.Code)
+	}
+}
+
+// TestV2SubmitLongPollResult drives the v2 surface end to end: multipart
+// submit with a JSON options body, one long-poll request straight to the
+// terminal state (no client-side polling loop), canonical options echoed
+// with defaults filled, and the result artifact under both content
+// negotiations.
+func TestV2SubmitLongPollResult(t *testing.T) {
+	pool, err := NewPool(Config{Workers: 2, MaxConcurrent: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	srv := httptest.NewServer(pool.Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	cube := testCube(t, 21)
+	resp := postCubeV2(t, client, srv.URL+"/v2/jobs", cube, `{"threshold": 0.05, "granularity": 3}`)
+	if resp.StatusCode != http.StatusAccepted {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit status %d: %s", resp.StatusCode, body)
+	}
+	job := decodeJob(t, resp)
+	if job.ID == "" {
+		t.Fatal("no job id")
+	}
+	if job.Options == nil {
+		t.Fatal("submission response missing canonical options echo")
+	}
+
+	// One long-poll returns the terminal state.
+	r, err := client.Get(srv.URL + "/v2/jobs/" + job.ID + "?wait=30s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("long-poll status %d", r.StatusCode)
+	}
+	job = decodeJob(t, r)
+	if job.State != StateDone {
+		t.Fatalf("long-poll state %s, want done (error %q)", job.State, job.Error)
+	}
+	if job.Result == nil || job.Result.UniqueSetSize == 0 {
+		t.Fatalf("missing result summary: %+v", job.Result)
+	}
+
+	// Canonical options: explicit knobs kept, defaults filled, pool
+	// policy (workers) visible.
+	o := job.Options
+	if o == nil {
+		t.Fatal("job status missing options echo")
+	}
+	if o.Threshold != 0.05 || o.Granularity != 3 {
+		t.Errorf("explicit options not echoed: %+v", o)
+	}
+	if o.Workers != 2 || o.Components != 3 || o.Prefetch != 1 {
+		t.Errorf("defaults not canonicalized in echo: %+v", o)
+	}
+
+	// JSON summary by default.
+	r, err = client.Get(srv.URL + "/v2/jobs/" + job.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := r.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("default result content type %q", ct)
+	}
+	var sum resultJSON
+	if err := json.NewDecoder(r.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if sum.UniqueSetSize != job.Result.UniqueSetSize {
+		t.Errorf("summary K=%d, status K=%d", sum.UniqueSetSize, job.Result.UniqueSetSize)
+	}
+
+	// PNG when asked for.
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/v2/jobs/"+job.ID+"/result", nil)
+	req.Header.Set("Accept", "image/png")
+	r, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "image/png" {
+		t.Fatalf("negotiated content type %q", ct)
+	}
+	img, err := png.Decode(r.Body)
+	r.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := img.Bounds(); b.Dx() != cube.Width || b.Dy() != cube.Height {
+		t.Errorf("composite %dx%d, cube %dx%d", b.Dx(), b.Dy(), cube.Width, cube.Height)
+	}
+
+	// image/png;q=0 explicitly refuses the image (RFC 9110): JSON wins.
+	req, _ = http.NewRequest(http.MethodGet, srv.URL+"/v2/jobs/"+job.ID+"/result", nil)
+	req.Header.Set("Accept", "image/png;q=0, application/json")
+	r, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, r.Body)
+	r.Body.Close()
+	if ct := r.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("q=0 refusal served content type %q, want JSON", ct)
+	}
+}
+
+// TestV2OptionsParity pins the tentpole canonicalization guarantee: the
+// same knobs through the v1 query string and the v2 JSON body resolve to
+// the same canonical options and the same result cache entry (the v2
+// resubmission is answered from the v1 job's cached result).
+func TestV2OptionsParity(t *testing.T) {
+	pool, err := NewPool(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	srv := httptest.NewServer(pool.Handler())
+	defer srv.Close()
+	client := srv.Client()
+	cube := testCube(t, 23)
+
+	resp := postCube(t, client, srv.URL+"/v1/jobs?threshold=0.05&granularity=3&prefetch=-1", cube)
+	v1Job := decodeJob(t, resp)
+	if v1Job.ID == "" {
+		t.Fatalf("v1 submit failed: %+v", v1Job)
+	}
+	if _, err := pool.Wait(v1Job.ID); err != nil {
+		t.Fatal(err)
+	}
+	r, err := client.Get(srv.URL + "/v1/jobs/" + v1Job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1Job = decodeJob(t, r)
+	if v1Job.Options == nil {
+		t.Fatal("v1 status missing options echo")
+	}
+
+	resp = postCubeV2(t, client, srv.URL+"/v2/jobs", cube, `{"threshold": 0.05, "granularity": 3, "prefetch": -1}`)
+	v2Job := decodeJob(t, resp)
+	if !v2Job.CacheHit || v2Job.State != StateDone {
+		t.Errorf("v2 resubmission not served from the v1 cache entry: state=%s hit=%v",
+			v2Job.State, v2Job.CacheHit)
+	}
+	if *v1Job.Options != *v2Job.Options {
+		t.Errorf("canonical options differ across surfaces: v1 %+v, v2 %+v", v1Job.Options, v2Job.Options)
+	}
+}
+
+// TestV2ErrorEnvelope walks the v2 failure paths and asserts each one's
+// stable machine-readable code.
+func TestV2ErrorEnvelope(t *testing.T) {
+	pool, err := NewPool(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	srv := httptest.NewServer(pool.Handler())
+	defer srv.Close()
+	client := srv.Client()
+	cube := testCube(t, 2)
+
+	// Unknown option key in the JSON body.
+	resp := postCubeV2(t, client, srv.URL+"/v2/jobs", cube, `{"granularty": 8}`)
+	wantEnvelope(t, resp, http.StatusBadRequest, CodeBadOption)
+
+	// Malformed options JSON.
+	resp = postCubeV2(t, client, srv.URL+"/v2/jobs", cube, `{"granularity": }`)
+	wantEnvelope(t, resp, http.StatusBadRequest, CodeBadOption)
+
+	// Trailing junk after the options object.
+	resp = postCubeV2(t, client, srv.URL+"/v2/jobs", cube, `{"granularity": 2} {"x": 1}`)
+	wantEnvelope(t, resp, http.StatusBadRequest, CodeBadOption)
+
+	// Out-of-range option value (validated at submit).
+	resp = postCubeV2(t, client, srv.URL+"/v2/jobs", cube, `{"threshold": 7}`)
+	wantEnvelope(t, resp, http.StatusBadRequest, CodeBadOption)
+
+	// Non-multipart body.
+	r, err := client.Post(srv.URL+"/v2/jobs", "application/octet-stream", strings.NewReader("raw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEnvelope(t, r, http.StatusBadRequest, CodeBadPayload)
+
+	// Garbage cube part.
+	var body bytes.Buffer
+	mw := multipart.NewWriter(&body)
+	cw, _ := mw.CreateFormFile("cube", "cube.hsic")
+	io.WriteString(cw, "not a cube")
+	mw.Close()
+	r, err = client.Post(srv.URL+"/v2/jobs", mw.FormDataContentType(), &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEnvelope(t, r, http.StatusBadRequest, CodeBadPayload)
+
+	// A part trailing the cube (here: options in the wrong order) must
+	// be rejected, not silently dropped.
+	body.Reset()
+	mw = multipart.NewWriter(&body)
+	cw, _ = mw.CreateFormFile("cube", "cube.hsic")
+	if _, err := cube.WriteTo(cw); err != nil {
+		t.Fatal(err)
+	}
+	ow, _ := mw.CreateFormField("options")
+	io.WriteString(ow, `{"threshold": 0.5}`)
+	mw.Close()
+	r, err = client.Post(srv.URL+"/v2/jobs", mw.FormDataContentType(), &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEnvelope(t, r, http.StatusBadRequest, CodeBadPayload)
+
+	// Unknown job: status, long-poll, and result all 404 with the code.
+	for _, path := range []string{"/v2/jobs/job-999999", "/v2/jobs/job-999999?wait=1s", "/v2/jobs/job-999999/result"} {
+		r, err := client.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantEnvelope(t, r, http.StatusNotFound, CodeUnknownJob)
+	}
+
+	// Bad wait duration and unknown query keys.
+	st, err := pool.Submit(cube, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{"wait=nope", "wait=-3s", "wait=", "image=1", "wait=1s&wait=2s"} {
+		r, err := client.Get(srv.URL + "/v2/jobs/" + st.ID + "?" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantEnvelope(t, r, http.StatusBadRequest, CodeBadOption)
+	}
+
+	// Unknown scene on fuse and info.
+	r, err = client.Post(srv.URL+"/v2/scenes/scene-999/fuse", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEnvelope(t, r, http.StatusNotFound, CodeUnknownScene)
+	r, err = client.Get(srv.URL + "/v2/scenes/scene-999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEnvelope(t, r, http.StatusNotFound, CodeUnknownScene)
+
+	// Bad list filters.
+	for _, q := range []string{"state=bogus", "limit=0", "limit=x", "foo=1", "state=done&state=failed"} {
+		r, err := client.Get(srv.URL + "/v2/jobs?" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantEnvelope(t, r, http.StatusBadRequest, CodeBadOption)
+	}
+
+	// Endpoints that take no query parameters reject stray ones too —
+	// a typo must never be silently ignored anywhere on v2.
+	for _, path := range []string{
+		"/v2/jobs/" + st.ID + "/result?wait=30s",
+		"/v2/scenes?limit=5",
+		"/v2/scenes/scene-999?verbose=1",
+		"/v2/stats?workers=8",
+	} {
+		r, err := client.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantEnvelope(t, r, http.StatusBadRequest, CodeBadOption)
+	}
+
+	// Same on the mutating endpoints: v1-style query options on a v2
+	// URL must fail loudly, not silently run the defaults.
+	r, err = client.Post(srv.URL+"/v2/scenes/scene-999/fuse?threshold=0.05", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEnvelope(t, r, http.StatusBadRequest, CodeBadOption)
+	resp = postCubeV2(t, client, srv.URL+"/v2/jobs?granularity=3", cube, "")
+	wantEnvelope(t, resp, http.StatusBadRequest, CodeBadOption)
+}
+
+// TestV2OversizedCube maps an over-limit upload to payload_too_large.
+func TestV2OversizedCube(t *testing.T) {
+	old := maxCubeBytes
+	maxCubeBytes = 64
+	defer func() { maxCubeBytes = old }()
+
+	pool, err := NewPool(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	srv := httptest.NewServer(pool.Handler())
+	defer srv.Close()
+
+	resp := postCubeV2(t, srv.Client(), srv.URL+"/v2/jobs", testCube(t, 2), "")
+	wantEnvelope(t, resp, http.StatusRequestEntityTooLarge, CodePayloadTooLarge)
+}
+
+// TestV2QueueFullAndNotFinished exercises admission rejection and the
+// not-finished result conflict against a deliberately wedged pool: the
+// single dispatcher is busy with a slow job, so later submissions stack
+// up in a depth-1 queue.
+func TestV2QueueFullAndNotFinished(t *testing.T) {
+	pool, err := NewPool(Config{Workers: 1, MaxConcurrent: 1, QueueDepth: 1, CacheEntries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	srv := httptest.NewServer(pool.Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	// A fusion big enough to keep the single slot busy while the queue
+	// fills behind it over HTTP round trips.
+	submitSlow(t, pool)
+
+	// One job fits the depth-1 queue; the next is rejected with the code.
+	resp := postCubeV2(t, client, srv.URL+"/v2/jobs", testCube(t, 300), "")
+	queued := decodeJob(t, resp)
+	if queued.State != StateQueued {
+		t.Fatalf("expected a queued job behind the slow one, got %s", queued.State)
+	}
+	resp = postCubeV2(t, client, srv.URL+"/v2/jobs", testCube(t, 301), "")
+	wantEnvelope(t, resp, http.StatusServiceUnavailable, CodeQueueFull)
+
+	// A queued job has no result yet: the conflict code, not a 404.
+	r, err := client.Get(srv.URL + "/v2/jobs/" + queued.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := pool.Status(queued.ID); err == nil && st.State != StateDone && st.State != StateFailed {
+		wantEnvelope(t, r, http.StatusConflict, CodeJobNotFinished)
+	} else {
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+	}
+}
+
+// TestV2ExpiredImage maps an aged-out composite to image_expired under
+// the PNG negotiation while the JSON summary keeps serving.
+func TestV2ExpiredImage(t *testing.T) {
+	pool, err := NewPool(Config{Workers: 2, RetainResults: 1, CacheEntries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	srv := httptest.NewServer(pool.Handler())
+	defer srv.Close()
+
+	var first string
+	for i := 0; i < 3; i++ {
+		st, err := pool.Submit(testCube(t, int64(80+i)), core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = st.ID
+		}
+		if _, err := pool.Wait(st.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/v2/jobs/"+first+"/result", nil)
+	req.Header.Set("Accept", "image/png")
+	r, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEnvelope(t, r, http.StatusGone, CodeImageExpired)
+
+	// The scalar summary is retained past the image window.
+	r, err = srv.Client().Get(srv.URL + "/v2/jobs/" + first + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Errorf("summary after image expiry: status %d", r.StatusCode)
+	}
+}
+
+// TestV2JobsList covers the listing: newest first, state filter, limit,
+// and scene jobs appearing in the same unified resource.
+func TestV2JobsList(t *testing.T) {
+	pool, err := NewPool(Config{Workers: 2, MaxConcurrent: 2, CacheEntries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	srv := httptest.NewServer(pool.Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	const jobs = 4
+	ids := make([]string, jobs)
+	for i := 0; i < jobs; i++ {
+		st, err := pool.Submit(testCube(t, int64(500+i)), core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = st.ID
+		if _, err := pool.Wait(st.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	list := func(query string) []jobJSON {
+		t.Helper()
+		r, err := client.Get(srv.URL + "/v2/jobs" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("list%s status %d", query, r.StatusCode)
+		}
+		var out struct {
+			Jobs []jobJSON `json:"jobs"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out.Jobs
+	}
+
+	all := list("")
+	if len(all) != jobs {
+		t.Fatalf("listed %d jobs, want %d", len(all), jobs)
+	}
+	for i := range all {
+		if want := ids[jobs-1-i]; all[i].ID != want {
+			t.Errorf("list[%d] = %s, want %s (newest first)", i, all[i].ID, want)
+		}
+		if all[i].Options == nil {
+			t.Errorf("list[%d] missing options echo", i)
+		}
+	}
+	if got := list("?limit=2"); len(got) != 2 || got[0].ID != ids[jobs-1] {
+		t.Errorf("limit=2: %d jobs, first %s", len(got), got[0].ID)
+	}
+	if got := list("?state=done"); len(got) != jobs {
+		t.Errorf("state=done: %d jobs, want %d", len(got), jobs)
+	}
+	if got := list("?state=failed"); len(got) != 0 {
+		t.Errorf("state=failed: %d jobs, want 0", len(got))
+	}
+}
+
+// TestV2SceneFlow runs the scene lifecycle through v2: register, fuse
+// with a JSON options body, long-poll to done, fetch the composite, and
+// remove — plus the scene-specific failure codes.
+func TestV2SceneFlow(t *testing.T) {
+	pool, err := NewPool(Config{Workers: 2, MaxScenes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	srv := httptest.NewServer(pool.Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	cube := testCube(t, 33)
+	hdr, payload := enviPayload(t, cube, scene.BIL)
+
+	post := func(hdrText string, data []byte) *http.Response {
+		t.Helper()
+		var body bytes.Buffer
+		mw := multipart.NewWriter(&body)
+		hw, _ := mw.CreateFormField("header")
+		io.WriteString(hw, hdrText)
+		dw, _ := mw.CreateFormFile("data", "scene.raw")
+		dw.Write(data)
+		mw.Close()
+		r, err := client.Post(srv.URL+"/v2/scenes", mw.FormDataContentType(), &body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	// Truncated payload → bad_payload.
+	wantEnvelope(t, post(hdr, payload[:len(payload)-4]), http.StatusBadRequest, CodeBadPayload)
+
+	r := post(hdr, payload)
+	if r.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(r.Body)
+		t.Fatalf("register status %d: %s", r.StatusCode, body)
+	}
+	var info SceneInfo
+	if err := json.NewDecoder(r.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+
+	// Registry at capacity (MaxScenes: 1) → scene_limit.
+	wantEnvelope(t, post(hdr, payload), http.StatusServiceUnavailable, CodeSceneLimit)
+
+	// Fuse with options in the JSON body, long-poll to done.
+	r, err = client.Post(srv.URL+"/v2/scenes/"+info.ID+"/fuse", "application/json",
+		strings.NewReader(`{"threshold": 0.05, "granularity": 2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := decodeJob(t, r)
+	if job.SceneID != info.ID {
+		t.Fatalf("scene job not tagged: %+v", job)
+	}
+	r, err = client.Get(srv.URL + "/v2/jobs/" + job.ID + "?wait=30s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	job = decodeJob(t, r)
+	if job.State != StateDone {
+		t.Fatalf("scene fuse state %s (error %q)", job.State, job.Error)
+	}
+	if job.Progress == nil || job.Progress.Transformed != job.Progress.Total {
+		t.Errorf("scene progress not complete: %+v", job.Progress)
+	}
+	if job.Options == nil || job.Options.Threshold != 0.05 {
+		t.Errorf("scene job options echo: %+v", job.Options)
+	}
+
+	// The unified job resource serves the scene composite too.
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/v2/jobs/"+job.ID+"/result", nil)
+	req.Header.Set("Accept", "image/png")
+	r, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(r.Body)
+	r.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := img.Bounds(); b.Dx() != cube.Width || b.Dy() != cube.Height {
+		t.Errorf("scene composite %dx%d, cube %dx%d", b.Dx(), b.Dy(), cube.Width, cube.Height)
+	}
+
+	// Remove, then the ID is gone with the code.
+	req, _ = http.NewRequest(http.MethodDelete, srv.URL+"/v2/scenes/"+info.ID, nil)
+	r, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status %d", r.StatusCode)
+	}
+	r, err = client.Get(srv.URL + "/v2/scenes/" + info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEnvelope(t, r, http.StatusNotFound, CodeUnknownScene)
+}
+
+// TestV2SceneTooLarge maps a header claiming more than the pool's scene
+// budget to payload_too_large.
+func TestV2SceneTooLarge(t *testing.T) {
+	pool, err := NewPool(Config{Workers: 2, MaxSceneBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	srv := httptest.NewServer(pool.Handler())
+	defer srv.Close()
+
+	cube := testCube(t, 55) // 24x24x8 float32 = 18432 bytes > MaxSceneBytes
+	hdr, payload := enviPayload(t, cube, scene.BIP)
+	var body bytes.Buffer
+	mw := multipart.NewWriter(&body)
+	hw, _ := mw.CreateFormField("header")
+	io.WriteString(hw, hdr)
+	dw, _ := mw.CreateFormFile("data", "scene.raw")
+	dw.Write(payload)
+	mw.Close()
+	r, err := srv.Client().Post(srv.URL+"/v2/scenes", mw.FormDataContentType(), &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEnvelope(t, r, http.StatusRequestEntityTooLarge, CodePayloadTooLarge)
+}
+
+// TestV2LongPollNonTerminal pins the wait-elapsed contract: when the
+// wait runs out before the job finishes, the long-poll returns the
+// current snapshot with 200 (the client re-issues), not an error.
+func TestV2LongPollNonTerminal(t *testing.T) {
+	pool, err := NewPool(Config{Workers: 1, MaxConcurrent: 1, QueueDepth: 4, CacheEntries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	srv := httptest.NewServer(pool.Handler())
+	defer srv.Close()
+
+	// The second job sits queued behind the slow one on the single
+	// dispatcher, so a short wait on it must come back non-terminal.
+	first := submitSlow(t, pool)
+	second, err := pool.Submit(testCube(t, 71), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	r, err := srv.Client().Get(srv.URL + "/v2/jobs/" + second.ID + "?wait=30ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := decodeJob(t, r)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("30ms wait took %v", elapsed)
+	}
+	if job.ID != second.ID {
+		t.Errorf("long-poll returned %q, want %q", job.ID, second.ID)
+	}
+	if job.State == StateDone || job.State == StateFailed {
+		t.Errorf("wait-elapsed long-poll returned terminal state %s for a queued job", job.State)
+	}
+	if _, err := pool.Wait(first.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Wait(second.ID); err != nil {
+		t.Fatal(err)
+	}
+}

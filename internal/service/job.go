@@ -87,6 +87,10 @@ type JobStatus struct {
 	// Result is set once State is StateDone. It is shared with the result
 	// cache and other jobs: treat it as read-only.
 	Result *core.Result
+	// Options are the canonical options the job runs with — every knob
+	// defaults-filled, including the pool-fixed worker count — so clients
+	// can see what their submission actually meant.
+	Options core.Options
 	// Progress is set for scene jobs.
 	Progress  *TileProgress
 	Submitted time.Time

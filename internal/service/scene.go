@@ -305,7 +305,7 @@ func (p *Pool) FuseScene(id string, opts core.Options) (JobStatus, error) {
 		return JobStatus{}, fmt.Errorf("service: opening scene %s: %w", id, err)
 	}
 	// The decomposition the manager will derive from the scene's shape.
-	tiles := min(opts.Granularity*opts.Workers, ent.h.Lines)
+	tiles := opts.SubCubes(ent.h.Lines)
 	st, err := p.enqueue(func(num uint64) *Job {
 		return &Job{
 			id:         fmt.Sprintf("job-%d", num),
@@ -343,11 +343,12 @@ func (p *Pool) SceneResultPNG(id string) ([]byte, error) {
 	return p.ImagePNG(jobID)
 }
 
-// sceneSource adapts a scene tiler to the manager's CubeSource and
-// publishes per-tile progress onto the job. Tile reads happen on the
-// job's manager thread; the counters cross to HTTP pollers atomically.
+// sceneSource adapts a scene tiler (plain or prefetching) to the
+// manager's CubeSource and publishes per-tile progress onto the job.
+// Tile reads happen on the job's manager thread; the counters cross to
+// HTTP pollers atomically.
 type sceneSource struct {
-	tiler *scene.Tiler
+	tiler core.CubeSource
 	job   *Job
 }
 

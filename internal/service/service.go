@@ -15,12 +15,14 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/base64"
 	"errors"
 	"fmt"
 	"image/png"
 	"math"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -83,6 +85,10 @@ type Config struct {
 	// MaxScenes bounds concurrently registered scenes (default 64);
 	// registrations past it are rejected until scenes are removed.
 	MaxScenes int
+	// MaxLongPoll caps how long one GET /v2/jobs/{id}?wait=... request
+	// may hold its connection (default 60s). Clients asking for more are
+	// trimmed, not rejected: they re-issue the long-poll.
+	MaxLongPoll time.Duration
 	// LogTo receives diagnostics (nil silences them).
 	LogTo func(format string, args ...any)
 }
@@ -111,6 +117,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxScenes <= 0 {
 		c.MaxScenes = 64
+	}
+	if c.MaxLongPoll <= 0 {
+		c.MaxLongPoll = 60 * time.Second
 	}
 	return c
 }
@@ -141,6 +150,7 @@ type Pool struct {
 	queue     chan *Job
 	wg        sync.WaitGroup // dispatcher goroutines
 	t0        time.Time
+	shut      chan struct{} // closed once Close has drained every job
 
 	mu         sync.Mutex
 	closed     bool
@@ -173,6 +183,7 @@ func NewPool(cfg Config) (*Pool, error) {
 		sys:        sys,
 		cache:      newResultCache(cfg.CacheEntries),
 		queue:      make(chan *Job, cfg.QueueDepth),
+		shut:       make(chan struct{}),
 		t0:         time.Now(),
 		jobs:       make(map[string]*Job),
 		scenes:     make(map[string]*sceneEntry),
@@ -354,14 +365,69 @@ func (p *Pool) Status(id string) (JobStatus, error) {
 
 // Wait blocks until the job finishes and returns its final snapshot.
 func (p *Pool) Wait(id string) (JobStatus, error) {
+	return p.WaitContext(context.Background(), id)
+}
+
+// WaitContext blocks until the job finishes, the context is done, or the
+// pool has shut down — whichever comes first. On context expiry it
+// returns the job's current (possibly non-terminal) snapshot alongside
+// ctx.Err(), which is what the v2 long-poll serves; on pool shutdown a
+// still-unfinished job reports ErrClosed (Close drains every admitted
+// job, so this arises only for jobs that can no longer make progress —
+// a waiter must not leak on them).
+func (p *Pool) WaitContext(ctx context.Context, id string) (JobStatus, error) {
 	p.mu.Lock()
 	job := p.jobs[id]
 	p.mu.Unlock()
 	if job == nil {
 		return JobStatus{}, ErrUnknownJob
 	}
-	<-job.done
-	return p.snapshot(job), nil
+	select {
+	case <-job.done:
+		return p.snapshot(job), nil
+	case <-ctx.Done():
+		return p.snapshot(job), ctx.Err()
+	case <-p.shut:
+		// The drain may have finished this job in the same instant;
+		// prefer the terminal snapshot when it did.
+		select {
+		case <-job.done:
+			return p.snapshot(job), nil
+		default:
+			return p.snapshot(job), ErrClosed
+		}
+	}
+}
+
+// Jobs returns snapshots of the retained jobs, most recent submission
+// first, optionally filtered to one state; limit > 0 bounds the count.
+func (p *Pool) Jobs(state JobState, limit int) []JobStatus {
+	// Collect under the lock, but sort outside it: with RetainJobs in
+	// the thousands, an O(n log n) pass must not extend the critical
+	// section every Submit and finish contends on. Job pointers stay
+	// valid across the gap (eviction only unlinks them from the map);
+	// state is re-read under the second hold, so the filter is exact.
+	p.mu.Lock()
+	all := make([]*Job, 0, len(p.jobs))
+	for _, job := range p.jobs {
+		all = append(all, job)
+	}
+	p.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool { return all[i].num > all[j].num })
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]JobStatus, 0, len(all))
+	for _, job := range all {
+		if state != "" && job.state != state {
+			continue
+		}
+		out = append(out, p.snapshotLocked(job))
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
 }
 
 // ImagePNG returns the job's composite image encoded as PNG, encoding at
@@ -470,8 +536,9 @@ func (p *Pool) Close() error {
 	p.closed = true
 	close(p.queue)
 	p.mu.Unlock()
-	p.wg.Wait()  // dispatchers drain remaining queued jobs
-	p.sys.Stop() // kill persistent workers
+	p.wg.Wait()   // dispatchers drain remaining queued jobs
+	close(p.shut) // every admitted job is terminal now; release any waiters
+	p.sys.Stop()  // kill persistent workers
 	err := p.sys.Wait()
 	// Release spooled scenes after the drain: queued scene jobs read
 	// their files until the dispatchers finish.
@@ -541,13 +608,20 @@ func (p *Pool) runJob(job *Job) {
 				// Scene jobs stream row tiles straight off the spooled
 				// file, through the handle the job has held since submit
 				// (finish() closes it; tile reads are manager-thread
-				// sequential).
+				// sequential). The tiler is wrapped with one-tile
+				// read-ahead over the decomposition the manager will
+				// derive, so the next row-window decodes off disk while
+				// the current tile is on the wire; the drain runs before
+				// finish() can close the spool handle under a prefetch.
 				rdr, err := scene.NewReaderFrom(job.sceneHdr, job.sceneFile)
 				if err != nil {
 					jobErr = fmt.Errorf("service: opening scene %s: %w", job.sceneID, err)
 					return nil
 				}
-				src := &sceneSource{tiler: scene.NewTiler(rdr), job: job}
+				tiler := scene.NewPrefetchTiler(scene.NewTiler(rdr),
+					job.opts.TileRanges(job.sceneHdr.Lines))
+				defer tiler.Drain()
+				src := &sceneSource{tiler: tiler, job: job}
 				jobErr = core.RunManagerSource(je, src, job.opts, res)
 			} else {
 				jobErr = core.RunManager(je, job.cube, job.opts, res)
@@ -637,6 +711,10 @@ func (p *Pool) finish(job *Job, res *core.Result, err error, fromCache bool) {
 func (p *Pool) snapshot(job *Job) JobStatus {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	return p.snapshotLocked(job)
+}
+
+func (p *Pool) snapshotLocked(job *Job) JobStatus {
 	return JobStatus{
 		ID:        job.id,
 		State:     job.state,
@@ -644,6 +722,7 @@ func (p *Pool) snapshot(job *Job) JobStatus {
 		CacheHit:  job.cacheHit,
 		Err:       job.err,
 		Result:    job.result,
+		Options:   job.opts,
 		Progress:  job.progress(),
 		Submitted: job.submitted,
 		Started:   job.started,

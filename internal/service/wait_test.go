@@ -1,0 +1,159 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"resilientfusion/internal/core"
+	"resilientfusion/internal/hsi"
+)
+
+// submitSlow submits a fusion big enough to hold a dispatcher for
+// hundreds of milliseconds — the wedge behind which queue-full and
+// wait-while-queued behavior is observable even across HTTP round trips
+// — and blocks until it has left the queue.
+func submitSlow(t *testing.T, pool *Pool) JobStatus {
+	t.Helper()
+	s, err := hsi.GenerateScene(hsi.SceneSpec{
+		Width: 256, Height: 256, Bands: 96, Seed: 3,
+		NoiseSigma: 6, Illumination: 0.15, OpenVehicles: 3, CamouflagedVehicles: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := pool.Submit(s.Cube, core.Options{Threshold: 0.008})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := pool.Status(slow.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != StateQueued {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slow job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestWaitContextCancel pins the fix for Pool.Wait's unbounded block: a
+// waiter must come back when its context does, not when the job deigns
+// to finish.
+func TestWaitContextCancel(t *testing.T) {
+	pool, err := NewPool(Config{Workers: 1, MaxConcurrent: 1, QueueDepth: 4, CacheEntries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	// The second job queues behind the slow one on the single
+	// dispatcher, so it cannot be done when the context fires.
+	first := submitSlow(t, pool)
+	second, err := pool.Submit(testCube(t, 91), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	st, err := pool.WaitContext(ctx, second.ID)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("WaitContext on canceled ctx: err=%v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("canceled wait took %v", elapsed)
+	}
+	if st.ID != second.ID {
+		t.Errorf("snapshot for %q, want %q", st.ID, second.ID)
+	}
+
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel2()
+	if _, err := pool.WaitContext(ctx2, second.ID); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("WaitContext deadline: err=%v", err)
+	}
+
+	// Both jobs still complete normally after abandoned waits.
+	if st, err := pool.Wait(first.ID); err != nil || st.State != StateDone {
+		t.Fatalf("first job: state=%v err=%v", st.State, err)
+	}
+	if st, err := pool.Wait(second.ID); err != nil || st.State != StateDone {
+		t.Fatalf("second job: state=%v err=%v", st.State, err)
+	}
+
+	// Unknown jobs are reported as such, not waited for.
+	if _, err := pool.WaitContext(context.Background(), "job-999999"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("unknown job err=%v", err)
+	}
+}
+
+// TestWaitContextPoolClose pins the leak guard: a waiter on a job that
+// will never finish is released when the pool shuts down, with ErrClosed
+// rather than a hang. The never-finishing job is forged directly in the
+// registry — every real admitted job is drained by Close, which is
+// exactly why the guard needs a synthetic stuck entry to be testable.
+func TestWaitContextPoolClose(t *testing.T) {
+	pool, err := NewPool(Config{Workers: 1, CacheEntries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stuck := &Job{id: "job-stuck", num: 999, done: make(chan struct{}), state: StateQueued}
+	pool.mu.Lock()
+	pool.jobs[stuck.id] = stuck
+	pool.mu.Unlock()
+
+	got := make(chan error, 1)
+	go func() {
+		_, err := pool.WaitContext(context.Background(), stuck.id)
+		got <- err
+	}()
+	// Give the waiter a moment to block on the select, then shut down.
+	time.Sleep(10 * time.Millisecond)
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-got:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("waiter released with err=%v, want ErrClosed", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("waiter leaked past pool close")
+	}
+}
+
+// TestWaitContextDone is the happy path: a background waiter with a
+// generous context observes the terminal state exactly like Wait.
+func TestWaitContextDone(t *testing.T) {
+	pool, err := NewPool(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	st, err := pool.Submit(testCube(t, 92), core.Options{Threshold: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	final, err := pool.WaitContext(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone || final.Result == nil {
+		t.Fatalf("final state %s, result %v", final.State, final.Result)
+	}
+	if final.Options.Workers != 2 || final.Options.Threshold != 0.05 {
+		t.Errorf("canonical options not in snapshot: %+v", final.Options)
+	}
+}
