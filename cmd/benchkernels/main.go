@@ -34,6 +34,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"resilientfusion/internal/linalg"
 )
 
 // benchSet is the tracked kernel set: the hot per-worker kernels plus
@@ -128,7 +130,7 @@ func main() {
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		CPU:        hdr.cpu,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GOMAXPROCS: linalg.MaxWorkers(),
 		Benchtime:  *benchtime,
 		Benchmarks: results,
 	}

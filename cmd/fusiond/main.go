@@ -37,16 +37,16 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"runtime"
 	"syscall"
 	"time"
 
+	"resilientfusion/internal/linalg"
 	"resilientfusion/internal/service"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "HTTP listen address")
-	workers := flag.Int("workers", runtime.NumCPU(), "persistent fusion workers in the pool")
+	workers := flag.Int("workers", linalg.MaxWorkers(), "persistent fusion workers in the pool")
 	concurrency := flag.Int("concurrency", 0, "jobs running at once (0: workers/2, min 1)")
 	queue := flag.Int("queue", 64, "queued jobs beyond the running ones")
 	cacheEntries := flag.Int("cache", 128, "result cache capacity (negative disables)")

@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+// The go command probes a vettool with -V=full and -flags before
+// trusting it; both must short-circuit cleanly or `go vet -vettool`
+// dies before analyzing anything.
+func TestVetProtocolProbes(t *testing.T) {
+	if got := run([]string{"-V=full"}); got != 0 {
+		t.Fatalf("run(-V=full) = %d, want 0", got)
+	}
+	if got := run([]string{"-flags"}); got != 0 {
+		t.Fatalf("run(-flags) = %d, want 0", got)
+	}
+}
+
+func TestEveryAnalyzerRegistered(t *testing.T) {
+	want := map[string]bool{"detsource": true, "shardgrid": true, "apierror": true}
+	for _, a := range analyzers {
+		if !want[a.Name] {
+			t.Errorf("unexpected analyzer %q", a.Name)
+		}
+		delete(want, a.Name)
+		if a.Run == nil || a.Applies == nil || a.Doc == "" {
+			t.Errorf("analyzer %q incompletely wired", a.Name)
+		}
+	}
+	for name := range want {
+		t.Errorf("analyzer %q not registered", name)
+	}
+}

@@ -1,0 +1,44 @@
+package core
+
+// intSet is an ordered set of dense non-negative ints — the sub-cube and
+// covariance-part indices the manager tracks as outstanding work. It
+// replaces map[int]bool on the deterministic path: keys walks members in
+// ascending index order by construction, so reissue sweeps never depend
+// on map iteration order (the fusionlint detsource rule bans
+// order-sensitive map ranges in this package outright).
+type intSet struct {
+	present []bool
+	n       int
+}
+
+// newIntSet returns an empty set over indices [0, size).
+func newIntSet(size int) *intSet {
+	return &intSet{present: make([]bool, size)}
+}
+
+func (s *intSet) add(i int) {
+	if !s.present[i] {
+		s.present[i] = true
+		s.n++
+	}
+}
+
+func (s *intSet) remove(i int) {
+	if i >= 0 && i < len(s.present) && s.present[i] {
+		s.present[i] = false
+		s.n--
+	}
+}
+
+func (s *intSet) len() int { return s.n }
+
+// keys returns the members in ascending order.
+func (s *intSet) keys() []int {
+	out := make([]int, 0, s.n)
+	for i, in := range s.present {
+		if in {
+			out = append(out, i)
+		}
+	}
+	return out
+}

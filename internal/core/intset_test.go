@@ -1,0 +1,32 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestIntSetOrderedKeys(t *testing.T) {
+	s := newIntSet(8)
+	for _, i := range []int{5, 1, 7, 3, 1, 5} { // dups are no-ops
+		s.add(i)
+	}
+	if got := s.len(); got != 4 {
+		t.Fatalf("len = %d, want 4", got)
+	}
+	if got, want := s.keys(), []int{1, 3, 5, 7}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("keys = %v, want %v", got, want)
+	}
+	s.remove(3)
+	s.remove(3)  // double remove is a no-op
+	s.remove(-1) // out of range is a no-op
+	s.remove(99)
+	if got, want := s.keys(), []int{1, 5, 7}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("after remove, keys = %v, want %v", got, want)
+	}
+	if got := s.len(); got != 3 {
+		t.Fatalf("after remove, len = %d, want 3", got)
+	}
+	if got := s.keys(); cap(got) != 3 {
+		t.Fatalf("keys over-allocated: cap %d, want 3", cap(got))
+	}
+}

@@ -197,7 +197,7 @@ func (m *manager) screenPhase() ([][]linalg.Vector, error) {
 	S := len(m.ranges)
 	uniq := make([][]linalg.Vector, S)
 	next := 0 // next unassigned sub-cube
-	outstanding := make(map[int]bool)
+	outstanding := newIntSet(S)
 	reissues := 0
 
 	// Initial fill, breadth-first: every worker gets one sub-problem
@@ -213,7 +213,7 @@ func (m *manager) screenPhase() ([][]linalg.Vector, error) {
 			if err := m.sendScreen(next, resilient.LogicalID(w)); err != nil {
 				return nil, err
 			}
-			outstanding[next] = true
+			outstanding.add(next)
 			next++
 		}
 	}
@@ -226,7 +226,7 @@ func (m *manager) screenPhase() ([][]linalg.Vector, error) {
 			if reissues > m.opts.MaxReissues {
 				return nil, fmt.Errorf("screening stalled after %d reissues (%d/%d done)", reissues, done, S)
 			}
-			for _, idx := range sortedKeys(outstanding) {
+			for _, idx := range outstanding.keys() {
 				if err := m.sendScreen(idx, m.owner[idx]); err != nil {
 					return nil, err
 				}
@@ -251,7 +251,7 @@ func (m *manager) screenPhase() ([][]linalg.Vector, error) {
 		if len(resp.Vectors) == 0 {
 			uniq[resp.Index] = []linalg.Vector{} // mark done distinctly from nil
 		}
-		delete(outstanding, resp.Index)
+		outstanding.remove(resp.Index)
 		done++
 		if obs, ok := m.src.(TileObserver); ok {
 			obs.TileScreened(done, S)
@@ -261,7 +261,7 @@ func (m *manager) screenPhase() ([][]linalg.Vector, error) {
 			if err := m.sendScreen(next, msg.From); err != nil {
 				return nil, err
 			}
-			outstanding[next] = true
+			outstanding.add(next)
 			next++
 		}
 	}
@@ -290,7 +290,7 @@ func (m *manager) covariancePhase(members []linalg.Vector, mean linalg.Vector) (
 	P := m.opts.Workers
 	parts := splitVectors(members, P)
 	partials := make([]*linalg.Matrix, P)
-	outstanding := make(map[int]bool)
+	outstanding := newIntSet(P)
 	send := func(p int) error {
 		req := &CovReq{Part: p, Mean: mean, Vectors: parts[p]}
 		return m.env.Send(resilient.LogicalID(p%P+1), KindCovReq, EncodeCovReq(req))
@@ -299,7 +299,7 @@ func (m *manager) covariancePhase(members []linalg.Vector, mean linalg.Vector) (
 		if err := send(p); err != nil {
 			return nil, err
 		}
-		outstanding[p] = true
+		outstanding.add(p)
 	}
 	reissues := 0
 	for done := 0; done < P; {
@@ -310,7 +310,7 @@ func (m *manager) covariancePhase(members []linalg.Vector, mean linalg.Vector) (
 			if reissues > m.opts.MaxReissues {
 				return nil, fmt.Errorf("covariance stalled after %d reissues", reissues)
 			}
-			for _, p := range sortedKeys(outstanding) {
+			for _, p := range outstanding.keys() {
 				if err := send(p); err != nil {
 					return nil, err
 				}
@@ -331,7 +331,7 @@ func (m *manager) covariancePhase(members []linalg.Vector, mean linalg.Vector) (
 			continue
 		}
 		partials[resp.Part] = resp.Sum
-		delete(outstanding, resp.Part)
+		outstanding.remove(resp.Part)
 		done++
 	}
 	cov, err := pct.Covariance(partials, len(members))
@@ -347,7 +347,7 @@ func (m *manager) transformPhase(mean linalg.Vector, transform *linalg.Matrix, s
 	S := len(m.ranges)
 	img := image.NewRGBA(image.Rect(0, 0, m.width, m.height))
 	doneIdx := make([]bool, S)
-	outstanding := make(map[int]bool)
+	outstanding := newIntSet(S)
 
 	send := func(idx int, withData bool) error {
 		req := &TransformReq{
@@ -373,7 +373,7 @@ func (m *manager) transformPhase(mean linalg.Vector, transform *linalg.Matrix, s
 		if err := send(idx, false); err != nil {
 			return nil, err
 		}
-		outstanding[idx] = true
+		outstanding.add(idx)
 	}
 	reissues := 0
 	for done := 0; done < S; {
@@ -384,7 +384,7 @@ func (m *manager) transformPhase(mean linalg.Vector, transform *linalg.Matrix, s
 			if reissues > m.opts.MaxReissues {
 				return nil, fmt.Errorf("transform stalled after %d reissues (%d/%d done)", reissues, done, S)
 			}
-			for _, idx := range sortedKeys(outstanding) {
+			for _, idx := range outstanding.keys() {
 				if err := send(idx, true); err != nil {
 					return nil, err
 				}
@@ -417,7 +417,7 @@ func (m *manager) transformPhase(mean linalg.Vector, transform *linalg.Matrix, s
 			}
 			blitRGB(img, resp)
 			doneIdx[idx] = true
-			delete(outstanding, idx)
+			outstanding.remove(idx)
 			done++
 			if obs, ok := m.src.(TileObserver); ok {
 				obs.TileTransformed(done, S)
@@ -455,20 +455,6 @@ func splitVectors(vs []linalg.Vector, parts int) [][]linalg.Vector {
 		}
 		out[p] = vs[off : off+n]
 		off += n
-	}
-	return out
-}
-
-// sortedKeys returns map keys in ascending order (deterministic reissue).
-func sortedKeys(m map[int]bool) []int {
-	out := make([]int, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
 	}
 	return out
 }

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"runtime"
 
 	"resilientfusion/internal/hsi"
 	"resilientfusion/internal/linalg"
@@ -112,7 +111,7 @@ func (o Options) Canonical() Options { return o.withDefaults() }
 // the default Options.Parallelism policy of every path that runs worker
 // kernels side by side (NewJob here, the service pool's Submit).
 func SharedKernelParallelism(workers int) int {
-	p := runtime.GOMAXPROCS(0) / workers
+	p := linalg.MaxWorkers() / workers
 	if p < 1 {
 		p = 1
 	}

@@ -182,14 +182,26 @@ func DecodeScreenReq(p []byte) (*ScreenReq, error) {
 	if err != nil {
 		return nil, err
 	}
-	cube, err := hsi.ReadCube(bytes.NewReader(p[r.off:]))
+	cube, err := readWireCube(p[r.off:])
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrWire, err)
+		return nil, err
 	}
 	return &ScreenReq{
 		Range: hsi.RowRange{Index: int(idx), Y0: int(y0), Y1: int(y1)},
 		Cube:  cube,
 	}, nil
+}
+
+// readWireCube decodes an embedded cube, bounding the decoder by the
+// bytes actually present: a valid encoding never claims more than its
+// payload holds, so the limit only rejects corrupt headers — before
+// they can demand a giant sample allocation.
+func readWireCube(p []byte) (*hsi.Cube, error) {
+	cube, err := hsi.ReadCubeLimit(bytes.NewReader(p), int64(len(p)))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrWire, err)
+	}
+	return cube, nil
 }
 
 // --- ScreenResp: index, K, n, stats, vectors ---
@@ -460,9 +472,9 @@ func DecodeTransformReq(p []byte) (*TransformReq, error) {
 		out.Stretches = append(out.Stretches, colormap.Stretch{Center: cs[0], Scale: cs[1]})
 	}
 	if hasData == 1 {
-		cube, err := hsi.ReadCube(bytes.NewReader(p[r.off:]))
+		cube, err := readWireCube(p[r.off:])
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrWire, err)
+			return nil, err
 		}
 		out.Cube = cube
 	}

@@ -7,11 +7,11 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
 
 	"resilientfusion/internal/core"
 	"resilientfusion/internal/failure"
 	"resilientfusion/internal/hsi"
+	"resilientfusion/internal/linalg"
 	"resilientfusion/internal/metrics"
 	"resilientfusion/internal/perfmodel"
 	"resilientfusion/internal/scplib"
@@ -185,7 +185,7 @@ func RunOnCube(cfg RunConfig, cube *hsi.Cube) (*RunOutcome, error) {
 		par = cfg.Scale.Parallelism
 	}
 	if par == 0 {
-		par = runtime.GOMAXPROCS(0)
+		par = linalg.MaxWorkers()
 	}
 	opts := core.Options{
 		Workers:         cfg.Workers,

@@ -297,13 +297,16 @@ func smoothstep(t float64) float64 { return t * t * (3 - 2*t) }
 // useful for validating that targets are genuinely rare (the condition
 // spectral screening is designed for).
 func (s *Scene) SceneMaterialFractions() map[Material]float64 {
-	counts := make(map[Material]float64, numMaterials)
+	counts := make(map[Material]int, numMaterials)
 	for _, m := range s.Truth {
 		counts[m]++
 	}
 	n := float64(len(s.Truth))
-	for m := range counts {
-		counts[m] /= n
+	out := make(map[Material]float64, len(counts))
+	for m, c := range counts {
+		// Keyed writes of exact integer counts: order-independent, so
+		// the map range stays inside the detsource contract.
+		out[m] = float64(c) / n
 	}
-	return counts
+	return out
 }

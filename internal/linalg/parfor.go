@@ -22,6 +22,24 @@ func ParallelShards(shards, workers int, fn func(shard int)) {
 	ParallelShardsIndexed(shards, workers, func(_, s int) { fn(s) })
 }
 
+// MaxWorkers reports how wide the runtime will actually run goroutines —
+// the process-wide answer to "how parallel is Parallelism=0?". This is
+// the repo's single GOMAXPROCS/NumCPU read: every other package derives
+// automatic worker counts from this resolver (the fusionlint shardgrid
+// rule enforces it), so a zero Parallelism can never resolve to
+// different widths in different packages.
+func MaxWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Go runs fn on a new goroutine. It is deliberately trivial: the
+// deterministic packages may not contain naked go statements (the
+// fusionlint detsource rule), so every background task they start flows
+// through this one audit point. Callers own completion — fn must signal
+// through a channel the caller drains before the resources fn touches
+// are released (scene.PrefetchTiler is the canonical pattern). Kernel
+// fan-out must use ParallelShards instead: a fixed shard grid is what
+// keeps reductions bit-identical across worker counts.
+func Go(fn func()) { go fn() }
+
 // EffectiveWorkers returns the number of workers ParallelShardsIndexed
 // will actually run for the given shard count and requested parallelism:
 // the size callers use for per-worker scratch arrays.
@@ -32,7 +50,7 @@ func EffectiveWorkers(shards, workers int) int {
 	if workers < 0 {
 		workers = 1
 	} else if workers == 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = MaxWorkers()
 	}
 	if workers > shards {
 		workers = shards

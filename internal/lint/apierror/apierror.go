@@ -1,0 +1,135 @@
+// Package apierror implements the fusionlint analyzer that keeps the
+// service's error surface closed: every HTTP error is written through
+// the structured envelope helpers in internal/service/apierror.go, and
+// every error code is a constant from that file's registry. The codes
+// are wire contract — fusionclient maps them to typed *APIError values,
+// so a hand-rolled envelope or a typo'd code silently breaks clients.
+package apierror
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"resilientfusion/internal/lint"
+)
+
+// RegistryFile is the one file allowed to construct error envelopes.
+const RegistryFile = "apierror.go"
+
+// Analyzer flags, within internal/service:
+//
+//   - http.Error calls outside apierror.go — they bypass the structured
+//     {"error":{"code","message"}} envelope;
+//   - hand-rolled envelope literals (apiErrorJSON / errorEnvelope
+//     composites) outside apierror.go;
+//   - error codes passed to writeAPIErrorCode that are not declared in
+//     the apierror.go registry, or that restate a registered code as a
+//     string literal instead of naming its constant.
+var Analyzer = &lint.Analyzer{
+	Name:    "apierror",
+	Doc:     "flag error responses that bypass apierror.go's envelope helpers or use codes outside its registry",
+	Applies: func(path string) bool { return lint.HasPathSuffix(path, "internal/service") },
+	Run:     run,
+}
+
+func run(pass *lint.Pass) error {
+	registry := collectRegistry(pass)
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		inRegistry := pass.Filename(f.Pos()) == RegistryFile
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n, registry, inRegistry)
+			case *ast.CompositeLit:
+				if !inRegistry && isEnvelopeType(pass.Info.TypeOf(n)) {
+					pass.Reportf(n.Pos(), "hand-rolled error envelope: write error responses through writeAPIError/writeAPIErrorCode (%s)", RegistryFile)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// collectRegistry gathers the Code* string constants declared in
+// apierror.go: value -> constant name.
+func collectRegistry(pass *lint.Pass) map[string]string {
+	registry := make(map[string]string)
+	for _, f := range pass.Files {
+		if pass.Filename(f.Pos()) != RegistryFile {
+			continue
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if !strings.HasPrefix(name.Name, "Code") || i >= len(vs.Values) {
+						continue
+					}
+					if bl, ok := vs.Values[i].(*ast.BasicLit); ok && bl.Kind == token.STRING {
+						if v, err := strconv.Unquote(bl.Value); err == nil {
+							registry[v] = name.Name
+						}
+					}
+				}
+			}
+		}
+	}
+	return registry
+}
+
+func checkCall(pass *lint.Pass, call *ast.CallExpr, registry map[string]string, inRegistry bool) {
+	if pkg, name, ok := lint.PkgFunc(pass.Info, call); ok {
+		if pkg == "net/http" && name == "Error" && !inRegistry {
+			pass.Reportf(call.Pos(), "http.Error bypasses the structured error envelope: use writeAPIError or writeAPIErrorCode (%s)", RegistryFile)
+		}
+		return
+	}
+	// writeAPIErrorCode(w, status, code, message): the code argument must
+	// be a registered constant, named by its constant.
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "writeAPIErrorCode" || len(call.Args) != 4 {
+		return
+	}
+	if fn, ok := pass.Info.Uses[id].(*types.Func); !ok || fn.Pkg() != pass.Pkg {
+		return
+	}
+	arg := call.Args[2]
+	tv, ok := pass.Info.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return // dynamic code (writeAPIError's own dispatch): not checkable here
+	}
+	val := constant.StringVal(tv.Value)
+	constName, registered := registry[val]
+	if !registered {
+		pass.Reportf(arg.Pos(), "error code %q is not declared in the %s registry: a typo'd code breaks fusionclient's typed *APIError mapping", val, RegistryFile)
+		return
+	}
+	if id, ok := arg.(*ast.Ident); !ok || id.Name != constName {
+		pass.Reportf(arg.Pos(), "error code %q restated instead of named: use the %s constant from %s", val, constName, RegistryFile)
+	}
+}
+
+// isEnvelopeType matches the service's envelope structs by name.
+func isEnvelopeType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	n := named.Obj().Name()
+	return n == "apiErrorJSON" || n == "errorEnvelope"
+}

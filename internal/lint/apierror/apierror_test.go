@@ -1,0 +1,12 @@
+package apierror_test
+
+import (
+	"testing"
+
+	"resilientfusion/internal/lint/apierror"
+	"resilientfusion/internal/lint/linttest"
+)
+
+func TestAPIError(t *testing.T) {
+	linttest.Run(t, "testdata", apierror.Analyzer)
+}

@@ -1,0 +1,3 @@
+module fusionlint.test/api
+
+go 1.24

@@ -1,0 +1,9 @@
+// Package other is outside internal/service: the envelope contract
+// does not apply, so http.Error is legal and produces no diagnostics.
+package other
+
+import "net/http"
+
+func Plain(w http.ResponseWriter) {
+	http.Error(w, "fine here", http.StatusTeapot)
+}

@@ -1,0 +1,11 @@
+package service
+
+import "net/http"
+
+// The sanctioned form: registered constants through the registry's
+// helper. No diagnostics.
+func goodHandler(w http.ResponseWriter, err error) {
+	writeAPIErrorCode(w, http.StatusBadRequest, CodeBadOption, err.Error())
+	code := CodeInternal // dynamic code values are the helper's business
+	writeAPIErrorCode(w, http.StatusInternalServerError, code, "later")
+}

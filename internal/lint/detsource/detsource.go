@@ -1,0 +1,140 @@
+// Package detsource implements the fusionlint analyzer that polices
+// nondeterminism sources in the deterministic kernel packages — the
+// packages whose outputs must be bit-identical at every
+// core.Options.Parallelism (the property every parity test pins and
+// every future algorithm inherits).
+package detsource
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"resilientfusion/internal/lint"
+)
+
+// DetPackages are the package-path suffixes the deterministic contract
+// covers: everything between raw samples and the fused composite.
+var DetPackages = []string{
+	"internal/core",
+	"internal/hsi",
+	"internal/linalg",
+	"internal/pct",
+	"internal/scene",
+	"internal/spectral",
+}
+
+// Analyzer flags nondeterminism sources in the deterministic packages:
+//
+//   - range over a map whose body appends to a slice, accumulates a
+//     float, or sends on a channel — map iteration order would leak into
+//     the result;
+//   - time.Now — wall-clock reads make output run-dependent;
+//   - math/rand calls other than the explicitly seeded constructors
+//     rand.New / rand.NewSource — the package-global source is randomly
+//     seeded;
+//   - naked go statements outside internal/linalg/parfor.go — kernel
+//     fan-out must flow through ParallelShards' fixed shard grid, and
+//     background work through linalg.Go, so parfor.go stays the single
+//     goroutine-creation audit point.
+var Analyzer = &lint.Analyzer{
+	Name:    "detsource",
+	Doc:     "flag nondeterminism sources (map-order-dependent accumulation, wall clock, global rand, naked goroutines) in the deterministic fusion packages",
+	Applies: applies,
+	Run:     run,
+}
+
+func applies(path string) bool {
+	for _, d := range DetPackages {
+		if lint.HasPathSuffix(path, d) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *lint.Pass) error {
+	inLinalg := lint.HasPathSuffix(pass.ImportPath, "internal/linalg")
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		allowGo := inLinalg && pass.Filename(f.Pos()) == "parfor.go"
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if !allowGo {
+					pass.Reportf(n.Pos(), "naked go statement outside internal/linalg/parfor.go: kernel fan-out must use linalg.ParallelShards (fixed shard grid) and background work linalg.Go")
+				}
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *lint.Pass, call *ast.CallExpr) {
+	pkg, name, ok := lint.PkgFunc(pass.Info, call)
+	if !ok {
+		return
+	}
+	switch {
+	case pkg == "time" && name == "Now":
+		pass.Reportf(call.Pos(), "time.Now in a deterministic package: wall-clock reads make fusion output run-dependent")
+	case pkg == "math/rand" || pkg == "math/rand/v2":
+		// The explicitly seeded constructors are the sanctioned form
+		// (hsi.Synthesize builds scenes from a spec seed); everything
+		// else draws from or reseeds the process-global source.
+		if name != "New" && name != "NewSource" {
+			pass.Reportf(call.Pos(), "%s.%s uses the process-global random source: randomness must flow through an explicitly seeded rand.New(rand.NewSource(seed))", pkg, name)
+		}
+	}
+}
+
+// checkMapRange flags order-sensitive accumulation in the body of a
+// range over a map. Order-independent bodies — writes indexed by the map
+// key, counters, max/min over ints — stay legal: the rule targets the
+// three accumulation shapes whose result observably depends on
+// iteration order.
+func checkMapRange(pass *lint.Pass, rs *ast.RangeStmt) {
+	tv, ok := pass.Info.Types[rs.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "send on a channel inside range over a map: map iteration order leaks into message order")
+		case *ast.CallExpr:
+			if lint.IsBuiltinAppend(pass.Info, n) {
+				pass.Reportf(n.Pos(), "append inside range over a map: element order depends on map iteration order (collect by index, or keep an ordered set)")
+			}
+		case *ast.AssignStmt:
+			switch n.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				for _, lhs := range n.Lhs {
+					if isFloat(pass.Info, lhs) {
+						pass.Reportf(n.Pos(), "floating-point accumulation inside range over a map: float arithmetic is not associative, so the result depends on iteration order")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isFloat(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

@@ -1,0 +1,12 @@
+package detsource_test
+
+import (
+	"testing"
+
+	"resilientfusion/internal/lint/detsource"
+	"resilientfusion/internal/lint/linttest"
+)
+
+func TestDetsource(t *testing.T) {
+	linttest.Run(t, "testdata", detsource.Analyzer)
+}

@@ -1,0 +1,3 @@
+module fusionlint.test/det
+
+go 1.24

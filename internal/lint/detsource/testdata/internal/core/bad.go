@@ -1,0 +1,39 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stampAndJitter() float64 {
+	t := time.Now() // want "time.Now in a deterministic package"
+	_ = t
+	return rand.Float64() // want "process-global random source"
+}
+
+func reseed() {
+	rand.Seed(42) // want "process-global random source"
+}
+
+func sumWeights(w map[string]float64) float64 {
+	var sum float64
+	for _, v := range w {
+		sum += v // want "floating-point accumulation inside range over a map"
+		_ = v
+	}
+	return sum
+}
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append inside range over a map"
+	}
+	return out
+}
+
+func drain(m map[int]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want "send on a channel inside range over a map"
+	}
+}

@@ -1,0 +1,35 @@
+package core
+
+import "math/rand"
+
+// The sanctioned patterns: everything here must produce no diagnostics.
+
+// Explicitly seeded randomness is deterministic.
+func noise(seed int64, n int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Float64()
+	}
+	return out
+}
+
+// Writes indexed by the map key are order-independent, as are integer
+// counters; ordered output comes from a post-pass over the dense slice.
+func present(m map[int]bool, n int) []int {
+	marks := make([]bool, n)
+	total := 0
+	for k := range m {
+		if k >= 0 && k < n {
+			marks[k] = true
+			total++
+		}
+	}
+	out := make([]int, 0, total)
+	for i, ok := range marks {
+		if ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}

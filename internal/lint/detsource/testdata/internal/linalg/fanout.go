@@ -1,0 +1,16 @@
+package linalg
+
+// Same package as the allowlisted parfor.go, different file: the
+// allowlist is per-file, not per-package.
+func fanOut(fns []func()) {
+	done := make(chan struct{})
+	for _, fn := range fns {
+		go func(f func()) { // want "naked go statement"
+			f()
+			done <- struct{}{}
+		}(fn)
+	}
+	for range fns {
+		<-done
+	}
+}

@@ -1,0 +1,23 @@
+// The allowlisted resolver file: parfor.go in internal/linalg is the
+// one place the deterministic packages may create goroutines, so the
+// go statements below must produce no diagnostics (the allowlist
+// boundary the analyzer test pins — the same statement in any other
+// file is flagged, see fanout.go).
+package linalg
+
+func Shards(n int, fn func(int)) {
+	done := make(chan struct{})
+	for s := 0; s < n; s++ {
+		go func(s int) {
+			fn(s)
+			done <- struct{}{}
+		}(s)
+	}
+	for s := 0; s < n; s++ {
+		<-done
+	}
+}
+
+func Background(fn func()) {
+	go fn()
+}

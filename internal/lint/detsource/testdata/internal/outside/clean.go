@@ -1,0 +1,23 @@
+// Package outside is not one of the deterministic packages: the same
+// constructs detsource flags in internal/core are legal here, so this
+// fixture must produce no diagnostics.
+package outside
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Stamp() time.Time { return time.Now() }
+
+func Jitter() float64 { return rand.Float64() }
+
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func Spawn(fn func()) { go fn() }

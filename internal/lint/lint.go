@@ -1,0 +1,163 @@
+// Package lint is a self-contained, stdlib-only implementation of the
+// narrow slice of golang.org/x/tools/go/analysis this repository needs:
+// named analyzers over type-checked packages, a `go list`-driven
+// standalone loader, the `go vet -vettool` (unitchecker) wire protocol,
+// and a want-comment fixture harness (linttest).
+//
+// It exists because the repo's core invariants — bit-identical parallel
+// fusion at every Parallelism, a single parallelism resolver, a closed
+// API error-code registry — are cheapest to enforce at compile time,
+// and the build intentionally carries no third-party dependencies. The
+// analyzers themselves live in subpackages (detsource, shardgrid,
+// apierror) and are wired together by cmd/fusionlint; the enforced
+// invariants are documented in docs/invariants.md.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics ("detsource").
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Applies reports whether the analyzer wants to inspect the package
+	// with the given import path. Drivers skip type-checking packages no
+	// analyzer applies to, so keep it cheap and path-based.
+	Applies func(importPath string) bool
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer   *Analyzer
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Filename returns the base name of the file containing pos.
+func (p *Pass) Filename(pos token.Pos) string {
+	return filepath.Base(p.Fset.Position(pos).Filename)
+}
+
+// IsTestFile reports whether pos sits in a _test.go file. The drivers
+// feed analyzers non-test compilation units, but the vet driver hands
+// over test variants too; analyzers use this to keep their scope at
+// "shipped code only".
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Filename(pos), "_test.go")
+}
+
+// HasPathSuffix reports whether importPath ends in suffix at a package
+// path segment boundary: "resilientfusion/internal/linalg" has suffix
+// "internal/linalg", but "a/xinternal/linalg" does not.
+func HasPathSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// PkgFunc resolves call to ("package/path", "FuncName") when it is a
+// direct call of a package-level function selected off an imported
+// package name — time.Now(), runtime.GOMAXPROCS(0). ok is false for
+// method calls, locally defined functions, and anything else.
+func PkgFunc(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// IsBuiltinAppend reports whether call invokes the append builtin.
+func IsBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// RunAnalyzers runs every applicable analyzer over pkg and returns the
+// findings sorted by position then analyzer name, so driver output is
+// deterministic.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if a.Applies != nil && !a.Applies(pkg.ImportPath) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:   a,
+			ImportPath: pkg.ImportPath,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			Info:       pkg.Info,
+			diags:      &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.ImportPath, err)
+		}
+	}
+	SortDiagnostics(diags)
+	return diags, nil
+}
+
+// SortDiagnostics orders findings by file, line, column, analyzer.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

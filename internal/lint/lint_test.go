@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"go/token"
+	"testing"
+)
+
+func TestHasPathSuffix(t *testing.T) {
+	cases := []struct {
+		path, suffix string
+		want         bool
+	}{
+		{"resilientfusion/internal/linalg", "internal/linalg", true},
+		{"internal/linalg", "internal/linalg", true},
+		{"resilientfusion/internal/linalgx", "internal/linalg", false},
+		{"resilientfusion/xinternal/linalg", "internal/linalg", false},
+		{"fusionlint.test/det/internal/core", "internal/core", true},
+		{"", "internal/core", false},
+	}
+	for _, c := range cases {
+		if got := HasPathSuffix(c.path, c.suffix); got != c.want {
+			t.Errorf("HasPathSuffix(%q, %q) = %v, want %v", c.path, c.suffix, got, c.want)
+		}
+	}
+}
+
+func TestSortDiagnosticsDeterministic(t *testing.T) {
+	d := func(file string, line, col int, a string) Diagnostic {
+		return Diagnostic{Analyzer: a, Pos: token.Position{Filename: file, Line: line, Column: col}}
+	}
+	diags := []Diagnostic{
+		d("b.go", 1, 1, "z"),
+		d("a.go", 9, 2, "m"),
+		d("a.go", 9, 2, "a"),
+		d("a.go", 3, 7, "m"),
+	}
+	SortDiagnostics(diags)
+	want := []Diagnostic{
+		d("a.go", 3, 7, "m"),
+		d("a.go", 9, 2, "a"),
+		d("a.go", 9, 2, "m"),
+		d("b.go", 1, 1, "z"),
+	}
+	for i := range want {
+		if diags[i] != want[i] {
+			t.Fatalf("order[%d] = %+v, want %+v", i, diags[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package linttest checks a lint.Analyzer against fixture packages, in
+// the style of golang.org/x/tools/go/analysis/analysistest: fixture
+// source marks each expected finding with a trailing
+//
+//	// want "regexp"
+//
+// comment on the offending line. Every diagnostic must match a want on
+// its line and every want must be matched — so fixtures double as both
+// positive (want-diagnostic) and negative (clean) coverage.
+//
+// Fixtures live in a testdata directory that is its own Go module (a
+// go.mod at the fixture root keeps the repo's ./... patterns out and
+// gives `go list` a module to resolve): the same loader that drives
+// cmd/fusionlint loads them, so fixture runs exercise the production
+// export-data path end to end.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"resilientfusion/internal/lint"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want\s+"((?:[^"\\]|\\.)*)"`)
+
+type want struct {
+	file string // base name
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hits int
+}
+
+// Run loads the fixture module under dir, runs a over every package
+// matching patterns (honoring a.Applies exactly as the drivers do), and
+// reports any mismatch between findings and want comments to t.
+func Run(t *testing.T, dir string, a *lint.Analyzer, patterns ...string) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	// Load everything the patterns name — including packages the
+	// analyzer does not apply to, so a stray want comment in an
+	// out-of-scope fixture fails the test instead of silently passing.
+	pkgs, err := lint.Load(abs, patterns, func(string) bool { return true })
+	if err != nil {
+		t.Fatalf("loading fixtures under %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no fixture packages under %s match %v", dir, patterns)
+	}
+
+	var wants []*want
+	var diags []lint.Diagnostic
+	for _, pkg := range pkgs {
+		ws, err := collectWants(pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants = append(wants, ws...)
+		ds, err := lint.RunAnalyzers(pkg, []*lint.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkg.ImportPath, err)
+		}
+		diags = append(diags, ds...)
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.file == filepath.Base(d.Pos.Filename) && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hits++
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s", d.Pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if w.hits == 0 {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+func collectWants(pkg *lint.Package) ([]*want, error) {
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				wants = append(wants, parseWants(pkg, c)...)
+			}
+		}
+	}
+	for _, w := range wants {
+		if w.re == nil {
+			return nil, fmt.Errorf("%s:%d: bad want regexp %q", w.file, w.line, w.raw)
+		}
+	}
+	return wants, nil
+}
+
+func parseWants(pkg *lint.Package, c *ast.Comment) []*want {
+	var out []*want
+	pos := pkg.Fset.Position(c.Pos())
+	for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+		w := &want{file: filepath.Base(pos.Filename), line: pos.Line, raw: m[1]}
+		if re, err := regexp.Compile(m[1]); err == nil {
+			w.re = re
+		}
+		out = append(out, w)
+	}
+	return out
+}

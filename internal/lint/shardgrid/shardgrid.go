@@ -1,0 +1,46 @@
+// Package shardgrid implements the fusionlint analyzer that keeps the
+// parallelism resolver singular: runtime.GOMAXPROCS and runtime.NumCPU
+// may be read only inside internal/linalg/parfor.go (linalg.MaxWorkers).
+// Every other package derives automatic worker counts from that one
+// resolver, so Parallelism=0 can never resolve to different widths in
+// different packages — the prerequisite for "bit-identical at every
+// Parallelism" meaning one thing repo-wide.
+package shardgrid
+
+import (
+	"go/ast"
+
+	"resilientfusion/internal/lint"
+)
+
+// Analyzer flags direct runtime.GOMAXPROCS / runtime.NumCPU reads
+// outside the parallelism resolver file.
+var Analyzer = &lint.Analyzer{
+	Name:    "shardgrid",
+	Doc:     "flag runtime.GOMAXPROCS/NumCPU reads outside the single parallelism resolver internal/linalg/parfor.go",
+	Applies: func(string) bool { return true },
+	Run:     run,
+}
+
+func run(pass *lint.Pass) error {
+	inLinalg := lint.HasPathSuffix(pass.ImportPath, "internal/linalg")
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		if inLinalg && pass.Filename(f.Pos()) == "parfor.go" {
+			continue // the sanctioned resolver
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pkg, name, ok := lint.PkgFunc(pass.Info, call); ok && pkg == "runtime" && (name == "GOMAXPROCS" || name == "NumCPU") {
+				pass.Reportf(call.Pos(), "runtime.%s read outside the parallelism resolver internal/linalg/parfor.go: use linalg.MaxWorkers so Parallelism=0 resolves identically everywhere", name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package shardgrid_test
+
+import (
+	"testing"
+
+	"resilientfusion/internal/lint/linttest"
+	"resilientfusion/internal/lint/shardgrid"
+)
+
+func TestShardgrid(t *testing.T) {
+	linttest.Run(t, "testdata", shardgrid.Analyzer)
+}

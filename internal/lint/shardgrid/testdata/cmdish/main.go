@@ -1,0 +1,12 @@
+// Commands are not exempt: a flag default read straight off the
+// runtime is exactly how Parallelism=0 comes to mean different widths
+// in different binaries.
+package main
+
+import "runtime"
+
+func defaultWorkers() int {
+	return runtime.NumCPU() // want "outside the parallelism resolver"
+}
+
+func main() { _ = defaultWorkers() }

@@ -1,0 +1,3 @@
+module fusionlint.test/grid
+
+go 1.24

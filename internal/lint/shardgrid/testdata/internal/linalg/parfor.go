@@ -1,0 +1,11 @@
+// The sanctioned parallelism resolver: runtime width reads are legal
+// only in this file, so nothing here may produce a diagnostic (the
+// allowlist boundary — the same reads one file over are flagged, see
+// widths.go).
+package linalg
+
+import "runtime"
+
+func MaxWorkers() int { return runtime.GOMAXPROCS(0) }
+
+func PhysicalCPUs() int { return runtime.NumCPU() }

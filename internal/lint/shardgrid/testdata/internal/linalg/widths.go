@@ -1,0 +1,9 @@
+package linalg
+
+import "runtime"
+
+// Same package as parfor.go, different file: the allowlist is the
+// resolver file, not the whole package.
+func widthHere() int {
+	return runtime.GOMAXPROCS(0) // want "outside the parallelism resolver"
+}

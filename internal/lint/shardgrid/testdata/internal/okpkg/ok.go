@@ -1,0 +1,11 @@
+// Package okpkg derives widths from values handed to it instead of
+// reading the runtime: clean.
+package okpkg
+
+func Split(maxWorkers, jobs int) int {
+	w := maxWorkers / jobs
+	if w < 1 {
+		w = 1
+	}
+	return w
+}

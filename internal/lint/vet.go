@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"strings"
+)
+
+// VetConfig mirrors the JSON configuration the go command hands a
+// -vettool for each compilation unit (the x/tools unitchecker
+// protocol): enough of it to parse the unit's files, resolve imports
+// from the supplied export data, and write the facts file the build
+// cache expects. Unknown fields are ignored.
+type VetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunVetTool implements the vet driver protocol for one compilation
+// unit: given the *.cfg path go vet passes as the sole argument, it
+// returns the unit's findings (empty when the unit is facts-only or no
+// analyzer applies). The facts output file is always written — fusionlint
+// exports no facts, but the go command caches on the file's existence.
+func RunVetTool(cfgPath string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %v", cfgPath, err)
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	// The go command vets a package together with its in-package test
+	// files under a decorated import path ("p [p.test]"). Scope stays
+	// "shipped code only": undecorate the path for Applies and drop the
+	// _test.go files — non-test files never depend on them, so the unit
+	// still type-checks.
+	importPath := cfg.ImportPath
+	if i := strings.IndexByte(importPath, ' '); i >= 0 {
+		importPath = importPath[:i]
+	}
+	applicable := false
+	for _, a := range analyzers {
+		if a.Applies == nil || a.Applies(importPath) {
+			applicable = true
+			break
+		}
+	}
+	var goFiles []string
+	for _, gf := range cfg.GoFiles {
+		if !strings.HasSuffix(gf, "_test.go") {
+			goFiles = append(goFiles, gf)
+		}
+	}
+	if !applicable || len(goFiles) == 0 {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, func(path string) (string, bool) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		f, ok := cfg.PackageFile[path]
+		return f, ok
+	})
+	pkg, err := check(fset, imp, importPath, cfg.Dir, goFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return RunAnalyzers(pkg, analyzers)
+}

@@ -1,0 +1,68 @@
+package scene
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParseHeader drives the ENVI header parser with arbitrary text.
+// Two properties: the parser never panics, and any header it accepts
+// (a) passes its own Validate and (b) survives a Marshal → ParseHeader
+// round trip with every field intact — Marshal documents bit-exact
+// wavelength round-tripping, so the comparison is on float bits, not
+// tolerances.
+func FuzzParseHeader(f *testing.F) {
+	full := &Header{
+		Samples:     320,
+		Lines:       320,
+		Bands:       3,
+		Offset:      128,
+		Interleave:  BIL,
+		DataType:    Uint16,
+		BigEndian:   true,
+		Wavelengths: []float64{427.5, 551.2, 663.9},
+		Description: "HYDICE forest radiance scene",
+	}
+	f.Add(full.Marshal())
+	f.Add("ENVI\nsamples = 4\nlines = 2\nbands = 1\n")
+	f.Add("ENVI\r\nsamples = 4\r\nlines = 2\r\nbands = 1\r\ninterleave = bsq\r\n")
+	f.Add("ENVI\nsamples = 4\nlines = 2\nbands = 2\nwavelength = {1.5,\n 2.5}\n")
+	f.Add("ENVI\n; comment\nsamples = 4\nlines = 2\nbands = 1\ndata type = 12\n")
+	f.Add("ENVI\ndescription = {multi\nline}\nsamples = 4\nlines = 2\nbands = 1\n")
+	f.Add("not envi at all")
+	f.Add("ENVI\nsamples = 4\nsamples = 5\nlines = 2\nbands = 1\n")
+	f.Add("ENVI\nsamples = 1048577\nlines = 2\nbands = 1\n")
+	f.Add("ENVI\ndescription = {unterminated brace\nsamples = 4\n")
+	f.Add("ENVI\nsamples = 4\nlines = 2\nbands = 1\nwavelength = {NaN}\n")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		h, err := ParseHeader(text)
+		if err != nil {
+			return
+		}
+		if verr := h.Validate(); verr != nil {
+			t.Fatalf("ParseHeader accepted a header its own Validate rejects: %v", verr)
+		}
+		out := h.Marshal()
+		h2, err := ParseHeader(out)
+		if err != nil {
+			t.Fatalf("re-parse of marshaled header failed: %v\nmarshaled:\n%s", err, out)
+		}
+		if h2.Samples != h.Samples || h2.Lines != h.Lines || h2.Bands != h.Bands ||
+			h2.Offset != h.Offset || h2.Interleave != h.Interleave ||
+			h2.DataType != h.DataType || h2.BigEndian != h.BigEndian ||
+			h2.Description != h.Description {
+			t.Fatalf("round trip changed fields:\nfirst:  %+v\nsecond: %+v\nmarshaled:\n%s", h, h2, out)
+		}
+		if len(h2.Wavelengths) != len(h.Wavelengths) {
+			t.Fatalf("round trip changed wavelength count %d -> %d\nmarshaled:\n%s",
+				len(h.Wavelengths), len(h2.Wavelengths), out)
+		}
+		for i := range h.Wavelengths {
+			a, b := h.Wavelengths[i], h2.Wavelengths[i]
+			if math.Float64bits(a) != math.Float64bits(b) && !(math.IsNaN(a) && math.IsNaN(b)) {
+				t.Fatalf("wavelength %d changed: %v -> %v\nmarshaled:\n%s", i, a, b, out)
+			}
+		}
+	})
+}

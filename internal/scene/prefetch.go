@@ -2,6 +2,7 @@ package scene
 
 import (
 	"resilientfusion/internal/hsi"
+	"resilientfusion/internal/linalg"
 )
 
 // PrefetchTiler wraps a Tiler with one-tile read-ahead: while the
@@ -71,10 +72,10 @@ func (p *PrefetchTiler) Tile(rr hsi.RowRange) (*hsi.Cube, error) {
 	if next, ok := p.successor(rr); ok {
 		ch := make(chan tileResult, 1)
 		p.pending = &pendingTile{rr: next, ch: ch}
-		go func() {
+		linalg.Go(func() {
 			c, e := p.t.Tile(next)
 			ch <- tileResult{cube: c, err: e}
-		}()
+		})
 	}
 	return cube, nil
 }
