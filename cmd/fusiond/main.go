@@ -26,6 +26,13 @@
 // content-negotiated GET /v2/jobs/{id}/result — documented in
 // docs/openapi.yaml and wrapped by the fusionclient SDK and the
 // fusionctl CLI.
+//
+// Cluster mode (-cluster :9310 -cluster-workers 3) runs each job's
+// worker replicas in remote fusionworkerd processes instead of local
+// goroutines, with the resilient guardian regenerating replicas lost to
+// killed workers; below quorum, jobs silently degrade to the in-process
+// pool with a bit-identical mosaic. See the README's "cluster mode"
+// section for topology and failure semantics.
 package main
 
 import (
@@ -54,9 +61,21 @@ func main() {
 	maxSceneMB := flag.Int64("max-scene-mb", 512, "largest registrable scene payload in MiB")
 	maxScenes := flag.Int("max-scenes", 64, "concurrently registered scenes")
 	maxWait := flag.Duration("max-wait", 60*time.Second, "cap on one v2 long-poll request")
+	clusterListen := flag.String("cluster", "", "cluster mode: listen address for fusionworkerd connections (e.g. :9310)")
+	clusterWorkers := flag.Int("cluster-workers", 2, "expected fusionworkerd processes (overrides -workers in cluster mode)")
+	clusterReplication := flag.Int("cluster-replication", 2, "replicas per logical worker in cluster mode")
+	clusterHeartbeat := flag.Duration("cluster-heartbeat", 250*time.Millisecond, "replica heartbeat period in cluster mode")
+	clusterFail := flag.Duration("cluster-fail-timeout", time.Second, "silence window before a replica is declared failed")
+	clusterReissue := flag.Duration("cluster-reissue", 5*time.Second, "manager per-request timeout before lost work is reissued")
 	verbose := flag.Bool("v", false, "log thread diagnostics")
 	flag.Parse()
 
+	if *clusterListen != "" {
+		// Cluster mode pins the pool width to the fleet size (the service
+		// would force it anyway); reflecting it here keeps the startup log
+		// and the derived concurrency default consistent.
+		*workers = *clusterWorkers
+	}
 	if *concurrency <= 0 {
 		*concurrency = max(1, *workers/2)
 	}
@@ -69,6 +88,16 @@ func main() {
 		MaxSceneBytes: *maxSceneMB << 20,
 		MaxScenes:     *maxScenes,
 		MaxLongPoll:   *maxWait,
+	}
+	if *clusterListen != "" {
+		cfg.Cluster = &service.ClusterConfig{
+			Listen:          *clusterListen,
+			Workers:         *clusterWorkers,
+			Replication:     *clusterReplication,
+			HeartbeatPeriod: clusterHeartbeat.Seconds(),
+			FailTimeout:     clusterFail.Seconds(),
+			ReissueTimeout:  clusterReissue.Seconds(),
+		}
 	}
 	if *verbose {
 		cfg.LogTo = log.Printf

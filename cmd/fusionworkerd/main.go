@@ -1,0 +1,113 @@
+// fusionworkerd is the remote worker daemon of fusiond's cluster mode:
+// it dials the coordinator (-connect), receives a node slot, and hosts
+// fusion worker replicas the coordinator spawns into it over the wire.
+// Replica state lives in the resilient runtime's wrapper (heartbeats,
+// sequence dedupe, snapshot transfer), so a SIGKILLed fusionworkerd
+// loses nothing the guardian cannot regenerate elsewhere.
+//
+//	fusionworkerd -connect coordinator:9310
+//
+// The daemon keeps re-dialing: each connect attempt retries with capped
+// exponential backoff inside -dial-window, and after a served session
+// ends (coordinator restart, network cut) it loops back to dialing until
+// -total-window of consecutive failure elapses (0 means forever). SIGINT
+// and SIGTERM exit cleanly.
+package main
+
+import (
+	"errors"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"resilientfusion/internal/core"
+	"resilientfusion/internal/resilient"
+	"resilientfusion/internal/scplib"
+)
+
+// registry builds the thread bodies this process can host: the resilient
+// wrapper around the fusion worker loop.
+func registry() *scplib.BodyRegistry {
+	inner := resilient.NewBodyRegistry()
+	core.RegisterWorkerBodies(inner)
+	reg := scplib.NewBodyRegistry()
+	resilient.RegisterWrapperBody(reg, inner)
+	return reg
+}
+
+func main() {
+	connect := flag.String("connect", "127.0.0.1:9310", "coordinator address (fusiond -cluster)")
+	dialWindow := flag.Duration("dial-window", 10*time.Second, "per-attempt connect retry window (capped exponential backoff)")
+	totalWindow := flag.Duration("total-window", 0, "give up after this much consecutive disconnection (0: retry forever)")
+	flag.Parse()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	// The dial loop and the signal handler exchange the live worker via
+	// mu; stopping covers the window where a signal lands while a dial is
+	// still in flight (the fresh worker is shut down as soon as it is
+	// published).
+	var (
+		mu       sync.Mutex
+		worker   *scplib.ClusterWorker
+		stopping atomic.Bool
+	)
+	done := make(chan error, 1)
+	go func() {
+		lastServed := time.Now()
+		for {
+			w, err := scplib.DialCluster(*connect, *dialWindow, registry())
+			if stopping.Load() {
+				if err == nil {
+					w.Shutdown()
+				}
+				done <- nil
+				return
+			}
+			if err != nil {
+				if *totalWindow > 0 && time.Since(lastServed) > *totalWindow {
+					done <- err
+					return
+				}
+				log.Printf("fusionworkerd: dial %s: %v — retrying", *connect, err)
+				continue
+			}
+			mu.Lock()
+			worker = w
+			mu.Unlock()
+			log.Printf("fusionworkerd: serving node %d for %s", w.Node(), *connect)
+			err = w.Run()
+			lastServed = time.Now()
+			if err == nil || stopping.Load() {
+				// Orderly shutdown (local signal or coordinator bye).
+				done <- nil
+				return
+			}
+			log.Printf("fusionworkerd: session ended: %v — re-dialing", err)
+		}
+	}()
+
+	select {
+	case <-stop:
+		log.Print("fusionworkerd: signal — shutting down")
+		stopping.Store(true)
+		mu.Lock()
+		w := worker
+		mu.Unlock()
+		if w != nil {
+			w.Shutdown()
+		}
+		<-done
+	case err := <-done:
+		if err != nil && !errors.Is(err, scplib.ErrStopped) {
+			log.Fatalf("fusionworkerd: %v", err)
+		}
+	}
+	log.Print("fusionworkerd: stopped")
+}

@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"image/png"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -400,6 +402,35 @@ func TestErrorCodesMatchService(t *testing.T) {
 	for client, svc := range pairs {
 		if client != svc {
 			t.Errorf("code drift: client %q vs service %q", client, svc)
+		}
+	}
+}
+
+// TestRetryAfterSurfaced pins the queue_full backoff contract: the
+// server's Retry-After header arrives as APIError.RetryAfter.
+func TestRetryAfterSurfaced(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error":{"code":"queue_full","message":"job queue full"}}`)
+	}))
+	defer srv.Close()
+	client := New(srv.URL, WithHTTPClient(srv.Client()))
+
+	_, err := client.Job(context.Background(), "job-1")
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("error %v is not an *APIError", err)
+	}
+	if ae.Code != CodeQueueFull || ae.RetryAfter != time.Second {
+		t.Fatalf("queue_full envelope: %+v", ae)
+	}
+
+	for in, want := range map[string]time.Duration{
+		"": 0, "junk": 0, "-3": 0, "0": 0, " 2 ": 2 * time.Second,
+	} {
+		if got := parseRetryAfter(in); got != want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", in, got, want)
 		}
 	}
 }

@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 )
 
 // Stable machine-readable error codes of the v2 API, mirrored from the
@@ -43,6 +45,10 @@ type APIError struct {
 	Message string
 	// HTTPStatus is the response status the envelope arrived with.
 	HTTPStatus int
+	// RetryAfter is the server's backoff hint, parsed from the
+	// Retry-After header (zero when absent). The service sends it with
+	// queue_full rejections.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -65,6 +71,7 @@ func ErrorCode(err error) string {
 // decodeError turns a non-2xx response into an *APIError, preferring the
 // v2 envelope and degrading gracefully for bodies that are not one.
 func decodeError(resp *http.Response) error {
+	retryAfter := parseRetryAfter(resp.Header.Get("Retry-After"))
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	var env struct {
 		Error struct {
@@ -73,11 +80,22 @@ func decodeError(resp *http.Response) error {
 		} `json:"error"`
 	}
 	if err := json.Unmarshal(body, &env); err == nil && env.Error.Code != "" {
-		return &APIError{Code: env.Error.Code, Message: env.Error.Message, HTTPStatus: resp.StatusCode}
+		return &APIError{Code: env.Error.Code, Message: env.Error.Message,
+			HTTPStatus: resp.StatusCode, RetryAfter: retryAfter}
 	}
 	msg := strings.TrimSpace(string(body))
 	if msg == "" {
 		msg = resp.Status
 	}
-	return &APIError{Message: msg, HTTPStatus: resp.StatusCode}
+	return &APIError{Message: msg, HTTPStatus: resp.StatusCode, RetryAfter: retryAfter}
+}
+
+// parseRetryAfter reads the delay-seconds form of Retry-After (the only
+// form the service emits); malformed or absent values yield zero.
+func parseRetryAfter(v string) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }

@@ -133,4 +133,21 @@ type Stats struct {
 	CacheSize     int     `json:"cache_size"`
 	Throughput    float64 `json:"throughput_jobs_per_s"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Cluster is set when the service runs in cluster mode.
+	Cluster *ClusterStats `json:"cluster,omitempty"`
+}
+
+// ClusterStats is the cluster-mode section of Stats: fleet size,
+// degradations, and the resilient runtime's aggregated failure-detection
+// and regeneration counters.
+type ClusterStats struct {
+	Addr          string `json:"addr"`
+	Workers       int    `json:"workers"`
+	LiveWorkers   int    `json:"live_workers"`
+	Replication   int    `json:"replication"`
+	Jobs          int64  `json:"jobs"`
+	Fallbacks     int64  `json:"fallbacks"`
+	Detections    int64  `json:"detections"`
+	Regenerations int64  `json:"regenerations"`
+	ViewChanges   int64  `json:"view_changes"`
 }

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"resilientfusion/internal/perfmodel"
+	"resilientfusion/internal/resilient"
+	"resilientfusion/internal/scplib"
+)
+
+// Cluster job support: the same 8-step fusion protocol as NewJobSource,
+// but with worker replicas spawned into remote fusionworkerd processes
+// over a scplib.ClusterSystem. The manager and guardian stay on the
+// coordinator (node 0); worker groups ship as RemoteBody specs whose
+// inner kind is WorkerBodyKind. Because WorkerState is a deterministic
+// function of its message stream and the per-replica kernels reduce
+// over fixed shard grids, a cluster run's mosaic is bit-identical to
+// the in-process pool's for the same Options — the property the chaos
+// test asserts under SIGKILL.
+
+// WorkerBodyKind names the fusion worker loop in worker-side registries.
+const WorkerBodyKind = "core.worker"
+
+// worker args layout (little-endian):
+//
+//	manager     int32
+//	threshold   float64 bits
+//	parallelism int32
+const workerArgsBytes = 16
+
+func encodeWorkerArgs(manager resilient.LogicalID, threshold float64, parallelism int) []byte {
+	buf := make([]byte, workerArgsBytes)
+	binary.LittleEndian.PutUint32(buf[0:], uint32(manager))
+	binary.LittleEndian.PutUint64(buf[4:], math.Float64bits(threshold))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(int32(parallelism)))
+	return buf
+}
+
+func decodeWorkerArgs(b []byte) (resilient.LogicalID, float64, int, error) {
+	if len(b) < workerArgsBytes {
+		return 0, 0, 0, fmt.Errorf("core: worker args %d bytes", len(b))
+	}
+	return resilient.LogicalID(int32(binary.LittleEndian.Uint32(b[0:]))),
+		math.Float64frombits(binary.LittleEndian.Uint64(b[4:])),
+		int(int32(binary.LittleEndian.Uint32(b[12:]))), nil
+}
+
+// RegisterWorkerBodies installs the fusion worker factory into a
+// resilient inner-body registry. fusionworkerd calls this once at
+// startup; the cost model is only flops bookkeeping for heartbeat
+// interleaving on the real runtime, so the default model is always
+// correct here.
+func RegisterWorkerBodies(reg *resilient.BodyRegistry) {
+	reg.Register(WorkerBodyKind, func(args []byte) (resilient.RBody, error) {
+		manager, threshold, parallelism, err := decodeWorkerArgs(args)
+		if err != nil {
+			return nil, err
+		}
+		return workerBody(manager, threshold, parallelism, perfmodel.Default()), nil
+	})
+}
+
+// RunningJob is a fusion job started on a long-lived cluster system.
+// Unlike Job (whose caller drives sys.Run for a dedicated system), a
+// RunningJob's threads execute immediately on the already-running
+// system; Wait blocks for the manager protocol to finish.
+type RunningJob struct {
+	rt   *resilient.Runtime
+	res  *Result
+	done chan struct{}
+	err  error
+}
+
+// StartJob wires a fusion job onto a running cluster system, placing
+// worker replicas on worker nodes 1..opts.Workers and the manager plus
+// guardian locally. base offsets every physical thread ID the job's
+// runtime allocates, so concurrent jobs on one system cannot collide.
+//
+// Spawn order matters on a live system: workers are added before the
+// manager so that by the time the manager's first screening request is
+// sent, every worker phys ID routes somewhere. (NewJobSource adds the
+// manager first; that order is only safe because its system has not
+// started yet.)
+func StartJob(sys scplib.System, src CubeSource, opts Options, base scplib.ThreadID) (*RunningJob, error) {
+	opts = opts.withDefaults()
+	if err := validateSource(src); err != nil {
+		return nil, err
+	}
+	if opts.Workers < 1 {
+		return nil, fmt.Errorf("%w: Workers=%d", ErrBadOptions, opts.Workers)
+	}
+	if opts.Replication < 1 {
+		return nil, fmt.Errorf("%w: Replication=%d", ErrBadOptions, opts.Replication)
+	}
+	if opts.Components < 3 {
+		return nil, fmt.Errorf("%w: need >=3 components for color mapping", ErrBadOptions)
+	}
+	if opts.Parallelism == 0 {
+		opts.Parallelism = SharedKernelParallelism(opts.Workers)
+	}
+
+	rcfg := resilient.Config{
+		Nodes:           opts.Workers + 1,
+		Replication:     opts.Replication,
+		HeartbeatPeriod: opts.HeartbeatPeriod,
+		FailTimeout:     opts.FailTimeout,
+		Regenerate:      opts.Regenerate,
+		GuardianNode:    0,
+		PhysBase:        base,
+	}
+	rt, err := resilient.New(sys, rcfg)
+	if err != nil {
+		return nil, err
+	}
+	args := encodeWorkerArgs(ManagerID, opts.Threshold, opts.Parallelism)
+	for w := 1; w <= opts.Workers; w++ {
+		placements := make([]int, opts.Replication)
+		for k := 0; k < opts.Replication; k++ {
+			placements[k] = 1 + (w-1+k)%opts.Workers
+		}
+		body := workerBody(ManagerID, opts.Threshold, opts.Parallelism, opts.Cost)
+		// Always a (possibly single-member) monitored group: cluster
+		// workers are regenerable even at replication 1, unlike the
+		// in-process baseline's unmonitored singletons.
+		if err := rt.AddGroupRemote(resilient.LogicalID(w), fmt.Sprintf("worker%d", w),
+			placements, body, WorkerBodyKind, args); err != nil {
+			return nil, err
+		}
+	}
+
+	job := &RunningJob{rt: rt, res: &Result{}, done: make(chan struct{})}
+	mgr := func(env resilient.REnv) error {
+		defer close(job.done)
+		defer rt.Shutdown()
+		if err := RunManagerSource(env, src, opts, job.res); err != nil {
+			// Captured for Wait, not returned: the shared system stays
+			// clean of per-job application errors.
+			job.err = err
+			return nil
+		}
+		if !job.res.completed {
+			job.err = errors.New("core: fusion did not complete")
+		}
+		return nil
+	}
+	if err := rt.AddSingleton(ManagerID, "manager", 0, mgr); err != nil {
+		return nil, err
+	}
+	if err := rt.Start(); err != nil {
+		// Failed mid-wiring (typically a worker node without quorum):
+		// tear down whatever was spawned so the shared system is clean.
+		rt.Shutdown()
+		return nil, err
+	}
+	return job, nil
+}
+
+// Runtime exposes the job's resiliency runtime (failure injection,
+// stats, transport liveness hooks).
+func (j *RunningJob) Runtime() *resilient.Runtime { return j.rt }
+
+// Done is closed when the manager protocol has finished (or failed).
+func (j *RunningJob) Done() <-chan struct{} { return j.done }
+
+// Wait blocks for completion and returns the fusion result.
+func (j *RunningJob) Wait() (*Result, error) {
+	<-j.done
+	if j.err != nil {
+		return nil, j.err
+	}
+	return j.res, nil
+}

@@ -1,0 +1,223 @@
+// Package e2e exercises the deployed topology: real fusiond and
+// fusionworkerd binaries, real sockets, real SIGKILL. It is the
+// acceptance test for cluster mode — a worker fleet losing whole
+// processes mid-scene must still produce the byte-identical mosaic.
+package e2e
+
+import (
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"resilientfusion/fusionclient"
+	"resilientfusion/internal/failure"
+	"resilientfusion/internal/hsi"
+)
+
+// chaosWorkers is the fleet size; replicas of each logical worker land
+// on two of the three nodes, so SIGKILLing workerd 1 and 2 takes out a
+// full replica pair (epoch-bump regeneration, the hardest recovery path)
+// plus singles on the survivor pairings.
+const chaosWorkers = 3
+
+// buildBinaries compiles fusiond and fusionworkerd into dir.
+func buildBinaries(t *testing.T, dir string) (fusiond, workerd string) {
+	t.Helper()
+	fusiond = filepath.Join(dir, "fusiond")
+	workerd = filepath.Join(dir, "fusionworkerd")
+	for bin, pkg := range map[string]string{fusiond: "./cmd/fusiond", workerd: "./cmd/fusionworkerd"} {
+		cmd := exec.Command("go", "build", "-o", bin, pkg)
+		cmd.Dir = "../.."
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+	return fusiond, workerd
+}
+
+// freePort reserves an ephemeral port and releases it for a daemon to
+// claim (the usual small race, irrelevant at test scale).
+func freePort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port
+}
+
+// startDaemon launches a binary and registers cleanup that SIGKILLs it.
+func startDaemon(t *testing.T, bin string, args ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	return cmd
+}
+
+// chaosScene is deterministic and heavy enough (noise blows the unique
+// set past 10⁴ spectra) that fusion runs for seconds — long enough to
+// SIGKILL workers mid-scene without racing job completion.
+func chaosScene(t *testing.T) *hsi.Cube {
+	t.Helper()
+	s, err := hsi.GenerateScene(hsi.SceneSpec{
+		Width: 128, Height: 128, Bands: 32, Seed: 11,
+		NoiseSigma: 100, Illumination: 0.1,
+		OpenVehicles: 2, CamouflagedVehicles: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Cube
+}
+
+func waitStats(t *testing.T, client *fusionclient.Client, ok func(*fusionclient.Stats) bool, what string) *fusionclient.Stats {
+	t.Helper()
+	ctx := context.Background()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		st, err := client.Stats(ctx)
+		if err == nil && ok(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s (stats=%+v err=%v)", what, st, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// TestClusterChaosByteIdentical is the cluster-mode acceptance scenario:
+// fusiond shards a scene across three fusionworkerd processes; two of
+// them — a full replica pair of one logical worker — are SIGKILLed
+// mid-scene; the guardian detects the losses over the severed
+// connections, regenerates the replicas elsewhere, the manager reissues
+// the lost work, and the final mosaic is byte-identical to a plain
+// in-process pool's. resilient.Stats surface through /v2/stats.
+func TestClusterChaosByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and drives real daemons")
+	}
+	bindir := t.TempDir()
+	fusiond, workerd := buildBinaries(t, bindir)
+	ctx := context.Background()
+	cube := chaosScene(t)
+	opts := &fusionclient.Options{Threshold: fusionclient.Float(0.05), Granularity: fusionclient.Int(2)}
+
+	// Reference: a plain in-process pool at the same worker count, in its
+	// own daemon so no cache or state is shared with the cluster run.
+	plainPort := freePort(t)
+	startDaemon(t, fusiond, "-addr", fmt.Sprintf("127.0.0.1:%d", plainPort),
+		"-workers", fmt.Sprint(chaosWorkers), "-cache", "-1")
+	plain := fusionclient.New(fmt.Sprintf("http://127.0.0.1:%d", plainPort))
+	waitStats(t, plain, func(*fusionclient.Stats) bool { return true }, "plain fusiond up")
+	job, err := plain.SubmitCube(ctx, cube, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wctx, cancel := context.WithTimeout(ctx, 60*time.Second)
+	defer cancel()
+	if job, err = plain.Wait(wctx, job.ID); err != nil || job.State != fusionclient.StateDone {
+		t.Fatalf("plain job: %v %+v", err, job)
+	}
+	wantPNG, err := plain.ResultPNG(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cluster topology: coordinator + three worker daemons.
+	httpPort, clusterPort := freePort(t), freePort(t)
+	clusterAddr := fmt.Sprintf("127.0.0.1:%d", clusterPort)
+	startDaemon(t, fusiond, "-addr", fmt.Sprintf("127.0.0.1:%d", httpPort),
+		"-cache", "-1",
+		"-cluster", clusterAddr,
+		"-cluster-workers", fmt.Sprint(chaosWorkers),
+		"-cluster-replication", "2",
+		"-cluster-heartbeat", "100ms",
+		"-cluster-fail-timeout", "500ms",
+		"-cluster-reissue", "2s",
+		"-v")
+	client := fusionclient.New(fmt.Sprintf("http://127.0.0.1:%d", httpPort))
+	waitStats(t, client, func(st *fusionclient.Stats) bool { return st.Cluster != nil }, "cluster fusiond up")
+
+	workers := make([]*exec.Cmd, chaosWorkers)
+	for i := range workers {
+		workers[i] = startDaemon(t, workerd, "-connect", clusterAddr)
+	}
+	waitStats(t, client, func(st *fusionclient.Stats) bool {
+		return st.Cluster.LiveWorkers == chaosWorkers
+	}, "worker fleet connected")
+
+	// Submit, confirm the job is actually running on the cluster, then
+	// SIGKILL workerd 1 immediately and workerd 2 a beat later — with
+	// replication 2 and ring placement, that pair hosts both replicas of
+	// logical worker 1.
+	job, err = client.SubmitCube(ctx, cube, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		j, err := client.Job(ctx, job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.State == fusionclient.StateRunning {
+			break
+		}
+		if j.Terminal() || time.Now().After(deadline) {
+			t.Fatalf("job never observed running: %+v", j)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	plan := failure.Plan{Events: []failure.Event{
+		failure.KillProcess(0, workers[0].Process),
+		failure.KillProcess(0.15, workers[1].Process),
+	}}
+	if err := plan.ArmReal(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	wctx2, cancel2 := context.WithTimeout(ctx, 90*time.Second)
+	defer cancel2()
+	if job, err = client.Wait(wctx2, job.ID); err != nil || job.State != fusionclient.StateDone {
+		t.Fatalf("cluster job after chaos: %v %+v", err, job)
+	}
+	gotPNG, err := client.ResultPNG(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sha256.Sum256(gotPNG) != sha256.Sum256(wantPNG) {
+		t.Fatalf("mosaic digest diverged after SIGKILLs: cluster %d bytes, plain %d bytes",
+			len(gotPNG), len(wantPNG))
+	}
+
+	st, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := st.Cluster
+	if cs == nil || cs.Detections < 1 || cs.Regenerations < 1 {
+		t.Fatalf("chaos not visible in /v2/stats cluster section: %+v", cs)
+	}
+	if cs.LiveWorkers != chaosWorkers-2 {
+		t.Fatalf("live workers after two SIGKILLs = %d, want %d", cs.LiveWorkers, chaosWorkers-2)
+	}
+	t.Logf("cluster stats after chaos: %+v", cs)
+}

@@ -6,6 +6,7 @@ package failure
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"resilientfusion/internal/resilient"
@@ -24,6 +25,10 @@ type Event struct {
 	// FailNode crashes an entire cluster node (simulated runtime only)
 	// when >= 0.
 	FailNode int
+	// Proc, when non-nil, is an OS process to SIGKILL (real runtime
+	// only) — the cluster chaos tests use it to kill -9 fusionworkerd
+	// daemons mid-scene.
+	Proc *os.Process
 }
 
 // KillReplica builds a replica-kill event.
@@ -36,9 +41,17 @@ func CrashNode(at float64, node int) Event {
 	return Event{At: at, FailNode: node}
 }
 
+// KillProcess builds an OS-process SIGKILL event (real runtime only).
+func KillProcess(at float64, proc *os.Process) Event {
+	return Event{At: at, Proc: proc, FailNode: -1}
+}
+
 func (e Event) String() string {
-	if e.Kill {
+	switch {
+	case e.Kill:
 		return fmt.Sprintf("t=%.2fs kill worker %d replica %d", e.At, e.KillLID, e.KillSlot)
+	case e.Proc != nil:
+		return fmt.Sprintf("t=%.2fs kill -9 pid %d", e.At, e.Proc.Pid)
 	}
 	return fmt.Sprintf("t=%.2fs crash node %d", e.At, e.FailNode)
 }
@@ -53,6 +66,9 @@ type Plan struct {
 func (p Plan) Arm(x *simnet.Exec, rt *resilient.Runtime, nodes []*simnet.Node) error {
 	for _, e := range p.Events {
 		e := e
+		if e.Proc != nil {
+			return fmt.Errorf("failure: process kill unsupported on simulated runtime: %s", e)
+		}
 		if !e.Kill && (e.FailNode < 0 || e.FailNode >= len(nodes)) {
 			return fmt.Errorf("failure: bad node %d in %s", e.FailNode, e)
 		}
@@ -67,15 +83,21 @@ func (p Plan) Arm(x *simnet.Exec, rt *resilient.Runtime, nodes []*simnet.Node) e
 	return nil
 }
 
-// ArmReal schedules replica kills on wall-clock timers for the real
-// runtime. Node crashes are not supported there (the host is the node).
+// ArmReal schedules replica kills and process kills on wall-clock timers
+// for the real runtime. Node crashes are not supported there (the host
+// is the node); to lose a cluster node, SIGKILL its fusionworkerd via a
+// KillProcess event instead.
 func (p Plan) ArmReal(rt *resilient.Runtime) error {
 	for _, e := range p.Events {
-		if !e.Kill {
+		if !e.Kill && e.Proc == nil {
 			return fmt.Errorf("failure: node crash unsupported on real runtime: %s", e)
 		}
 		e := e
 		time.AfterFunc(time.Duration(e.At*float64(time.Second)), func() {
+			if e.Proc != nil {
+				_ = e.Proc.Kill()
+				return
+			}
 			rt.KillReplica(e.KillLID, e.KillSlot)
 		})
 	}

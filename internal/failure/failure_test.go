@@ -2,6 +2,7 @@ package failure
 
 import (
 	"errors"
+	"os/exec"
 	"strings"
 	"sync"
 	"testing"
@@ -223,5 +224,44 @@ func TestArmReal(t *testing.T) {
 	defer mu.Unlock()
 	if killedAt < 0.04 {
 		t.Errorf("injected kill observed at %.3fs, armed for 0.05s", killedAt)
+	}
+}
+
+// TestKillProcessReal SIGKILLs a real child process on a wall-clock
+// timer — the primitive the cluster chaos test uses on fusionworkerd —
+// and checks that simulated plans refuse process events.
+func TestKillProcessReal(t *testing.T) {
+	cmd := exec.Command("sleep", "60")
+	if err := cmd.Start(); err != nil {
+		t.Skipf("cannot start sleep: %v", err)
+	}
+	defer func() { _ = cmd.Process.Kill() }()
+
+	h := newSimHarness(t, false)
+	p := Plan{Events: []Event{KillProcess(0.05, cmd.Process)}}
+	if err := p.Arm(h.x, h.rt, h.ns); err == nil ||
+		!strings.Contains(err.Error(), "unsupported") {
+		t.Fatalf("process kill on simulated runtime err = %v", err)
+	}
+	if s := p.Events[0].String(); !strings.Contains(s, "kill -9") {
+		t.Fatalf("event string %q", s)
+	}
+
+	if err := p.ArmReal(nil); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		var exitErr *exec.ExitError
+		if !errors.As(err, &exitErr) {
+			t.Fatalf("process exit: %v", err)
+		}
+		if s := exitErr.String(); !strings.Contains(s, "killed") {
+			t.Fatalf("process ended with %q, want SIGKILL", s)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("armed process kill never fired")
 	}
 }

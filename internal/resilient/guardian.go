@@ -77,8 +77,34 @@ func (rt *Runtime) guardianBody(env scplib.Env) error {
 		// group dies within one detection window, recovery must see that
 		// there is no survivor (otherwise it would pick a corpse to
 		// snapshot from and skip the epoch bump).
+		//
+		// Transport facts (cluster runs) merge in here. nodeSeen extends a
+		// member's effective heartbeat age: worker pings run on their own
+		// goroutine, so a replica deep in a multi-second kernel stays
+		// fresh. nodeLost and ripe exit reports force-expire regardless of
+		// heartbeat age: a severed connection or reaped thread is ground
+		// truth. Exit reports are held for one poll before they ripen —
+		// a graceful bye travels the same FIFO connection ahead of the
+		// exit report, and the hold lets it be drained from the mailbox
+		// first so finished replicas are not "regenerated".
 		rt.mu.Lock()
 		groups := append([]*group(nil), rt.groups...)
+		nodeSeen := make(map[int]float64, len(rt.nodeSeen))
+		for n, ts := range rt.nodeSeen {
+			nodeSeen[n] = ts
+		}
+		var nodeLost map[int]bool // nil when nothing was lost (reads are safe)
+		if len(rt.nodeLost) > 0 {
+			nodeLost = rt.nodeLost
+			rt.nodeLost = make(map[int]bool)
+		}
+		exitedRipe := make(map[scplib.ThreadID]bool)
+		for phys, ts := range rt.exited {
+			if now-ts >= rt.cfg.GuardianPoll {
+				exitedRipe[phys] = true
+				delete(rt.exited, phys)
+			}
+		}
 		rt.mu.Unlock()
 		type failure struct {
 			g    *group
@@ -96,7 +122,11 @@ func (rt *Runtime) guardianBody(env scplib.Env) error {
 					continue
 				}
 				seen := lastSeen[k]
-				if now-seen <= rt.cfg.FailTimeout {
+				if ts, ok := nodeSeen[mem.node]; ok && ts > seen {
+					seen = ts
+				}
+				forced := nodeLost[mem.node] || exitedRipe[mem.phys]
+				if !forced && now-seen <= rt.cfg.FailTimeout {
 					continue
 				}
 				failures = append(failures, failure{g, slot, seen})

@@ -106,7 +106,7 @@ func (rt *Runtime) broadcastViewExternal() {
 
 	payload := encodeView(v)
 	courier := scplib.ThreadSpec{
-		ID:   courierBase - scplib.ThreadID(id),
+		ID:   rt.courierID(id),
 		Name: fmt.Sprintf("courier%d", id),
 		Node: rt.cfg.GuardianNode,
 		Body: func(env scplib.Env) error {
@@ -129,7 +129,7 @@ func (rt *Runtime) requestSnapshot(survivor scplib.ThreadID, lid LogicalID, corr
 	rt.nextCourier++
 	rt.mu.Unlock()
 	courier := scplib.ThreadSpec{
-		ID:   courierBase - scplib.ThreadID(id),
+		ID:   rt.courierID(id),
 		Name: fmt.Sprintf("courier%d", id),
 		Node: rt.cfg.GuardianNode,
 		Body: func(env scplib.Env) error {
@@ -142,3 +142,10 @@ func (rt *Runtime) requestSnapshot(survivor scplib.ThreadID, lid LogicalID, corr
 // courierBase is the top of the physical-ID space, grown downward for
 // ephemeral courier threads so they never collide with replica IDs.
 const courierBase scplib.ThreadID = 1 << 30
+
+// courierID offsets couriers by the runtime's PhysBase so several
+// runtimes sharing one system (per-job cluster runtimes) mirror their
+// replica-ID offsets at the top of the ID space without colliding.
+func (rt *Runtime) courierID(id int32) scplib.ThreadID {
+	return courierBase - rt.cfg.PhysBase - scplib.ThreadID(id)
+}

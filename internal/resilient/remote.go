@@ -1,0 +1,198 @@
+package resilient
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"resilientfusion/internal/scplib"
+)
+
+// Remote replica support: a replica spawned into a worker process cannot
+// carry its Go closure across the wire, so the spec's RemoteBody ships
+// wrapperParams — everything a wrapper needs except the inner RBody,
+// which is named by kind and rebuilt from a worker-side registry. The
+// reconstructed wrapper is protocol-identical to a local one: same
+// heartbeats, dedupe, view handling, and state-transfer behaviour, so
+// the guardian cannot tell (and need not care) which side of a socket a
+// replica runs on.
+
+// WrapperBodyKind is the scplib.BodyRegistry kind under which the
+// resilient wrapper factory is registered in worker processes.
+const WrapperBodyKind = "resilient.wrapper"
+
+// BodyFactory rebuilds an inner RBody from serialized arguments.
+type BodyFactory func(args []byte) (RBody, error)
+
+// BodyRegistry maps inner-body kinds to factories (the resilient-layer
+// sibling of scplib.BodyRegistry).
+type BodyRegistry struct {
+	factories map[string]BodyFactory
+}
+
+// NewBodyRegistry creates an empty inner-body registry.
+func NewBodyRegistry() *BodyRegistry {
+	return &BodyRegistry{factories: make(map[string]BodyFactory)}
+}
+
+// Register installs a factory for kind.
+func (r *BodyRegistry) Register(kind string, f BodyFactory) { r.factories[kind] = f }
+
+// RegisterWrapperBody installs the resilient wrapper factory into a
+// worker's scplib registry; inner bodies resolve through bodies. Worker
+// daemons call this once at startup.
+func RegisterWrapperBody(reg *scplib.BodyRegistry, bodies *BodyRegistry) {
+	reg.Register(WrapperBodyKind, func(args []byte) (scplib.Body, error) {
+		p, err := decodeWrapperParams(args)
+		if err != nil {
+			return nil, err
+		}
+		f := bodies.factories[p.InnerKind]
+		if f == nil {
+			return nil, fmt.Errorf("resilient: unknown inner body kind %q", p.InnerKind)
+		}
+		inner, err := f(p.InnerArgs)
+		if err != nil {
+			return nil, err
+		}
+		w := newRemoteWrapper(p, inner)
+		return w.run, nil
+	})
+}
+
+// wrapperParams is the shippable form of a wrapper's construction state.
+type wrapperParams struct {
+	LID          LogicalID
+	Name         string
+	Slot         int
+	Monitored    bool
+	AwaitRestore bool
+	GuardianPhys scplib.ThreadID
+	Epoch        uint32
+	HbPeriod     float64
+	FailTimeout  float64
+	View         *viewTable
+	InnerKind    string
+	InnerArgs    []byte
+}
+
+// newRemoteWrapper builds a wrapper from shipped params — the remote
+// counterpart of newWrapper.
+func newRemoteWrapper(p *wrapperParams, body RBody) *wrapper {
+	w := &wrapper{
+		lid:          p.LID,
+		name:         p.Name,
+		replica:      p.Slot,
+		body:         body,
+		guardianPhys: p.GuardianPhys,
+		failTimeout:  p.FailTimeout,
+		monitored:    p.Monitored,
+		hbPeriod:     p.HbPeriod,
+		epoch:        p.Epoch,
+		awaitRestore: p.AwaitRestore,
+		views:        make(map[LogicalID][]scplib.ThreadID),
+		ded:          newDedupe(),
+		lseq:         make(map[LogicalID]uint64),
+		chunkFlops:   1e6,
+	}
+	w.applyViewTable(p.View)
+	return w
+}
+
+// wrapperParams wire layout (little-endian):
+//
+//	lid          int32
+//	slot         uint16
+//	flags        uint8   (bit0 monitored, bit1 awaitRestore)
+//	guardianPhys int32
+//	epoch        uint32
+//	hbPeriod     float64
+//	failTimeout  float64
+//	nameLen      uint16, name
+//	kindLen      uint16, innerKind
+//	viewLen      uint32, encoded view table
+//	innerArgs    (remainder)
+func encodeWrapperParams(p *wrapperParams) []byte {
+	name, kind := []byte(p.Name), []byte(p.InnerKind)
+	view := encodeView(p.View)
+	buf := make([]byte, 0, 39+len(name)+len(kind)+len(view)+len(p.InnerArgs))
+	var u16 [2]byte
+	var u32 [4]byte
+	var u64 [8]byte
+
+	binary.LittleEndian.PutUint32(u32[:], uint32(p.LID))
+	buf = append(buf, u32[:]...)
+	binary.LittleEndian.PutUint16(u16[:], uint16(p.Slot))
+	buf = append(buf, u16[:]...)
+	var flags uint8
+	if p.Monitored {
+		flags |= 1
+	}
+	if p.AwaitRestore {
+		flags |= 2
+	}
+	buf = append(buf, flags)
+	binary.LittleEndian.PutUint32(u32[:], uint32(p.GuardianPhys))
+	buf = append(buf, u32[:]...)
+	binary.LittleEndian.PutUint32(u32[:], p.Epoch)
+	buf = append(buf, u32[:]...)
+	binary.LittleEndian.PutUint64(u64[:], math.Float64bits(p.HbPeriod))
+	buf = append(buf, u64[:]...)
+	binary.LittleEndian.PutUint64(u64[:], math.Float64bits(p.FailTimeout))
+	buf = append(buf, u64[:]...)
+	binary.LittleEndian.PutUint16(u16[:], uint16(len(name)))
+	buf = append(buf, u16[:]...)
+	buf = append(buf, name...)
+	binary.LittleEndian.PutUint16(u16[:], uint16(len(kind)))
+	buf = append(buf, u16[:]...)
+	buf = append(buf, kind...)
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(view)))
+	buf = append(buf, u32[:]...)
+	buf = append(buf, view...)
+	return append(buf, p.InnerArgs...)
+}
+
+func decodeWrapperParams(b []byte) (*wrapperParams, error) {
+	bad := fmt.Errorf("%w: wrapper params", ErrBadWire)
+	if len(b) < 35 {
+		return nil, bad
+	}
+	p := &wrapperParams{}
+	p.LID = LogicalID(int32(binary.LittleEndian.Uint32(b[0:])))
+	p.Slot = int(binary.LittleEndian.Uint16(b[4:]))
+	flags := b[6]
+	p.Monitored = flags&1 != 0
+	p.AwaitRestore = flags&2 != 0
+	p.GuardianPhys = scplib.ThreadID(int32(binary.LittleEndian.Uint32(b[7:])))
+	p.Epoch = binary.LittleEndian.Uint32(b[11:])
+	p.HbPeriod = math.Float64frombits(binary.LittleEndian.Uint64(b[15:]))
+	p.FailTimeout = math.Float64frombits(binary.LittleEndian.Uint64(b[23:]))
+	off := 31
+	n := int(binary.LittleEndian.Uint16(b[off:]))
+	off += 2
+	if off+n+2 > len(b) {
+		return nil, bad
+	}
+	p.Name = string(b[off : off+n])
+	off += n
+	k := int(binary.LittleEndian.Uint16(b[off:]))
+	off += 2
+	if off+k+4 > len(b) {
+		return nil, bad
+	}
+	p.InnerKind = string(b[off : off+k])
+	off += k
+	vn := int(binary.LittleEndian.Uint32(b[off:]))
+	off += 4
+	if off+vn > len(b) {
+		return nil, bad
+	}
+	view, err := decodeView(b[off : off+vn])
+	if err != nil {
+		return nil, err
+	}
+	p.View = view
+	off += vn
+	p.InnerArgs = append([]byte(nil), b[off:]...)
+	return p, nil
+}

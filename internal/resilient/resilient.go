@@ -21,7 +21,11 @@
 // group's input comes from a single logical peer at a time.
 package resilient
 
-import "errors"
+import (
+	"errors"
+
+	"resilientfusion/internal/scplib"
+)
 
 // LogicalID names a logical thread (an unreplicated singleton or a
 // replicated group).
@@ -123,6 +127,12 @@ type Config struct {
 	// GuardianPoll is the detector's checking interval (default
 	// HeartbeatPeriod/2).
 	GuardianPoll float64
+	// PhysBase offsets every physical thread ID this runtime allocates
+	// (guardian = PhysBase, replicas from PhysBase+1, couriers mirrored
+	// from the top of the ID space). It lets several runtimes — one per
+	// in-flight cluster job — share a single long-lived scplib.System
+	// without colliding. Zero keeps the historical layout.
+	PhysBase scplib.ThreadID
 }
 
 // DefaultConfig returns the evaluation configuration of §4: replication

@@ -1,6 +1,7 @@
 package resilient
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -25,6 +26,17 @@ type Runtime struct {
 
 	guardianPhys scplib.ThreadID
 	nextCourier  int32
+
+	// Transport-level liveness intake (cluster runs). The guardian merges
+	// these with heartbeat ages each poll: nodeSeen refreshes members on
+	// nodes with recent connection activity (a worker deep in a kernel
+	// still pings on its own goroutine), nodeLost force-expires members on
+	// a severed node, exited force-expires a reaped physical thread after
+	// a short hold (a graceful bye on the same FIFO connection precedes
+	// the exit report and must win the race).
+	nodeSeen map[int]float64
+	nodeLost map[int]bool
+	exited   map[scplib.ThreadID]float64
 
 	stats Stats
 }
@@ -54,6 +66,12 @@ type group struct {
 	// group's traffic as duplicates.
 	epoch   uint32
 	members []*member // slot-indexed; slots persist across regeneration
+	// remoteKind/remoteArgs, when set, let replicas of this group spawn in
+	// worker processes: the spec ships a resilient wrapper RemoteBody
+	// whose params embed this inner body kind (see remote.go). body stays
+	// the local form for node-0 placements and regeneration fallback.
+	remoteKind string
+	remoteArgs []byte
 }
 
 type member struct {
@@ -69,12 +87,48 @@ func New(sys scplib.System, cfg Config) (*Runtime, error) {
 		return nil, fmt.Errorf("%w: Nodes=%d", ErrBadConfig, cfg.Nodes)
 	}
 	return &Runtime{
-		sys:      sys,
-		cfg:      cfg,
-		byLID:    make(map[LogicalID]*group),
-		nextPhys: 1, // 0 is the guardian
-		deadNode: make(map[int]bool),
+		sys:          sys,
+		cfg:          cfg,
+		byLID:        make(map[LogicalID]*group),
+		guardianPhys: cfg.PhysBase,
+		nextPhys:     cfg.PhysBase + 1,
+		deadNode:     make(map[int]bool),
+		nodeSeen:     make(map[int]float64),
+		nodeLost:     make(map[int]bool),
+		exited:       make(map[scplib.ThreadID]float64),
 	}, nil
+}
+
+// NodeAlive records connection-level activity from a cluster node: any
+// frame from the node's worker process proves the process lives, even
+// while its replica threads are inside long compute kernels. Wire it to
+// scplib.ClusterSystem.OnNodeAlive. A reconnecting node is also cleared
+// from the dead-node set so it can host regenerations again.
+func (rt *Runtime) NodeAlive(node int) {
+	now := rt.sys.Now()
+	rt.mu.Lock()
+	rt.nodeSeen[node] = now
+	delete(rt.deadNode, node)
+	rt.mu.Unlock()
+}
+
+// NodeDown reports a severed cluster node connection; every member
+// hosted there is force-expired at the guardian's next poll — detection
+// at connection speed instead of heartbeat-timeout speed. Wire it to
+// scplib.ClusterSystem.OnNodeDown.
+func (rt *Runtime) NodeDown(node int) {
+	rt.mu.Lock()
+	rt.nodeLost[node] = true
+	rt.mu.Unlock()
+}
+
+// ThreadExited reports a reaped physical thread (remote replica exit).
+// Wire it to scplib.ClusterSystem.OnThreadExit.
+func (rt *Runtime) ThreadExited(phys scplib.ThreadID) {
+	now := rt.sys.Now()
+	rt.mu.Lock()
+	rt.exited[phys] = now
+	rt.mu.Unlock()
 }
 
 // Config returns the effective configuration.
@@ -100,6 +154,20 @@ func (rt *Runtime) AddSingleton(lid LogicalID, name string, node int, body RBody
 // placement. Replication level is len(placements).
 func (rt *Runtime) AddGroup(lid LogicalID, name string, placements []int, body RBody) error {
 	return rt.add(lid, name, placements, body, false)
+}
+
+// AddGroupRemote is AddGroup for cluster systems: body remains the local
+// (node 0) form, and kind/args name a registered inner body so replicas
+// placed on worker nodes can be reconstructed in the worker process.
+func (rt *Runtime) AddGroupRemote(lid LogicalID, name string, placements []int, body RBody, kind string, args []byte) error {
+	if err := rt.add(lid, name, placements, body, false); err != nil {
+		return err
+	}
+	rt.mu.Lock()
+	g := rt.byLID[lid]
+	g.remoteKind, g.remoteArgs = kind, args
+	rt.mu.Unlock()
+	return nil
 }
 
 func (rt *Runtime) add(lid LogicalID, name string, placements []int, body RBody, singleton bool) error {
@@ -171,19 +239,39 @@ func (rt *Runtime) Start() error {
 	rt.mu.Unlock()
 
 	if err := rt.sys.Spawn(scplib.ThreadSpec{
-		ID:   rt.guardianPhys, // 0
+		ID:   rt.guardianPhys, // PhysBase (0 unless offset)
 		Name: "guardian",
 		Node: rt.cfg.GuardianNode,
 		Body: rt.guardianBody,
 	}); err != nil {
 		return err
 	}
+	lost := make(map[int]bool)
 	for _, g := range groups {
 		for slot, m := range g.members {
 			if err := rt.spawnReplica(g, slot, m, view, false); err != nil {
+				if g.monitored && rt.cfg.Regenerate && errors.Is(err, scplib.ErrNodeDown) {
+					// The hosting worker died while we were still spawning.
+					// Leave the member to the guardian, which regenerates it
+					// on a surviving node — the same recovery as a worker
+					// dying a moment after the spawn succeeded.
+					lost[m.node] = true
+					continue
+				}
 				return err
 			}
 		}
+	}
+	// Publish the losses only after the spawn loop: force-expiring a
+	// member mid-loop would let the guardian replace its phys ID while we
+	// still hold the old one, double-spawning the slot.
+	if len(lost) > 0 {
+		rt.mu.Lock()
+		for n := range lost {
+			rt.nodeLost[n] = true
+			rt.deadNode[n] = true
+		}
+		rt.mu.Unlock()
 	}
 	return nil
 }
@@ -199,12 +287,35 @@ func (rt *Runtime) spawnReplica(g *group, slot int, m *member, view *viewTable, 
 	if !g.singleton {
 		name = fmt.Sprintf("%s/r%d", g.name, slot)
 	}
-	return rt.sys.Spawn(scplib.ThreadSpec{
+	spec := scplib.ThreadSpec{
 		ID:   m.phys,
 		Name: name,
 		Node: m.node,
 		Body: w.run,
-	})
+	}
+	if g.remoteKind != "" {
+		// Shippable form: the whole wrapper state (identity, timers, view,
+		// inner body kind) travels as params; a worker-side registry
+		// rebuilds an equivalent wrapper around the reconstructed body.
+		spec.Remote = &scplib.RemoteBody{
+			Kind: WrapperBodyKind,
+			Args: encodeWrapperParams(&wrapperParams{
+				LID:          g.lid,
+				Name:         g.name,
+				Slot:         slot,
+				Monitored:    g.monitored,
+				AwaitRestore: awaitRestore,
+				GuardianPhys: rt.guardianPhys,
+				Epoch:        g.epoch,
+				HbPeriod:     rt.cfg.HeartbeatPeriod,
+				FailTimeout:  rt.cfg.FailTimeout,
+				View:         view,
+				InnerKind:    g.remoteKind,
+				InnerArgs:    g.remoteArgs,
+			}),
+		}
+	}
+	return rt.sys.Spawn(spec)
 }
 
 // Run drives the underlying system to completion.

@@ -12,11 +12,16 @@ import (
 // and applies view changes pushed by the guardian. One wrapper instance
 // belongs to exactly one physical thread; no locking is needed.
 type wrapper struct {
-	rt      *Runtime
 	lid     LogicalID
 	name    string
 	replica int
 	body    RBody
+
+	// The wrapper's coupling to its Runtime is these plain values, not a
+	// pointer: a wrapper reconstructed in a worker process (remote.go) has
+	// no Runtime, only the guardian's physical address and the timeouts.
+	guardianPhys scplib.ThreadID
+	failTimeout  float64
 
 	monitored bool
 	hbPeriod  float64
@@ -49,14 +54,15 @@ type wrapper struct {
 
 func newWrapper(rt *Runtime, g *group, slot int, view *viewTable) *wrapper {
 	w := &wrapper{
-		rt:         rt,
-		lid:        g.lid,
-		name:       g.name,
-		replica:    slot,
-		body:       g.body,
-		monitored:  g.monitored,
-		hbPeriod:   rt.cfg.HeartbeatPeriod,
-		epoch:      g.epoch,
+		lid:          g.lid,
+		name:         g.name,
+		replica:      slot,
+		body:         g.body,
+		guardianPhys: rt.guardianPhys,
+		failTimeout:  rt.cfg.FailTimeout,
+		monitored:    g.monitored,
+		hbPeriod:     rt.cfg.HeartbeatPeriod,
+		epoch:        g.epoch,
 		views:      make(map[LogicalID][]scplib.ThreadID),
 		ded:        newDedupe(),
 		lseq:       make(map[LogicalID]uint64),
@@ -153,12 +159,12 @@ func (w *wrapper) maybeHeartbeat() {
 	}
 	w.hbDue = now + w.hbPeriod
 	payload := append(encodeHeartbeat(w.lid, w.replica), 0)
-	_ = w.env.Send(w.rt.guardianPhys, kindHeartbeat, payload)
+	_ = w.env.Send(w.guardianPhys, kindHeartbeat, payload)
 }
 
 func (w *wrapper) sendBye() {
 	payload := append(encodeHeartbeat(w.lid, w.replica), 1)
-	_ = w.env.Send(w.rt.guardianPhys, kindHeartbeat, payload)
+	_ = w.env.Send(w.guardianPhys, kindHeartbeat, payload)
 }
 
 // --- REnv implementation ---
@@ -206,7 +212,7 @@ func (w *wrapper) stashNext(match func(*RMessage) bool) *RMessage {
 // this replica's early sends as duplicates; request/reply applications
 // recover via reissue.
 func (w *wrapper) awaitState() error {
-	deadline := w.env.Now() + w.rt.cfg.FailTimeout
+	deadline := w.env.Now() + w.failTimeout
 	for !w.restored {
 		w.maybeHeartbeat()
 		now := w.env.Now()
@@ -335,7 +341,7 @@ func (w *wrapper) handleSnapReq(m *scplib.Message) {
 		return
 	}
 	snap := encodeSnapshot(w.snapshotState())
-	_ = w.env.Send(w.rt.guardianPhys, kindSnapResp, encodeSnapResp(corr, snap))
+	_ = w.env.Send(w.guardianPhys, kindSnapResp, encodeSnapResp(corr, snap))
 }
 
 func (w *wrapper) Recv() (*RMessage, error) { return w.pump(nil, -1) }

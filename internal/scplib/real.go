@@ -31,6 +31,10 @@ type RealSystem struct {
 	// external transport (the TCP system); the transport re-enters via
 	// deliverLocal.
 	sendVia func(*Message) error
+	// onReap, when set, observes every thread leaving the table after its
+	// body returned (the cluster worker reports exits to its coordinator
+	// through this). Called without the system lock held.
+	onReap func(ThreadID)
 }
 
 type realThread struct {
@@ -105,7 +109,11 @@ func (s *RealSystem) start(t *realThread) {
 		if err != nil && !errors.Is(err, ErrKilled) {
 			s.errs = append(s.errs, fmt.Errorf("%s: %w", t.name, err))
 		}
+		reap := s.onReap
 		s.mu.Unlock()
+		if reap != nil {
+			reap(t.id)
+		}
 	}()
 }
 
@@ -168,6 +176,15 @@ func (s *RealSystem) Live() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.threads)
+}
+
+// has reports whether id is currently a registered local thread (the
+// cluster worker's local-vs-forward routing decision).
+func (s *RealSystem) has(id ThreadID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.threads[id]
+	return ok
 }
 
 // Run starts every spawned thread and blocks until all have finished.

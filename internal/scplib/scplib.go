@@ -96,14 +96,28 @@ type Env interface {
 // Body is a thread's entry point.
 type Body func(env Env) error
 
+// RemoteBody names a thread body by registered kind plus serialized
+// arguments, so a spec can be reconstructed in another process: the
+// ClusterSystem ships it to a fusionworkerd, whose BodyRegistry maps Kind
+// back to a factory. Runtimes without a remote transport ignore it and
+// run Body directly.
+type RemoteBody struct {
+	Kind string
+	Args []byte
+}
+
 // ThreadSpec describes a thread to spawn.
 type ThreadSpec struct {
 	ID   ThreadID
 	Name string
-	// Node places the thread on a cluster node (Sim runtime); the Real
-	// runtime ignores placement.
+	// Node places the thread on a cluster node (Sim and Cluster
+	// runtimes); the plain Real runtime ignores placement.
 	Node int
 	Body Body
+	// Remote, when set, lets a ClusterSystem spawn the thread in a remote
+	// worker process instead of running Body locally. Specs may carry
+	// both: Body is the local (node 0) form, Remote the shippable one.
+	Remote *RemoteBody
 }
 
 // System orchestrates a set of threads on some runtime.

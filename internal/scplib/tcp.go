@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // TCPSystem is a RealSystem whose messages travel over actual TCP
@@ -138,13 +139,42 @@ func (s *TCPSystem) senderConn(from ThreadID) (*tcpConn, error) {
 	if tc, ok := s.conns[from]; ok {
 		return tc, nil
 	}
-	c, err := net.Dial("tcp", s.listener.Addr().String())
+	c, err := dialRetry(s.listener.Addr().String(), senderDialWindow)
 	if err != nil {
 		return nil, err
 	}
 	tc := &tcpConn{c: c, w: bufio.NewWriterSize(c, 1<<16)}
 	s.conns[from] = tc
 	return tc, nil
+}
+
+// senderDialWindow bounds a sender thread's connect retries: transient
+// refusals (listener backlog pressure under thread fan-out) are retried,
+// a dead listener fails the send within this window.
+const senderDialWindow = 2 * time.Second
+
+// dialRetry dials addr, retrying transient failures with capped
+// exponential backoff until the window elapses. The first attempt is
+// always made; the last error is returned once the window is spent.
+func dialRetry(addr string, window time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(window)
+	delay := 25 * time.Millisecond
+	const maxDelay = time.Second
+	for {
+		c, err := net.Dial("tcp", addr)
+		if err == nil {
+			return c, nil
+		}
+		if remain := time.Until(deadline); remain <= 0 {
+			return nil, fmt.Errorf("scplib: dial %s: %w", addr, err)
+		} else if delay > remain {
+			delay = remain
+		}
+		time.Sleep(delay)
+		if delay *= 2; delay > maxDelay {
+			delay = maxDelay
+		}
+	}
 }
 
 // sendTCP implements the RealSystem's pluggable transport.

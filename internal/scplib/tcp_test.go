@@ -2,10 +2,13 @@ package scplib
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"net"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func newTCP(t *testing.T) *TCPSystem {
@@ -157,5 +160,67 @@ func TestFrameRejectsGarbage(t *testing.T) {
 	// Empty reader.
 	if _, err := readFrame(bytes.NewReader(nil)); err == nil {
 		t.Fatal("EOF not reported")
+	}
+}
+
+func TestFrameRejectsOversizedLength(t *testing.T) {
+	// Length word above maxFramePayload: must fail before allocating.
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], maxFramePayload+1)
+	if _, err := readFrame(bytes.NewReader(hdr[:])); err == nil {
+		t.Fatal("oversized frame length accepted")
+	}
+	// Exactly at the cap the guard admits the length (the body read then
+	// fails on truncation, not on the guard).
+	binary.LittleEndian.PutUint32(hdr[:], maxFramePayload)
+	if _, err := readFrame(bytes.NewReader(hdr[:])); err == nil {
+		t.Fatal("truncated maximal frame accepted")
+	}
+}
+
+func TestDialRetryRecoversWithinWindow(t *testing.T) {
+	// Reserve a port, release it, and only start listening after a delay:
+	// dialRetry must keep retrying past the initial refusals.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		ln2, err := net.Listen("tcp", addr)
+		if err != nil {
+			return // port raced away; the dial side will fail the test
+		}
+		defer ln2.Close()
+		c, err := ln2.Accept()
+		if err == nil {
+			c.Close()
+		}
+	}()
+
+	c, err := dialRetry(addr, 5*time.Second)
+	if err != nil {
+		t.Fatalf("dialRetry gave up: %v", err)
+	}
+	c.Close()
+}
+
+func TestDialRetryFailsAfterWindow(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // nothing will ever listen here again (probably)
+
+	start := time.Now()
+	if _, err := dialRetry(addr, 200*time.Millisecond); err == nil {
+		t.Fatal("dialRetry succeeded against a dead address")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("dialRetry overshot its window: %v", elapsed)
 	}
 }

@@ -92,7 +92,16 @@ func writeAPIError(w http.ResponseWriter, err error) {
 	writeAPIErrorCode(w, status, code, err.Error())
 }
 
+// queueFullRetryAfter is the Retry-After hint (in seconds) sent with
+// queue_full rejections. Admission pressure drains at job-completion
+// speed, so a short fixed backoff beats clients hot-looping resubmits;
+// fusionclient surfaces the hint as APIError.RetryAfter.
+const queueFullRetryAfter = "1"
+
 // writeAPIErrorCode writes the envelope with an explicit status and code.
 func writeAPIErrorCode(w http.ResponseWriter, status int, code, message string) {
+	if code == CodeQueueFull {
+		w.Header().Set("Retry-After", queueFullRetryAfter)
+	}
 	writeJSON(w, status, errorEnvelope{Error: apiErrorJSON{Code: code, Message: message}})
 }

@@ -1,0 +1,278 @@
+package service
+
+import (
+	"sync"
+
+	"resilientfusion/internal/core"
+	"resilientfusion/internal/resilient"
+	"resilientfusion/internal/scene"
+	"resilientfusion/internal/scplib"
+)
+
+// Cluster mode: instead of goroutine workers in the daemon's process,
+// the pool listens for fusionworkerd processes and runs each job's
+// worker replicas remotely over a scplib.ClusterSystem, with the
+// resilient runtime's guardian regenerating replicas lost to killed
+// workers. Jobs degrade gracefully: below quorum (fewer connected
+// workers than configured) or on any cluster-side failure, the job
+// falls back to the in-process pool, whose mosaic is bit-identical.
+
+// ClusterConfig tunes cluster mode. The zero value (and a nil
+// Config.Cluster) disables it.
+type ClusterConfig struct {
+	// Listen is the coordinator's TCP listen address for fusionworkerd
+	// connections (default 127.0.0.1:0, an ephemeral localhost port —
+	// production deployments set an explicit host:port).
+	Listen string
+	// Workers is the expected fusionworkerd count. It overrides
+	// Config.Workers so cluster and fallback runs decompose scenes
+	// identically (bit-identical mosaics, shared cache keys). Default 2.
+	Workers int
+	// Replication is the replica count per logical worker (default 2).
+	Replication int
+	// HeartbeatPeriod and FailTimeout tune the guardian's failure
+	// detector, in seconds (defaults 0.25 and 1.0). Connection-level
+	// liveness (worker pings, severed sockets) merges in on top, so
+	// detection of a killed worker is usually much faster than
+	// FailTimeout.
+	HeartbeatPeriod float64
+	FailTimeout     float64
+	// ReissueTimeout is the manager's per-request timeout in seconds
+	// (default 5): work lost with a killed replica is reissued to the
+	// regenerated one after this long.
+	ReissueTimeout float64
+}
+
+func (c ClusterConfig) withDefaults() ClusterConfig {
+	if c.Listen == "" {
+		c.Listen = "127.0.0.1:0"
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.Replication <= 0 {
+		c.Replication = 2
+	}
+	if c.HeartbeatPeriod <= 0 {
+		c.HeartbeatPeriod = 0.25
+	}
+	if c.FailTimeout <= 0 {
+		c.FailTimeout = 1.0
+	}
+	if c.ReissueTimeout <= 0 {
+		c.ReissueTimeout = 5.0
+	}
+	return c
+}
+
+// ClusterStats is the cluster section of Stats (null when cluster mode
+// is off).
+type ClusterStats struct {
+	// Addr is the coordinator's resolved listen address.
+	Addr string `json:"addr"`
+	// Workers is the expected worker count; LiveWorkers is how many are
+	// connected right now.
+	Workers     int `json:"workers"`
+	LiveWorkers int `json:"live_workers"`
+	Replication int `json:"replication"`
+	// Jobs completed over the cluster; Fallbacks ran on the in-process
+	// pool instead (below quorum or after a cluster-side failure).
+	Jobs      int64 `json:"jobs"`
+	Fallbacks int64 `json:"fallbacks"`
+	// Aggregated resilient.Stats across all cluster jobs.
+	Detections    int64 `json:"detections"`
+	Regenerations int64 `json:"regenerations"`
+	ViewChanges   int64 `json:"view_changes"`
+}
+
+// clusterState is the pool's cluster-mode machinery.
+type clusterState struct {
+	cfg ClusterConfig
+	sys *scplib.ClusterSystem
+
+	mu       sync.Mutex
+	rts      []*resilient.Runtime // running cluster jobs' runtimes
+	nextBase scplib.ThreadID
+	stats    ClusterStats
+}
+
+// clusterPhysBase0 starts job phys IDs far above any coordinator-local
+// IDs; clusterPhysStride gives each job room for its guardian, replicas,
+// regenerations, and couriers.
+const (
+	clusterPhysBase0  = scplib.ThreadID(1 << 20)
+	clusterPhysStride = scplib.ThreadID(1 << 16)
+)
+
+// newClusterState opens the coordinator listener and wires its transport
+// liveness hooks to fan out to every running cluster job. Hooks are
+// installed before any worker can connect, so they are never written
+// concurrently with peer goroutines reading them.
+func newClusterState(cfg ClusterConfig, logf func(format string, args ...any)) (*clusterState, error) {
+	cfg = cfg.withDefaults()
+	sys, err := scplib.NewClusterSystem(cfg.Listen, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	sys.LogTo = logf
+	cl := &clusterState{cfg: cfg, sys: sys, nextBase: clusterPhysBase0}
+	cl.stats.Addr = sys.Addr()
+	cl.stats.Workers = cfg.Workers
+	cl.stats.Replication = cfg.Replication
+	sys.OnNodeDown = func(n int) {
+		for _, rt := range cl.runtimes() {
+			rt.NodeDown(n)
+		}
+	}
+	sys.OnNodeAlive = func(n int) {
+		for _, rt := range cl.runtimes() {
+			rt.NodeAlive(n)
+		}
+	}
+	sys.OnThreadExit = func(id scplib.ThreadID) {
+		for _, rt := range cl.runtimes() {
+			rt.ThreadExited(id)
+		}
+	}
+	sys.Start()
+	return cl, nil
+}
+
+func (cl *clusterState) runtimes() []*resilient.Runtime {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return append([]*resilient.Runtime(nil), cl.rts...)
+}
+
+func (cl *clusterState) register(rt *resilient.Runtime) {
+	cl.mu.Lock()
+	cl.rts = append(cl.rts, rt)
+	cl.mu.Unlock()
+}
+
+func (cl *clusterState) unregister(rt *resilient.Runtime) {
+	cl.mu.Lock()
+	for i, r := range cl.rts {
+		if r == rt {
+			cl.rts = append(cl.rts[:i], cl.rts[i+1:]...)
+			break
+		}
+	}
+	cl.mu.Unlock()
+}
+
+// allocBase hands each job a disjoint physical thread ID range on the
+// shared cluster system.
+func (cl *clusterState) allocBase() scplib.ThreadID {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	base := cl.nextBase
+	cl.nextBase += clusterPhysStride
+	return base
+}
+
+func (cl *clusterState) fallback() {
+	cl.mu.Lock()
+	cl.stats.Fallbacks++
+	cl.mu.Unlock()
+}
+
+// absorb folds one finished job's resilient stats into the aggregate.
+func (cl *clusterState) absorb(st resilient.Stats, completed bool) {
+	cl.mu.Lock()
+	if completed {
+		cl.stats.Jobs++
+	}
+	cl.stats.Detections += int64(st.Detections)
+	cl.stats.Regenerations += int64(st.Regenerations)
+	cl.stats.ViewChanges += int64(st.ViewChanges)
+	cl.mu.Unlock()
+}
+
+func (cl *clusterState) snapshot() *ClusterStats {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	s := cl.stats
+	s.LiveWorkers = cl.sys.LiveWorkers()
+	return &s
+}
+
+// clusterOptions is the job's canonical options with the cluster's
+// resilience knobs applied. None of these fields enter ResultKey, so
+// cluster and fallback runs share cache entries — sound because the
+// mosaic is bit-identical either way.
+func (cl *clusterState) clusterOptions(opts core.Options) core.Options {
+	opts.Replication = cl.cfg.Replication
+	opts.Regenerate = true
+	opts.HeartbeatPeriod = cl.cfg.HeartbeatPeriod
+	opts.FailTimeout = cl.cfg.FailTimeout
+	opts.RequestTimeout = cl.cfg.ReissueTimeout
+	return opts
+}
+
+// runJobCluster tries to run one job over the connected fusionworkerd
+// fleet. It reports whether the job reached a terminal state here; false
+// means the caller should run it on the in-process pool instead (below
+// quorum, spawn failure, or a mid-run cluster failure the guardian could
+// not absorb).
+func (p *Pool) runJobCluster(job *Job) bool {
+	cl := p.cluster
+	if live := cl.sys.LiveWorkers(); live < cl.cfg.Workers {
+		p.logf("cluster: %d/%d workers live — job %s degrades to in-process pool",
+			live, cl.cfg.Workers, job.id)
+		cl.fallback()
+		return false
+	}
+	opts := cl.clusterOptions(job.opts)
+
+	var src core.CubeSource
+	if job.sceneID != "" {
+		rdr, err := scene.NewReaderFrom(job.sceneHdr, job.sceneFile)
+		if err != nil {
+			// Not a cluster failure: the spool is unreadable, and the
+			// fallback path would fail the same way.
+			p.finish(job, nil, err, false)
+			return true
+		}
+		tiler := scene.NewPrefetchTiler(scene.NewTiler(rdr), opts.TileRanges(job.sceneHdr.Lines))
+		defer tiler.Drain()
+		src = &sceneSource{tiler: tiler, job: job}
+	} else {
+		src = core.MemSource(job.cube)
+	}
+
+	rj, err := core.StartJob(cl.sys, src, opts, cl.allocBase())
+	if err != nil {
+		p.logf("cluster: job %s failed to start (%v) — degrading to in-process pool", job.id, err)
+		cl.fallback()
+		return false
+	}
+	rt := rj.Runtime()
+	cl.register(rt)
+	// Close the registration gap: a worker that died while StartJob was
+	// spawning fired OnNodeDown before this runtime existed. Seed the
+	// runtime with the fleet's current liveness so such losses expire at
+	// the guardian's next poll instead of waiting out FailTimeout.
+	live := make(map[int]bool, cl.cfg.Workers)
+	for _, n := range cl.sys.LiveNodes() {
+		live[n] = true
+	}
+	for n := 1; n <= cl.cfg.Workers; n++ {
+		if !live[n] {
+			rt.NodeDown(n)
+		}
+	}
+	res, err := rj.Wait()
+	cl.unregister(rt)
+	cl.absorb(rt.Stats(), err == nil)
+	if err != nil {
+		p.logf("cluster: job %s failed mid-run (%v) — degrading to in-process pool", job.id, err)
+		cl.fallback()
+		return false
+	}
+	if job.key != "" {
+		p.cache.put(job.key, res)
+	}
+	p.finish(job, res, nil, false)
+	return true
+}

@@ -1,0 +1,178 @@
+package service
+
+import (
+	"testing"
+	"time"
+
+	"resilientfusion/internal/core"
+	"resilientfusion/internal/resilient"
+	"resilientfusion/internal/scplib"
+)
+
+// workerdRegistry is the thread-body registry a fusionworkerd process
+// installs (mirrors cmd/fusionworkerd).
+func workerdRegistry() *scplib.BodyRegistry {
+	inner := resilient.NewBodyRegistry()
+	core.RegisterWorkerBodies(inner)
+	reg := scplib.NewBodyRegistry()
+	resilient.RegisterWrapperBody(reg, inner)
+	return reg
+}
+
+// startClusterPool builds a cluster-mode pool and dials workers
+// fusionworkerd-style (real sockets, in this process).
+func startClusterPool(t *testing.T, ccfg ClusterConfig, workers int) (*Pool, []*scplib.ClusterWorker) {
+	t.Helper()
+	pool, err := NewPool(Config{MaxConcurrent: 2, CacheEntries: -1, Cluster: &ccfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pool.Close() })
+	addr := pool.Stats().Cluster.Addr
+	ws := make([]*scplib.ClusterWorker, workers)
+	for i := range ws {
+		w, err := scplib.DialCluster(addr, 2*time.Second, workerdRegistry())
+		if err != nil {
+			t.Fatal(err)
+		}
+		go w.Run()
+		t.Cleanup(w.Shutdown)
+		ws[i] = w
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for pool.cluster.sys.LiveWorkers() < workers {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d workers connected", pool.cluster.sys.LiveWorkers(), workers)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return pool, ws
+}
+
+func fastClusterConfig(workers int) ClusterConfig {
+	return ClusterConfig{
+		Workers: workers, Replication: 2,
+		HeartbeatPeriod: 0.05, FailTimeout: 0.4, ReissueTimeout: 2,
+	}
+}
+
+// TestClusterPoolMatchesInProcess submits the same cube to a cluster
+// pool and a plain pool and requires bit-identical composites — the
+// property that makes silent degradation sound.
+func TestClusterPoolMatchesInProcess(t *testing.T) {
+	const workers = 2
+	cube := testCube(t, 77)
+	opts := core.Options{Threshold: 0.05, Granularity: 2}
+
+	plain, err := NewPool(Config{Workers: workers, CacheEntries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	st, err := plain.Submit(cube, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plain.Wait(st.ID)
+	if err != nil || want.State != StateDone {
+		t.Fatalf("plain pool: %v %+v", err, want.Err)
+	}
+
+	pool, _ := startClusterPool(t, fastClusterConfig(workers), workers)
+	st, err = pool.Submit(cube, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pool.Wait(st.ID)
+	if err != nil || got.State != StateDone {
+		t.Fatalf("cluster pool: %v %+v", err, got.Err)
+	}
+	sameResult(t, got.Result, want.Result, "cluster vs in-process")
+
+	cs := pool.Stats().Cluster
+	if cs == nil || cs.Jobs != 1 || cs.Fallbacks != 0 {
+		t.Fatalf("cluster stats: %+v", cs)
+	}
+	if cs.Workers != workers || cs.LiveWorkers != workers {
+		t.Fatalf("cluster worker counts: %+v", cs)
+	}
+}
+
+// TestClusterPoolFallsBackBelowQuorum submits against a cluster pool
+// with no connected workers: the job must complete on the in-process
+// pool, with the degradation counted.
+func TestClusterPoolFallsBackBelowQuorum(t *testing.T) {
+	pool, _ := startClusterPool(t, fastClusterConfig(2), 0)
+	cube := testCube(t, 78)
+	st, err := pool.Submit(cube, core.Options{Threshold: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pool.Wait(st.ID)
+	if err != nil || got.State != StateDone {
+		t.Fatalf("degraded job: %v %+v", err, got.Err)
+	}
+	ref, err := core.Sequential(cube, core.Options{Workers: 2, Threshold: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, got.Result, ref, "fallback vs sequential")
+	cs := pool.Stats().Cluster
+	if cs == nil || cs.Jobs != 0 || cs.Fallbacks != 1 {
+		t.Fatalf("cluster stats after fallback: %+v", cs)
+	}
+}
+
+// TestClusterPoolSurvivesWorkerLoss severs one worker process while the
+// cluster is idle, then submits: with the fleet below quorum the job
+// degrades; after the worker re-dials, jobs run on the cluster again.
+func TestClusterPoolSurvivesWorkerLoss(t *testing.T) {
+	const workers = 2
+	pool, ws := startClusterPool(t, fastClusterConfig(workers), workers)
+	addr := pool.Stats().Cluster.Addr
+
+	ws[0].Shutdown()
+	deadline := time.Now().Add(2 * time.Second)
+	for pool.cluster.sys.LiveWorkers() != workers-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker loss not observed: %d live", pool.cluster.sys.LiveWorkers())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st, err := pool.Submit(testCube(t, 79), core.Options{Threshold: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := pool.Wait(st.ID); err != nil || got.State != StateDone {
+		t.Fatalf("below-quorum job: %v %+v", err, got.Err)
+	}
+	if cs := pool.Stats().Cluster; cs.Fallbacks != 1 {
+		t.Fatalf("expected one fallback, got %+v", cs)
+	}
+
+	// Reconnect (fusionworkerd's re-dial loop does exactly this) and the
+	// next job runs remotely.
+	w, err := scplib.DialCluster(addr, 2*time.Second, workerdRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	go w.Run()
+	t.Cleanup(w.Shutdown)
+	deadline = time.Now().Add(2 * time.Second)
+	for pool.cluster.sys.LiveWorkers() != workers {
+		if time.Now().After(deadline) {
+			t.Fatalf("reconnect not observed: %d live", pool.cluster.sys.LiveWorkers())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st, err = pool.Submit(testCube(t, 80), core.Options{Threshold: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := pool.Wait(st.ID); err != nil || got.State != StateDone {
+		t.Fatalf("post-reconnect job: %v %+v", err, got.Err)
+	}
+	if cs := pool.Stats().Cluster; cs.Jobs != 1 {
+		t.Fatalf("post-reconnect job did not run on the cluster: %+v", cs)
+	}
+}

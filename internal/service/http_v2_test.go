@@ -396,6 +396,9 @@ func TestV2QueueFullAndNotFinished(t *testing.T) {
 		t.Fatalf("expected a queued job behind the slow one, got %s", queued.State)
 	}
 	resp = postCubeV2(t, client, srv.URL+"/v2/jobs", testCube(t, 301), "")
+	if got := resp.Header.Get("Retry-After"); got != queueFullRetryAfter {
+		t.Fatalf("queue_full Retry-After = %q, want %q", got, queueFullRetryAfter)
+	}
 	wantEnvelope(t, resp, http.StatusServiceUnavailable, CodeQueueFull)
 
 	// A queued job has no result yet: the conflict code, not a 404.

@@ -89,11 +89,24 @@ type Config struct {
 	// may hold its connection (default 60s). Clients asking for more are
 	// trimmed, not rejected: they re-issue the long-poll.
 	MaxLongPoll time.Duration
+	// Cluster, when non-nil, enables cluster mode: the pool listens for
+	// fusionworkerd processes and runs jobs' worker replicas remotely,
+	// falling back to the in-process pool below quorum. It forces
+	// Workers to Cluster.Workers so both paths decompose scenes
+	// identically.
+	Cluster *ClusterConfig
 	// LogTo receives diagnostics (nil silences them).
 	LogTo func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
+	if c.Cluster != nil {
+		ccfg := c.Cluster.withDefaults()
+		c.Cluster = &ccfg
+		// Bit-identical mosaics and shared cache keys between cluster
+		// and fallback runs require the same worker count on both paths.
+		c.Workers = ccfg.Workers
+	}
 	if c.Workers <= 0 {
 		c.Workers = 4
 	}
@@ -139,12 +152,15 @@ type Stats struct {
 	// Throughput is completed jobs per second since the pool started.
 	Throughput    float64 `json:"throughput_jobs_per_s"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Cluster reports cluster-mode state; null when cluster mode is off.
+	Cluster *ClusterStats `json:"cluster,omitempty"`
 }
 
 // Pool is the multi-job fusion service.
 type Pool struct {
 	cfg       Config
 	sys       *scplib.RealSystem
+	cluster   *clusterState // nil unless cluster mode is on
 	workerIDs []scplib.ThreadID
 	cache     *resultCache
 	queue     chan *Job
@@ -199,6 +215,19 @@ func NewPool(cfg Config) (*Pool, error) {
 	} else if err := os.MkdirAll(p.spoolDir, 0o755); err != nil {
 		return nil, err
 	}
+	if cfg.Cluster != nil {
+		cl, err := newClusterState(*cfg.Cluster, cfg.LogTo)
+		if err != nil {
+			if p.ownSpool {
+				os.RemoveAll(p.spoolDir)
+			}
+			return nil, err
+		}
+		p.cluster = cl
+		p.logf("cluster: coordinator listening on %s for %d workers", cl.sys.Addr(), cl.cfg.Workers)
+	}
+	// The in-process pool always exists: in cluster mode it is the
+	// graceful-degradation path for jobs below quorum.
 	for w := 1; w <= cfg.Workers; w++ {
 		id := scplib.ThreadID(w)
 		if err := sys.Spawn(scplib.ThreadSpec{
@@ -216,6 +245,13 @@ func NewPool(cfg Config) (*Pool, error) {
 		go p.dispatch()
 	}
 	return p, nil
+}
+
+// logf forwards diagnostics to the configured sink.
+func (p *Pool) logf(format string, args ...any) {
+	if p.cfg.LogTo != nil {
+		p.cfg.LogTo(format, args...)
+	}
 }
 
 // Submit validates and enqueues a fusion job, returning its immediate
@@ -521,6 +557,9 @@ func (p *Pool) Stats() Stats {
 	if up > 0 {
 		s.Throughput = float64(p.completed) / up
 	}
+	if p.cluster != nil {
+		s.Cluster = p.cluster.snapshot()
+	}
 	return s
 }
 
@@ -538,7 +577,13 @@ func (p *Pool) Close() error {
 	p.mu.Unlock()
 	p.wg.Wait()   // dispatchers drain remaining queued jobs
 	close(p.shut) // every admitted job is terminal now; release any waiters
-	p.sys.Stop()  // kill persistent workers
+	if p.cluster != nil {
+		// After the drain: no cluster job is running, so this only
+		// disconnects idle fusionworkerd processes (which exit cleanly).
+		p.cluster.sys.Stop()
+		p.cluster.sys.Close()
+	}
+	p.sys.Stop() // kill persistent workers
 	err := p.sys.Wait()
 	// Release spooled scenes after the drain: queued scene jobs read
 	// their files until the dispatchers finish.
@@ -584,6 +629,11 @@ func (p *Pool) runJob(job *Job) {
 			p.finish(job, res, nil, true)
 			return
 		}
+	}
+
+	// Cluster mode first; a false return degrades to the in-process pool.
+	if p.cluster != nil && p.runJobCluster(job) {
+		return
 	}
 
 	res := &core.Result{}
