@@ -74,6 +74,7 @@ func startCluster(t *testing.T, n int) (*scplib.ClusterSystem, []*scplib.Cluster
 	sys.OnNodeDown = fan.nodeDown
 	sys.OnNodeAlive = fan.nodeAlive
 	sys.OnThreadExit = fan.threadExit
+	sys.Serve()
 	ws := make([]*scplib.ClusterWorker, n)
 	for i := range ws {
 		w, err := scplib.DialCluster(sys.Addr(), 2*time.Second, workerdRegistry())

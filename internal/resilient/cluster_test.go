@@ -141,6 +141,7 @@ func clusterHarness(t *testing.T, workers int, cfg Config) (*scplib.ClusterSyste
 	sys.OnNodeAlive = rt.NodeAlive
 	sys.OnNodeDown = rt.NodeDown
 	sys.OnThreadExit = rt.ThreadExited
+	sys.Serve()
 
 	ws := make([]*scplib.ClusterWorker, workers)
 	for i := range ws {

@@ -63,10 +63,10 @@ func newWrapper(rt *Runtime, g *group, slot int, view *viewTable) *wrapper {
 		monitored:    g.monitored,
 		hbPeriod:     rt.cfg.HeartbeatPeriod,
 		epoch:        g.epoch,
-		views:      make(map[LogicalID][]scplib.ThreadID),
-		ded:        newDedupe(),
-		lseq:       make(map[LogicalID]uint64),
-		chunkFlops: 1e6,
+		views:        make(map[LogicalID][]scplib.ThreadID),
+		ded:          newDedupe(),
+		lseq:         make(map[LogicalID]uint64),
+		chunkFlops:   1e6,
 	}
 	w.applyViewTable(view)
 	return w

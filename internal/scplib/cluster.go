@@ -37,19 +37,29 @@ type ClusterSystem struct {
 	ln           net.Listener
 	spawnTimeout time.Duration
 
-	// Hooks into the resiliency layer; set them before workers connect.
-	// All are invoked from transport goroutines without locks held.
+	// Hooks into the resiliency layer; assign them (and LogTo) between
+	// NewClusterSystem and Serve — no worker can connect before Serve, so
+	// the assignments never race with the transport goroutines that read
+	// them. All are invoked from transport goroutines without locks held.
 	OnNodeDown   func(node int)
 	OnNodeAlive  func(node int)
 	OnThreadExit func(id ThreadID)
 
 	mu      sync.Mutex
 	closed  bool
+	serving bool
 	slots   int
 	nodes   map[int]*clusterPeer
 	owner   map[ThreadID]int // remote thread -> hosting node
-	pending map[ThreadID]chan error
+	pending map[ThreadID]pendingSpawn
 	wg      sync.WaitGroup
+}
+
+// pendingSpawn tracks one in-flight spawn RPC and the node it targets,
+// so a peer drop fails exactly the spawns aimed at that node.
+type pendingSpawn struct {
+	ch   chan error
+	node int
 }
 
 type clusterPeer struct {
@@ -79,9 +89,10 @@ const clusterProtoVersion uint16 = 1
 // ErrNotRemotable reports a remote spawn of a spec without a RemoteBody.
 var ErrNotRemotable = errors.New("scplib: thread spec has no remote body")
 
-// NewClusterSystem listens on addr ("127.0.0.1:0" picks an ephemeral
-// port) and accepts up to workerSlots fusionworkerd connections, each
-// becoming one cluster node.
+// NewClusterSystem binds a listener on addr ("127.0.0.1:0" picks an
+// ephemeral port) for up to workerSlots fusionworkerd connections, each
+// becoming one cluster node. The system does not accept connections
+// until Serve — assign the liveness hooks first.
 func NewClusterSystem(addr string, workerSlots int) (*ClusterSystem, error) {
 	if workerSlots < 1 {
 		return nil, fmt.Errorf("scplib: cluster needs at least 1 worker slot, got %d", workerSlots)
@@ -100,12 +111,26 @@ func NewClusterSystem(addr string, workerSlots int) (*ClusterSystem, error) {
 		slots:        workerSlots,
 		nodes:        make(map[int]*clusterPeer),
 		owner:        make(map[ThreadID]int),
-		pending:      make(map[ThreadID]chan error),
+		pending:      make(map[ThreadID]pendingSpawn),
 	}
 	s.RealSystem.sendVia = s.route
-	s.wg.Add(1)
-	go s.acceptLoop()
 	return s, nil
+}
+
+// Serve starts accepting worker connections (idempotent; a no-op after
+// Close). Call it once the liveness hooks and logger are assigned:
+// transport goroutines read those fields, so assigning them after Serve
+// is a data race.
+func (s *ClusterSystem) Serve() {
+	s.mu.Lock()
+	if s.serving || s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.serving = true
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go s.acceptLoop()
 }
 
 // Addr returns the coordinator's listen address.
@@ -186,7 +211,7 @@ func (s *ClusterSystem) Spawn(spec ThreadSpec) error {
 	// the spawn frame precedes them).
 	s.owner[spec.ID] = spec.Node
 	ch := make(chan error, 1)
-	s.pending[spec.ID] = ch
+	s.pending[spec.ID] = pendingSpawn{ch: ch, node: spec.Node}
 	s.mu.Unlock()
 
 	if err := peer.writeFrame(cfSpawn, encodeSpawn(spec)); err != nil {
@@ -205,7 +230,18 @@ func (s *ClusterSystem) Spawn(spec ThreadSpec) error {
 		s.mu.Lock()
 		delete(s.pending, spec.ID)
 		delete(s.owner, spec.ID)
+		late := s.nodes[spec.Node]
 		s.mu.Unlock()
+		// The worker may still complete the spawn moments from now; with
+		// the routing entries gone it would run orphaned until the job
+		// ends. A kill frame queued behind the spawn frame (same FIFO
+		// connection) reaps such a late spawn. Against a reconnected peer
+		// the kill targets a thread that never existed — harmless.
+		if late != nil {
+			var buf [4]byte
+			binary.LittleEndian.PutUint32(buf[:], uint32(spec.ID))
+			late.writeFrame(cfKill, buf[:])
+		}
 		return fmt.Errorf("%w: node %d (spawn timeout)", ErrNodeDown, spec.Node)
 	}
 }
@@ -331,11 +367,11 @@ func (s *ClusterSystem) serveWorker(conn net.Conn) {
 		case cfSpawnResult:
 			id, serr := decodeSpawnResult(body)
 			s.mu.Lock()
-			ch := s.pending[id]
+			p, ok := s.pending[id]
 			delete(s.pending, id)
 			s.mu.Unlock()
-			if ch != nil {
-				ch <- serr
+			if ok {
+				p.ch <- serr
 			}
 		case cfExit:
 			if len(body) < 4 {
@@ -387,10 +423,10 @@ func (s *ClusterSystem) dropPeer(peer *clusterPeer) {
 		}
 	}
 	var failed []chan error
-	for id, ch := range s.pending {
-		if wasOwner := s.ownerlessPending(id); wasOwner {
+	for id, p := range s.pending {
+		if p.node == peer.node {
 			delete(s.pending, id)
-			failed = append(failed, ch)
+			failed = append(failed, p.ch)
 		}
 	}
 	closed := s.closed
@@ -405,13 +441,6 @@ func (s *ClusterSystem) dropPeer(peer *clusterPeer) {
 		hook(peer.node)
 	}
 	s.logf("cluster: node %d down", peer.node)
-}
-
-// ownerlessPending reports whether a pending spawn lost its owner entry
-// (its node was just dropped). Caller holds mu.
-func (s *ClusterSystem) ownerlessPending(id ThreadID) bool {
-	_, owned := s.owner[id]
-	return !owned
 }
 
 func (s *ClusterSystem) logf(format string, args ...any) {

@@ -50,6 +50,7 @@ func TestClusterRemoteSpawnAndEcho(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sys.Close()
+	sys.Serve()
 	testWorker(t, sys.Addr(), echoRegistry())
 	testWorker(t, sys.Addr(), echoRegistry())
 
@@ -122,6 +123,7 @@ func TestClusterSpawnErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sys.Close()
+	sys.Serve()
 	testWorker(t, sys.Addr(), echoRegistry())
 	for deadline := time.Now().Add(2 * time.Second); sys.LiveWorkers() < 1; {
 		if time.Now().After(deadline) {
@@ -174,6 +176,7 @@ func TestClusterLivenessHooks(t *testing.T) {
 		default:
 		}
 	}
+	sys.Serve()
 
 	w := testWorker(t, sys.Addr(), echoRegistry())
 	for deadline := time.Now().Add(2 * time.Second); sys.LiveWorkers() < 1; {
@@ -243,6 +246,7 @@ func TestClusterKillRemoteThread(t *testing.T) {
 	var mu sync.Mutex
 	exited := map[ThreadID]bool{}
 	sys.OnThreadExit = func(id ThreadID) { mu.Lock(); exited[id] = true; mu.Unlock() }
+	sys.Serve()
 
 	testWorker(t, sys.Addr(), echoRegistry())
 	for deadline := time.Now().Add(2 * time.Second); sys.LiveWorkers() < 1; {
@@ -270,6 +274,7 @@ func TestClusterCloseIdempotent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	sys.Serve()
 	testWorker(t, sys.Addr(), echoRegistry())
 	sys.Close()
 	sys.Close()
@@ -281,6 +286,7 @@ func TestClusterRejectsBadHello(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sys.Close()
+	sys.Serve()
 	// A peer speaking the wrong protocol version is dropped without a slot.
 	c, err := dialRetry(sys.Addr(), time.Second)
 	if err != nil {
@@ -301,6 +307,62 @@ func TestClusterRejectsBadHello(t *testing.T) {
 	}
 	if sys.LiveWorkers() != 0 {
 		t.Fatal("bad hello consumed a worker slot")
+	}
+}
+
+// TestWorkerRunErrorOnSeveredConnection pins the contract the
+// fusionworkerd re-dial loop depends on: Run must return a non-nil error
+// when the coordinator side severs the connection (the daemon re-dials),
+// and nil only after a local Shutdown (the daemon exits).
+func TestWorkerRunErrorOnSeveredConnection(t *testing.T) {
+	sys, err := NewClusterSystem("", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Serve()
+	w, err := DialCluster(sys.Addr(), 2*time.Second, echoRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Shutdown()
+	runErr := make(chan error, 1)
+	go func() { runErr <- w.Run() }()
+	waitFor(t, 2*time.Second, func() bool { return sys.LiveWorkers() == 1 }, "worker never connected")
+
+	sys.Close() // coordinator goes away: a transport fault from the worker's view
+	select {
+	case err := <-runErr:
+		if err == nil {
+			t.Fatal("Run returned nil after the coordinator severed the connection — the daemon would treat it as orderly shutdown and never re-dial")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run never returned after the connection broke")
+	}
+}
+
+func TestWorkerRunNilOnShutdown(t *testing.T) {
+	sys, err := NewClusterSystem("", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	sys.Serve()
+	w, err := DialCluster(sys.Addr(), 2*time.Second, echoRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := make(chan error, 1)
+	go func() { runErr <- w.Run() }()
+	waitFor(t, 2*time.Second, func() bool { return sys.LiveWorkers() == 1 }, "worker never connected")
+
+	w.Shutdown()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("Run after local Shutdown returned %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run never returned after Shutdown")
 	}
 }
 

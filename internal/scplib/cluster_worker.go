@@ -191,9 +191,14 @@ func (w *ClusterWorker) Run() error {
 		}
 	}
 
+	// Capture whether Shutdown had already been called before we call it
+	// ourselves below — Shutdown sets closed, so checking afterwards would
+	// classify every transport fault as orderly and the daemon's re-dial
+	// loop would never run.
+	wasClosed := w.isClosed()
 	w.Shutdown()
 	w.sys.Wait()
-	if w.isClosed() {
+	if wasClosed {
 		return nil // orderly shutdown, not a transport fault
 	}
 	return readErr

@@ -90,24 +90,30 @@ type clusterState struct {
 	cfg ClusterConfig
 	sys *scplib.ClusterSystem
 
-	mu       sync.Mutex
-	rts      []*resilient.Runtime // running cluster jobs' runtimes
-	nextBase scplib.ThreadID
-	stats    ClusterStats
+	mu        sync.Mutex
+	rts       []*resilient.Runtime // running cluster jobs' runtimes
+	nextBase  scplib.ThreadID
+	freeBases []scplib.ThreadID            // finished jobs' bases, reused FIFO
+	inUse     map[scplib.ThreadID]struct{} // bases of running jobs
+	stats     ClusterStats
 }
 
 // clusterPhysBase0 starts job phys IDs far above any coordinator-local
 // IDs; clusterPhysStride gives each job room for its guardian, replicas,
-// regenerations, and couriers.
+// regenerations, and couriers. Bases stay below clusterPhysMax: courier
+// IDs mirror downward from 1<<30, so capping replica ranges at 1<<29
+// keeps the two ID spaces disjoint no matter how many jobs have run, and
+// the int32 ThreadID never overflows.
 const (
 	clusterPhysBase0  = scplib.ThreadID(1 << 20)
 	clusterPhysStride = scplib.ThreadID(1 << 16)
+	clusterPhysMax    = scplib.ThreadID(1 << 29)
 )
 
 // newClusterState opens the coordinator listener and wires its transport
-// liveness hooks to fan out to every running cluster job. Hooks are
-// installed before any worker can connect, so they are never written
-// concurrently with peer goroutines reading them.
+// liveness hooks to fan out to every running cluster job. The system
+// only starts accepting at Serve below, after every hook is installed,
+// so the assignments never race with peer goroutines reading them.
 func newClusterState(cfg ClusterConfig, logf func(format string, args ...any)) (*clusterState, error) {
 	cfg = cfg.withDefaults()
 	sys, err := scplib.NewClusterSystem(cfg.Listen, cfg.Workers)
@@ -115,7 +121,11 @@ func newClusterState(cfg ClusterConfig, logf func(format string, args ...any)) (
 		return nil, err
 	}
 	sys.LogTo = logf
-	cl := &clusterState{cfg: cfg, sys: sys, nextBase: clusterPhysBase0}
+	cl := &clusterState{
+		cfg: cfg, sys: sys,
+		nextBase: clusterPhysBase0,
+		inUse:    make(map[scplib.ThreadID]struct{}),
+	}
 	cl.stats.Addr = sys.Addr()
 	cl.stats.Workers = cfg.Workers
 	cl.stats.Replication = cfg.Replication
@@ -134,6 +144,7 @@ func newClusterState(cfg ClusterConfig, logf func(format string, args ...any)) (
 			rt.ThreadExited(id)
 		}
 	}
+	sys.Serve()
 	sys.Start()
 	return cl, nil
 }
@@ -161,14 +172,44 @@ func (cl *clusterState) unregister(rt *resilient.Runtime) {
 	cl.mu.Unlock()
 }
 
-// allocBase hands each job a disjoint physical thread ID range on the
-// shared cluster system.
+// allocBase hands each job a physical thread ID range disjoint from
+// every other running job's on the shared cluster system. Finished
+// jobs' bases are reused oldest-first (FIFO gives straggler threads on
+// workers the longest time to drain before their IDs recur), so a
+// long-lived daemon's ID space stays bounded; if fresh allocation ever
+// reaches clusterPhysMax it wraps, skipping bases still in use.
 func (cl *clusterState) allocBase() scplib.ThreadID {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
-	base := cl.nextBase
-	cl.nextBase += clusterPhysStride
-	return base
+	if len(cl.freeBases) > 0 {
+		base := cl.freeBases[0]
+		cl.freeBases = cl.freeBases[1:]
+		cl.inUse[base] = struct{}{}
+		return base
+	}
+	// The scan terminates unless every base in [base0, max) is held by a
+	// running job — ~8k concurrent jobs, far beyond what the pool admits.
+	for {
+		if cl.nextBase+clusterPhysStride > clusterPhysMax {
+			cl.nextBase = clusterPhysBase0
+		}
+		base := cl.nextBase
+		cl.nextBase += clusterPhysStride
+		if _, busy := cl.inUse[base]; !busy {
+			cl.inUse[base] = struct{}{}
+			return base
+		}
+	}
+}
+
+// releaseBase returns a finished job's base to the free list.
+func (cl *clusterState) releaseBase(base scplib.ThreadID) {
+	cl.mu.Lock()
+	if _, busy := cl.inUse[base]; busy {
+		delete(cl.inUse, base)
+		cl.freeBases = append(cl.freeBases, base)
+	}
+	cl.mu.Unlock()
 }
 
 func (cl *clusterState) fallback() {
@@ -241,7 +282,9 @@ func (p *Pool) runJobCluster(job *Job) bool {
 		src = core.MemSource(job.cube)
 	}
 
-	rj, err := core.StartJob(cl.sys, src, opts, cl.allocBase())
+	base := cl.allocBase()
+	defer cl.releaseBase(base)
+	rj, err := core.StartJob(cl.sys, src, opts, base)
 	if err != nil {
 		p.logf("cluster: job %s failed to start (%v) — degrading to in-process pool", job.id, err)
 		cl.fallback()

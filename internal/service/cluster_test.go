@@ -49,6 +49,32 @@ func startClusterPool(t *testing.T, ccfg ClusterConfig, workers int) (*Pool, []*
 	return pool, ws
 }
 
+// TestClusterBaseRecycling checks that finished jobs' phys-ID bases are
+// reused and that fresh allocation wraps below clusterPhysMax without
+// handing out a running job's base — the disjoint-ID guarantee must hold
+// in a daemon that serves jobs indefinitely.
+func TestClusterBaseRecycling(t *testing.T) {
+	cl := &clusterState{nextBase: clusterPhysBase0, inUse: make(map[scplib.ThreadID]struct{})}
+	a, b := cl.allocBase(), cl.allocBase()
+	if a == b {
+		t.Fatalf("allocBase handed out %d twice", a)
+	}
+	cl.releaseBase(a)
+	c := cl.allocBase()
+	if c != a {
+		t.Fatalf("freed base %d not reused, got %d", a, c)
+	}
+	// Near the cap, fresh allocation wraps and skips running jobs' bases.
+	cl.nextBase = clusterPhysMax
+	d := cl.allocBase()
+	if d+clusterPhysStride > clusterPhysMax {
+		t.Fatalf("allocation crossed clusterPhysMax: %d", d)
+	}
+	if d == b || d == c {
+		t.Fatalf("wrapped allocation reused running job's base %d", d)
+	}
+}
+
 func fastClusterConfig(workers int) ClusterConfig {
 	return ClusterConfig{
 		Workers: workers, Replication: 2,
