@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"resilientfusion/internal/core"
 	"resilientfusion/internal/experiments"
@@ -21,6 +22,7 @@ import (
 	"resilientfusion/internal/pct"
 	"resilientfusion/internal/scplib"
 	"resilientfusion/internal/spectral"
+	"resilientfusion/internal/telemetry"
 )
 
 var (
@@ -382,6 +384,63 @@ func BenchmarkTransformCube(b *testing.B) {
 		if _, err := pct.TransformCube(c, res.Transform, res.Mean); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkTelemetryOverhead is the telemetry-overhead guard: the two
+// hottest kernels run bare (metrics=off) and wrapped with exactly the
+// per-message instrumentation the service worker adds around a kernel
+// call (metrics=on) — one time.Now, one histogram observation, one
+// trace span. The kernels themselves are untouched by telemetry (spans
+// sit outside inner loops), so the pair bounds the whole-path cost.
+// Recorded to BENCH_telemetry.json via cmd/benchkernels -telemetry,
+// which also computes the on/off overhead percentage; the budget is
+// < 2%.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	vectors := paperSubVectors(b)
+	threshold := experiments.PaperScale().Threshold
+	c := cube(b)
+	res, err := pct.Run(c, pct.Options{Threshold: 0.03})
+	if err != nil {
+		b.Fatal(err)
+	}
+	kernels := []struct {
+		name string
+		op   func() error
+	}{
+		{"ScreenBatched", func() error {
+			_, _, err := spectral.ScreenBatched(vectors, threshold, 4)
+			return err
+		}},
+		{"TransformCube", func() error {
+			_, err := pct.TransformCube(c, res.Transform, res.Mean)
+			return err
+		}},
+	}
+	for _, k := range kernels {
+		b.Run(k.name+"/metrics=off", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := k.op(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(k.name+"/metrics=on", func(b *testing.B) {
+			reg := telemetry.NewRegistry()
+			hist := reg.Histogram("fusion_worker_stage_seconds",
+				"Per-message kernel latency.", telemetry.DefBuckets)
+			tr := telemetry.NewTraceRecorder(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				start := tr.Now()
+				t0 := time.Now()
+				if err := k.op(); err != nil {
+					b.Fatal(err)
+				}
+				hist.Observe(time.Since(t0).Seconds())
+				tr.Stage("kernel", i, start, tr.Now())
+			}
+		})
 	}
 }
 

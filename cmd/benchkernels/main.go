@@ -15,6 +15,11 @@
 // (BenchmarkScreen/BenchmarkScreenBatched) and records it to
 // BENCH_screen.json instead of the kernel set.
 //
+// -telemetry selects the telemetry-overhead guard
+// (BenchmarkTelemetryOverhead's metrics=on/off pairs), records it to
+// BENCH_telemetry.json, and adds each kernel's on-vs-off overhead
+// percentage to the entry; the budget is < 2% per kernel.
+//
 // Without -input the tool runs `go test -run ^$ -bench <set> -benchmem`
 // itself (with -count runs, keeping each benchmark's fastest run to damp
 // scheduler noise). With -input it parses a previously captured `go test
@@ -47,6 +52,11 @@ const benchSet = "BenchmarkScreen$|BenchmarkMeanOf$|BenchmarkCovarianceSum$|Benc
 // plus the sequential-vs-batched pair on the paper-geometry sub-cube.
 const screenBenchSet = "BenchmarkScreen$|BenchmarkScreenBatched"
 
+// telemetryBenchSet is the telemetry-overhead guard tracked in
+// BENCH_telemetry.json (-telemetry): each kernel bare vs wrapped with
+// the service layer's per-message instrumentation.
+const telemetryBenchSet = "BenchmarkTelemetryOverhead"
+
 type benchResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
@@ -62,6 +72,9 @@ type entry struct {
 	GOMAXPROCS int                    `json:"gomaxprocs"`
 	Benchtime  string                 `json:"benchtime"`
 	Benchmarks map[string]benchResult `json:"benchmarks"`
+	// OverheadPct maps kernel name to the metrics=on vs metrics=off
+	// ns/op delta in percent (-telemetry runs only).
+	OverheadPct map[string]float64 `json:"overhead_pct,omitempty"`
 }
 
 type file struct {
@@ -85,6 +98,8 @@ func main() {
 	bench := flag.String("bench", benchSet, "benchmark regex")
 	screen := flag.Bool("screen", false,
 		"record the screening-engine set to BENCH_screen.json (overrides -bench/-out defaults)")
+	telemetry := flag.Bool("telemetry", false,
+		"record the telemetry-overhead guard to BENCH_telemetry.json with on/off overhead percentages")
 	flag.Parse()
 	if *label == "" {
 		fmt.Fprintln(os.Stderr, "benchkernels: -label is required")
@@ -96,6 +111,14 @@ func main() {
 		}
 		if *out == "BENCH_kernels.json" {
 			*out = "BENCH_screen.json"
+		}
+	}
+	if *telemetry {
+		if *bench == benchSet {
+			*bench = telemetryBenchSet
+		}
+		if *out == "BENCH_kernels.json" {
+			*out = "BENCH_telemetry.json"
 		}
 	}
 
@@ -141,6 +164,12 @@ func main() {
 		e.GOOS, e.GOARCH = hdr.goos, hdr.goarch
 		e.GOMAXPROCS = hdr.maxprocs
 		e.Benchtime = "unknown (recorded from -input)"
+	}
+	if *telemetry {
+		e.OverheadPct = overheads(results)
+		for kernel, pct := range e.OverheadPct {
+			fmt.Fprintf(os.Stderr, "benchkernels: %s telemetry overhead %+.2f%%\n", kernel, pct)
+		}
 	}
 
 	var f file
@@ -220,6 +249,25 @@ func parse(text string) (hdr header, results map[string]benchResult) {
 		}
 	}
 	return hdr, results
+}
+
+// overheads pairs ".../metrics=on" results with their ".../metrics=off"
+// baselines and returns the ns/op delta in percent per kernel.
+func overheads(results map[string]benchResult) map[string]float64 {
+	out := make(map[string]float64)
+	for name, on := range results {
+		kernel, ok := strings.CutSuffix(name, "/metrics=on")
+		if !ok {
+			continue
+		}
+		off, ok := results[kernel+"/metrics=off"]
+		if !ok || off.NsPerOp == 0 {
+			continue
+		}
+		key := kernel[strings.LastIndex(kernel, "/")+1:]
+		out[key] = (on.NsPerOp - off.NsPerOp) / off.NsPerOp * 100
+	}
+	return out
 }
 
 func fatal(err error) {

@@ -9,6 +9,7 @@
 //	                     (granularity, prefetch, threshold, components)
 //	GET  /v1/jobs/{id}   status and result (?image=1 adds base64 PNG)
 //	GET  /v1/stats       queue depth, cache hit rate, throughput
+//	GET  /metrics        Prometheus text exposition (also on -ops-addr)
 //
 // Whole-scene streaming fusion (ENVI BIL/BSQ/BIP rasters, spooled to
 // disk and fused tile-by-tile — see internal/scene):
@@ -22,10 +23,10 @@
 //
 // The same pool is also served as the v2 resource API — JSON option
 // bodies, structured {"error": {"code", "message"}} envelope, GET
-// /v2/jobs listing, long-poll GET /v2/jobs/{id}?wait=30s, and
-// content-negotiated GET /v2/jobs/{id}/result — documented in
-// docs/openapi.yaml and wrapped by the fusionclient SDK and the
-// fusionctl CLI.
+// /v2/jobs listing, long-poll GET /v2/jobs/{id}?wait=30s,
+// content-negotiated GET /v2/jobs/{id}/result, and the stage-span
+// timeline GET /v2/jobs/{id}/trace — documented in docs/openapi.yaml
+// and wrapped by the fusionclient SDK and the fusionctl CLI.
 //
 // Cluster mode (-cluster :9310 -cluster-workers 3) runs each job's
 // worker replicas in remote fusionworkerd processes instead of local
@@ -33,15 +34,20 @@
 // killed workers; below quorum, jobs silently degrade to the in-process
 // pool with a bit-identical mosaic. See the README's "cluster mode"
 // section for topology and failure semantics.
+//
+// Logs are structured (log/slog): -log-format text|json, -log-level
+// debug|info|warn|error. -ops-addr opens a separate operations listener
+// with net/http/pprof under /debug/pprof/ and a second /metrics mount,
+// so profiling and scraping can stay off the public API port.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -49,10 +55,12 @@ import (
 
 	"resilientfusion/internal/linalg"
 	"resilientfusion/internal/service"
+	"resilientfusion/internal/telemetry"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "HTTP listen address")
+	opsAddr := flag.String("ops-addr", "", "operations listener (pprof + /metrics) address; empty disables")
 	workers := flag.Int("workers", linalg.MaxWorkers(), "persistent fusion workers in the pool")
 	concurrency := flag.Int("concurrency", 0, "jobs running at once (0: workers/2, min 1)")
 	queue := flag.Int("queue", 64, "queued jobs beyond the running ones")
@@ -67,8 +75,15 @@ func main() {
 	clusterHeartbeat := flag.Duration("cluster-heartbeat", 250*time.Millisecond, "replica heartbeat period in cluster mode")
 	clusterFail := flag.Duration("cluster-fail-timeout", time.Second, "silence window before a replica is declared failed")
 	clusterReissue := flag.Duration("cluster-reissue", 5*time.Second, "manager per-request timeout before lost work is reissued")
-	verbose := flag.Bool("v", false, "log thread diagnostics")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logFormat := flag.String("log-format", "text", "log format: text or json")
+	verbose := flag.Bool("v", false, "log thread diagnostics (alias for -log-level debug)")
 	flag.Parse()
+
+	if *verbose {
+		*logLevel = "debug"
+	}
+	logger := telemetry.NewLogger(os.Stderr, *logFormat, *logLevel)
 
 	if *clusterListen != "" {
 		// Cluster mode pins the pool width to the fleet size (the service
@@ -88,6 +103,7 @@ func main() {
 		MaxSceneBytes: *maxSceneMB << 20,
 		MaxScenes:     *maxScenes,
 		MaxLongPoll:   *maxWait,
+		Logger:        logger,
 	}
 	if *clusterListen != "" {
 		cfg.Cluster = &service.ClusterConfig{
@@ -99,12 +115,26 @@ func main() {
 			ReissueTimeout:  clusterReissue.Seconds(),
 		}
 	}
-	if *verbose {
-		cfg.LogTo = log.Printf
-	}
 	pool, err := service.NewPool(cfg)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("pool construction failed", "err", err)
+		os.Exit(1)
+	}
+
+	if *opsAddr != "" {
+		opsMux := http.NewServeMux()
+		opsMux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		opsMux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		opsMux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		opsMux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		opsMux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		opsMux.Handle("GET /metrics", pool.Metrics().Handler())
+		go func() {
+			logger.Info("ops listener serving", "addr", *opsAddr)
+			if err := http.ListenAndServe(*opsAddr, opsMux); err != nil {
+				logger.Error("ops listener failed", "addr", *opsAddr, "err", err)
+			}
+		}()
 	}
 
 	// Request contexts derive from baseCtx so shutdown can release
@@ -118,25 +148,27 @@ func main() {
 		BaseContext: func(net.Listener) context.Context { return baseCtx },
 	}
 	go func() {
-		log.Printf("fusiond: serving on %s (%d workers, %d concurrent jobs, queue %d)",
-			*addr, *workers, *concurrency, *queue)
+		logger.Info("serving",
+			"addr", *addr, "workers", *workers,
+			"concurrency", *concurrency, "queue", *queue)
 		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
-			log.Fatal(err)
+			logger.Error("http server failed", "err", err)
+			os.Exit(1)
 		}
 	}()
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	log.Print("fusiond: draining")
+	logger.Info("draining")
 	releaseWaiters()
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("fusiond: http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err)
 	}
 	if err := pool.Close(); err != nil {
-		log.Printf("fusiond: pool close: %v", err)
+		logger.Warn("pool close", "err", err)
 	}
-	log.Print("fusiond: stopped")
+	logger.Info("stopped")
 }

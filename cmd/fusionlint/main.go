@@ -1,10 +1,12 @@
 // Command fusionlint is the repository's invariant checker: a
-// multichecker of three repo-specific analyzers built on internal/lint
+// multichecker of four repo-specific analyzers built on internal/lint
 // (a stdlib-only go/analysis equivalent):
 //
 //	detsource  — no nondeterminism sources in the deterministic packages
 //	shardgrid  — runtime.GOMAXPROCS/NumCPU only in linalg/parfor.go
 //	apierror   — service errors only through apierror.go's registry
+//	telemetry  — library diagnostics through the injected logger, metric
+//	             names in the fusion_<subsystem>_<name>[_unit] scheme
 //
 // The enforced invariants are documented in docs/invariants.md.
 //
@@ -29,12 +31,14 @@ import (
 	"resilientfusion/internal/lint/apierror"
 	"resilientfusion/internal/lint/detsource"
 	"resilientfusion/internal/lint/shardgrid"
+	telemetrylint "resilientfusion/internal/lint/telemetry"
 )
 
 var analyzers = []*lint.Analyzer{
 	detsource.Analyzer,
 	shardgrid.Analyzer,
 	apierror.Analyzer,
+	telemetrylint.Analyzer,
 }
 
 func main() {

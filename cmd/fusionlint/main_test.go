@@ -15,7 +15,7 @@ func TestVetProtocolProbes(t *testing.T) {
 }
 
 func TestEveryAnalyzerRegistered(t *testing.T) {
-	want := map[string]bool{"detsource": true, "shardgrid": true, "apierror": true}
+	want := map[string]bool{"detsource": true, "shardgrid": true, "apierror": true, "telemetry": true}
 	for _, a := range analyzers {
 		if !want[a.Name] {
 			t.Errorf("unexpected analyzer %q", a.Name)

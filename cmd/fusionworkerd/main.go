@@ -12,12 +12,18 @@
 // ends (coordinator restart, network cut) it loops back to dialing until
 // -total-window of consecutive failure elapses (0 means forever). SIGINT
 // and SIGTERM exit cleanly.
+//
+// Logs are structured (log/slog): -log-format text|json, -log-level
+// debug|info|warn|error. -ops-addr opens an operations listener with
+// net/http/pprof under /debug/pprof/ and /metrics exposing the daemon's
+// own dial/session counters in Prometheus text format.
 package main
 
 import (
 	"errors"
 	"flag"
-	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sync"
@@ -28,6 +34,7 @@ import (
 	"resilientfusion/internal/core"
 	"resilientfusion/internal/resilient"
 	"resilientfusion/internal/scplib"
+	"resilientfusion/internal/telemetry"
 )
 
 // registry builds the thread bodies this process can host: the resilient
@@ -44,7 +51,36 @@ func main() {
 	connect := flag.String("connect", "127.0.0.1:9310", "coordinator address (fusiond -cluster)")
 	dialWindow := flag.Duration("dial-window", 10*time.Second, "per-attempt connect retry window (capped exponential backoff)")
 	totalWindow := flag.Duration("total-window", 0, "give up after this much consecutive disconnection (0: retry forever)")
+	opsAddr := flag.String("ops-addr", "", "operations listener (pprof + /metrics) address; empty disables")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logFormat := flag.String("log-format", "text", "log format: text or json")
 	flag.Parse()
+
+	logger := telemetry.NewLogger(os.Stderr, *logFormat, *logLevel)
+
+	reg := telemetry.NewRegistry()
+	dialFailures := reg.Counter("fusion_workerd_dial_failures_total",
+		"Connect attempts to the coordinator that exhausted their retry window.")
+	sessions := reg.Counter("fusion_workerd_sessions_total",
+		"Served coordinator sessions (welcome received and worker loop entered).")
+	redials := reg.Counter("fusion_workerd_redials_total",
+		"Sessions that ended abnormally and triggered a re-dial.")
+
+	if *opsAddr != "" {
+		opsMux := http.NewServeMux()
+		opsMux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		opsMux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		opsMux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		opsMux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		opsMux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		opsMux.Handle("GET /metrics", reg.Handler())
+		go func() {
+			logger.Info("ops listener serving", "addr", *opsAddr)
+			if err := http.ListenAndServe(*opsAddr, opsMux); err != nil {
+				logger.Error("ops listener failed", "addr", *opsAddr, "err", err)
+			}
+		}()
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -61,7 +97,10 @@ func main() {
 	done := make(chan error, 1)
 	go func() {
 		lastServed := time.Now()
+		attempt := 0
+		lastNode := -1
 		for {
+			attempt++
 			w, err := scplib.DialCluster(*connect, *dialWindow, registry())
 			if stopping.Load() {
 				if err == nil {
@@ -71,17 +110,23 @@ func main() {
 				return
 			}
 			if err != nil {
+				dialFailures.Inc()
 				if *totalWindow > 0 && time.Since(lastServed) > *totalWindow {
 					done <- err
 					return
 				}
-				log.Printf("fusionworkerd: dial %s: %v — retrying", *connect, err)
+				logger.Warn("dial failed — retrying",
+					"coordinator", *connect, "attempt", attempt,
+					"backoff_window", dialWindow.String(), "node", lastNode,
+					"err", err)
 				continue
 			}
 			mu.Lock()
 			worker = w
 			mu.Unlock()
-			log.Printf("fusionworkerd: serving node %d for %s", w.Node(), *connect)
+			sessions.Inc()
+			lastNode = w.Node()
+			logger.Info("serving", "coordinator", *connect, "node", w.Node())
 			err = w.Run()
 			lastServed = time.Now()
 			if err == nil || stopping.Load() {
@@ -89,13 +134,17 @@ func main() {
 				done <- nil
 				return
 			}
-			log.Printf("fusionworkerd: session ended: %v — re-dialing", err)
+			redials.Inc()
+			logger.Warn("session ended — re-dialing",
+				"coordinator", *connect, "node", lastNode,
+				"attempt", attempt, "backoff_window", dialWindow.String(),
+				"err", err)
 		}
 	}()
 
 	select {
 	case <-stop:
-		log.Print("fusionworkerd: signal — shutting down")
+		logger.Info("signal — shutting down")
 		stopping.Store(true)
 		mu.Lock()
 		w := worker
@@ -106,8 +155,9 @@ func main() {
 		<-done
 	case err := <-done:
 		if err != nil && !errors.Is(err, scplib.ErrStopped) {
-			log.Fatalf("fusionworkerd: %v", err)
+			logger.Error("terminal failure", "err", err)
+			os.Exit(1)
 		}
 	}
-	log.Print("fusionworkerd: stopped")
+	logger.Info("stopped")
 }

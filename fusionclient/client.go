@@ -357,6 +357,18 @@ func (c *Client) FuseScene(ctx context.Context, id string, opts *Options) (*Job,
 	return &job, nil
 }
 
+// Trace fetches a job's recorded stage-span timeline (ingest, screen,
+// covariance, eigen, transform, merge, plus detection/regeneration
+// events in cluster mode). A job that has not started yet, or was
+// served entirely from the result cache, reports an empty span list.
+func (c *Client) Trace(ctx context.Context, id string) (*JobTrace, error) {
+	var tr JobTrace
+	if err := c.get(ctx, "/v2/jobs/"+url.PathEscape(id)+"/trace", &tr); err != nil {
+		return nil, err
+	}
+	return &tr, nil
+}
+
 // Stats fetches the pool's counter snapshot.
 func (c *Client) Stats(ctx context.Context) (*Stats, error) {
 	var st Stats

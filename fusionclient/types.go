@@ -82,6 +82,37 @@ type ResultSummary struct {
 	PhaseTimes    PhaseTimes `json:"phase_times"`
 }
 
+// StageSummary aggregates a job's recorded spans for one stage name:
+// how many spans ran and their total duration in seconds.
+type StageSummary struct {
+	Count   int     `json:"count"`
+	Seconds float64 `json:"seconds"`
+}
+
+// Span is one recorded stage interval in a job's trace timeline. Start
+// and End are elapsed seconds since the job's recorder was created.
+type Span struct {
+	Name  string  `json:"name"`
+	Index int     `json:"index"`
+	Start float64 `json:"start_s"`
+	End   float64 `json:"end_s"`
+	// Epoch is the group incarnation for regeneration events (0 otherwise).
+	Epoch int `json:"epoch,omitempty"`
+	// Note carries free-form detail (e.g. "worker 1 on node 2").
+	Note string `json:"note,omitempty"`
+}
+
+// JobTrace is a job's full recorded span timeline, the resource behind
+// GET /v2/jobs/{id}/trace.
+type JobTrace struct {
+	JobID string   `json:"job_id"`
+	State JobState `json:"state"`
+	// Spans is the timeline, oldest first; ring overwrites drop the
+	// oldest spans and count into Dropped.
+	Spans   []Span `json:"spans"`
+	Dropped int64  `json:"dropped,omitempty"`
+}
+
 // Job is the unified v2 job resource, covering cube and scene fusions.
 type Job struct {
 	ID       string   `json:"id"`
@@ -93,11 +124,14 @@ type Job struct {
 	// Options echoes the canonical options the job ran with.
 	Options *JobOptions `json:"options,omitempty"`
 	// Progress is set for scene jobs.
-	Progress  *TileProgress  `json:"progress,omitempty"`
-	Submitted time.Time      `json:"submitted"`
-	Started   *time.Time     `json:"started,omitempty"`
-	Finished  *time.Time     `json:"finished,omitempty"`
-	Result    *ResultSummary `json:"result,omitempty"`
+	Progress *TileProgress `json:"progress,omitempty"`
+	// Trace summarizes the job's recorded stage spans by stage name
+	// (full timeline via Client.Trace).
+	Trace     map[string]StageSummary `json:"trace,omitempty"`
+	Submitted time.Time               `json:"submitted"`
+	Started   *time.Time              `json:"started,omitempty"`
+	Finished  *time.Time              `json:"finished,omitempty"`
+	Result    *ResultSummary          `json:"result,omitempty"`
 }
 
 // Terminal reports whether the job has reached a final state.

@@ -115,6 +115,7 @@ func StartJob(sys scplib.System, src CubeSource, opts Options, base scplib.Threa
 	if err != nil {
 		return nil, err
 	}
+	rt.SetTrace(opts.Trace)
 	args := encodeWorkerArgs(ManagerID, opts.Threshold, opts.Parallelism)
 	for w := 1; w <= opts.Workers; w++ {
 		placements := make([]int, opts.Replication)

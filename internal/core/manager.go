@@ -11,6 +11,7 @@ import (
 	"resilientfusion/internal/pct"
 	"resilientfusion/internal/resilient"
 	"resilientfusion/internal/spectral"
+	"resilientfusion/internal/telemetry"
 )
 
 // ManagerID is the manager's logical thread ID; workers are 1..P.
@@ -98,6 +99,21 @@ type manager struct {
 	ranges []hsi.RowRange
 	// owner[i] is the worker group that screened (and caches) sub-cube i.
 	owner []resilient.LogicalID
+
+	// tr receives stage spans (nil disables; every method is nil-safe).
+	// The t0 slices stamp when each sub-problem was first dispatched so
+	// the span covers send→response, reissues included; -1 means unsent.
+	tr                    *telemetry.TraceRecorder
+	screenT0, covT0, tfT0 []float64
+}
+
+// newT0 returns an n-slot dispatch-stamp slice, all unsent.
+func newT0(n int) []float64 {
+	t := make([]float64, n)
+	for i := range t {
+		t[i] = -1
+	}
+	return t
 }
 
 func (m *manager) run() error {
@@ -107,20 +123,27 @@ func (m *manager) run() error {
 	m.ranges = opts.TileRanges(m.height)
 	m.owner = make([]resilient.LogicalID, len(m.ranges))
 	m.res.SubCubes = len(m.ranges)
+	m.tr = opts.Trace
+	m.screenT0 = newT0(len(m.ranges))
+	m.covT0 = newT0(opts.Workers)
+	m.tfT0 = newT0(len(m.ranges))
 
 	// Steps 1–2: distributed screening, then sequential merge.
 	uniqueSets, err := m.screenPhase()
 	if err != nil {
 		return fmt.Errorf("screen phase: %w", err)
 	}
+	mergeT0 := m.tr.Now()
 	merged, err := m.mergePhase(uniqueSets)
 	if err != nil {
 		return fmt.Errorf("merge phase: %w", err)
 	}
+	m.tr.Stage("merge", -1, mergeT0, m.tr.Now())
 	m.res.UniqueSetSize = merged.Len()
 	m.res.Times.Screen = m.env.Now() - t0
 
 	// Step 3: mean vector over the unique set (manager; cost ∝ K·n).
+	meanT0 := m.tr.Now()
 	mean, err := pct.MeanOfPar(merged.Members, opts.Parallelism)
 	if err != nil {
 		return err
@@ -128,6 +151,7 @@ func (m *manager) run() error {
 	if err := m.env.Compute(opts.Cost.MeanFlops(merged.Len(), m.bands)); err != nil {
 		return err
 	}
+	m.tr.Stage("mean", -1, meanT0, m.tr.Now())
 	// Steps 4–5: distributed covariance partial sums, combined here.
 	cov, err := m.covariancePhase(merged.Members, mean)
 	if err != nil {
@@ -138,6 +162,7 @@ func (m *manager) run() error {
 
 	// Step 6: transformation matrix (sequential at the manager: its
 	// complexity depends on the band count, not the image size).
+	eigenT0 := m.tr.Now()
 	eig, err := linalg.EigenSymWith(cov, opts.Solver)
 	if err != nil {
 		return err
@@ -149,6 +174,7 @@ func (m *manager) run() error {
 	if err != nil {
 		return err
 	}
+	m.tr.Stage("eigen", -1, eigenT0, m.tr.Now())
 	stretches := colormap.VarianceStretch(eig.Values[:opts.Components], 3)
 	m.res.Eigenvalues = eig.Values
 	m.res.Transform = transform
@@ -176,15 +202,20 @@ func (m *manager) run() error {
 // sendScreen ships sub-cube idx to a worker, pulling the tile from the
 // source (an in-memory extract or a streamed read).
 func (m *manager) sendScreen(idx int, to resilient.LogicalID) error {
+	ingestT0 := m.tr.Now()
 	tile, err := m.src.Tile(m.ranges[idx])
 	if err != nil {
 		return err
 	}
+	m.tr.Stage("ingest", idx, ingestT0, m.tr.Now())
 	payload, err := EncodeScreenReq(&ScreenReq{Range: m.ranges[idx], Cube: tile})
 	if err != nil {
 		return err
 	}
 	m.owner[idx] = to
+	if m.screenT0[idx] < 0 {
+		m.screenT0[idx] = m.tr.Now()
+	}
 	return m.env.Send(to, KindScreenReq, payload)
 }
 
@@ -251,6 +282,7 @@ func (m *manager) screenPhase() ([][]linalg.Vector, error) {
 		if len(resp.Vectors) == 0 {
 			uniq[resp.Index] = []linalg.Vector{} // mark done distinctly from nil
 		}
+		m.tr.Stage("screen", resp.Index, m.screenT0[resp.Index], m.tr.Now())
 		outstanding.remove(resp.Index)
 		done++
 		if obs, ok := m.src.(TileObserver); ok {
@@ -293,6 +325,9 @@ func (m *manager) covariancePhase(members []linalg.Vector, mean linalg.Vector) (
 	outstanding := newIntSet(P)
 	send := func(p int) error {
 		req := &CovReq{Part: p, Mean: mean, Vectors: parts[p]}
+		if m.covT0[p] < 0 {
+			m.covT0[p] = m.tr.Now()
+		}
 		return m.env.Send(resilient.LogicalID(p%P+1), KindCovReq, EncodeCovReq(req))
 	}
 	for p := 0; p < P; p++ {
@@ -331,6 +366,7 @@ func (m *manager) covariancePhase(members []linalg.Vector, mean linalg.Vector) (
 			continue
 		}
 		partials[resp.Part] = resp.Sum
+		m.tr.Stage("covariance", resp.Part, m.covT0[resp.Part], m.tr.Now())
 		outstanding.remove(resp.Part)
 		done++
 	}
@@ -366,6 +402,9 @@ func (m *manager) transformPhase(mean linalg.Vector, transform *linalg.Matrix, s
 		payload, err := EncodeTransformReq(req)
 		if err != nil {
 			return err
+		}
+		if m.tfT0[idx] < 0 {
+			m.tfT0[idx] = m.tr.Now()
 		}
 		return m.env.Send(m.owner[idx], KindTransformReq, payload)
 	}
@@ -416,6 +455,7 @@ func (m *manager) transformPhase(mean linalg.Vector, transform *linalg.Matrix, s
 				continue
 			}
 			blitRGB(img, resp)
+			m.tr.Stage("transform", idx, m.tfT0[idx], m.tr.Now())
 			doneIdx[idx] = true
 			outstanding.remove(idx)
 			done++

@@ -11,6 +11,7 @@ import (
 	"resilientfusion/internal/resilient"
 	"resilientfusion/internal/scplib"
 	"resilientfusion/internal/spectral"
+	"resilientfusion/internal/telemetry"
 )
 
 // Options configures a distributed fusion run.
@@ -58,6 +59,13 @@ type Options struct {
 	MaxReissues int
 	// Cost is the performance model charged to the cluster.
 	Cost perfmodel.Model
+	// Trace, when non-nil, receives per-stage spans (ingest, mean,
+	// covariance, eigen, transform, screen, merge) and resiliency events
+	// (detections, regenerations with epochs) as the run progresses. It
+	// is observability only: spans are recorded outside the kernel inner
+	// loops, the field is excluded from ResultKey, and the fused output
+	// is bit-identical with or without it.
+	Trace *telemetry.TraceRecorder
 }
 
 // ErrBadOptions reports invalid fusion options.
@@ -214,6 +222,7 @@ func NewJobSource(sys scplib.System, src CubeSource, opts Options) (*Job, error)
 	if err != nil {
 		return nil, err
 	}
+	rt.SetTrace(opts.Trace)
 	res := &Result{}
 	if err := rt.AddSingleton(ManagerID, "manager", 0, managerBody(rt, src, opts, res)); err != nil {
 		return nil, err

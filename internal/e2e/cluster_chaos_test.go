@@ -5,13 +5,18 @@
 package e2e
 
 import (
+	"bufio"
 	"context"
 	"crypto/sha256"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -220,4 +225,75 @@ func TestClusterChaosByteIdentical(t *testing.T) {
 		t.Fatalf("live workers after two SIGKILLs = %d, want %d", cs.LiveWorkers, chaosWorkers-2)
 	}
 	t.Logf("cluster stats after chaos: %+v", cs)
+
+	// The /metrics exposition and the /v2/stats cluster section read the
+	// same registry counters, so a scrape after the chaos job must agree
+	// exactly with the stats snapshot above (the job is finished and no
+	// other job absorbs counters in between).
+	exposition := scrapeMetrics(t, fmt.Sprintf("http://127.0.0.1:%d/metrics", httpPort))
+	det := metricValue(t, exposition, "fusion_cluster_detections_total")
+	regen := metricValue(t, exposition, "fusion_cluster_regenerations_total")
+	if det < 1 || regen < 1 {
+		t.Fatalf("chaos not visible in /metrics: detections=%v regenerations=%v", det, regen)
+	}
+	if int64(det) != cs.Detections || int64(regen) != cs.Regenerations {
+		t.Fatalf("/metrics and /v2/stats disagree: metrics detections=%v regenerations=%v, stats %+v",
+			det, regen, cs)
+	}
+
+	// The completed job's trace timeline must carry stage spans and the
+	// guardian's regeneration events for the SIGKILLed replica pair.
+	trace, err := client.Trace(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace.Spans) == 0 {
+		t.Fatal("completed cluster job has an empty trace timeline")
+	}
+	regenEvents := 0
+	for _, s := range trace.Spans {
+		if s.Name == "regeneration" {
+			regenEvents++
+		}
+	}
+	if regenEvents < 1 {
+		t.Fatalf("trace has %d spans but no regeneration events: %+v", len(trace.Spans), trace.Spans)
+	}
+	t.Logf("trace: %d spans, %d regeneration events", len(trace.Spans), regenEvents)
+}
+
+// scrapeMetrics fetches a Prometheus text exposition.
+func scrapeMetrics(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d\n%s", url, resp.StatusCode, body)
+	}
+	return string(body)
+}
+
+// metricValue extracts an unlabeled sample's value from an exposition.
+func metricValue(t *testing.T, exposition, name string) float64 {
+	t.Helper()
+	sc := bufio.NewScanner(strings.NewReader(exposition))
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 2 && fields[0] == name {
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				t.Fatalf("metric %s: bad value %q", name, fields[1])
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found in exposition:\n%s", name, exposition)
+	return 0
 }

@@ -1,0 +1,172 @@
+// Package telemetry implements the fusionlint analyzer that keeps the
+// library layers' observability surface funneled through
+// internal/telemetry: diagnostics go to the injected logger (Config
+// LogTo / slog), never raw log.Printf or stderr writes, and every
+// metric registration uses a name the registry would accept —
+// fusion_<subsystem>_<name>[_unit] — caught at lint time instead of as
+// a registration panic at daemon start.
+package telemetry
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"resilientfusion/internal/lint"
+)
+
+// scope lists the library packages that must not log raw: they run
+// inside tests, daemons, and other hosts, so diagnostics must flow
+// through the injected telemetry logger. The telemetry adapter itself
+// (internal/telemetry) and the cmd/ entrypoints stay out of scope —
+// main packages own their process's stderr.
+var scope = []string{
+	"internal/service",
+	"internal/scplib",
+	"internal/resilient",
+	"internal/core",
+}
+
+// Analyzer flags, within the scoped library packages:
+//
+//   - calls into the stdlib log package (log.Printf and friends) — they
+//     bypass the injected structured logger;
+//   - fmt.Fprint/Fprintf/Fprintln with os.Stderr as the writer — raw
+//     stderr diagnostics invisible to -log-format/-log-level;
+//   - telemetry.Registry registrations (Counter, Gauge, GaugeFunc,
+//     Histogram, CounterVec, HistogramVec) whose metric name is not a
+//     compile-time constant matching fusion_<subsystem>_<name>[_unit]
+//     (counters additionally must end in _total).
+var Analyzer = &lint.Analyzer{
+	Name: "telemetry",
+	Doc:  "flag raw log/stderr diagnostics in library packages and metric registrations outside the fusion_<subsystem>_<name> scheme",
+	Applies: func(path string) bool {
+		for _, s := range scope {
+			if lint.HasPathSuffix(path, s) {
+				return true
+			}
+		}
+		return false
+	},
+	Run: run,
+}
+
+var registerMethods = map[string]bool{
+	"Counter":      true,
+	"Gauge":        true,
+	"GaugeFunc":    true,
+	"Histogram":    true,
+	"CounterVec":   true,
+	"HistogramVec": true,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pkg, name, ok := lint.PkgFunc(pass.Info, call); ok {
+				switch {
+				case pkg == "log":
+					pass.Reportf(call.Pos(), "raw log.%s bypasses the injected telemetry logger: thread diagnostics through the package's LogTo/slog hook", name)
+				case pkg == "fmt" && strings.HasPrefix(name, "Fprint") && len(call.Args) > 0 && isStderr(pass.Info, call.Args[0]):
+					pass.Reportf(call.Pos(), "fmt.%s to os.Stderr bypasses the injected telemetry logger: thread diagnostics through the package's LogTo/slog hook", name)
+				}
+				return true
+			}
+			checkRegistration(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+// isStderr matches the expression os.Stderr (the package variable, not
+// an arbitrary io.Writer that happens to alias it).
+func isStderr(info *types.Info, e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Stderr" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "os"
+}
+
+// checkRegistration validates the metric-name argument of
+// telemetry.Registry registration methods.
+func checkRegistration(pass *lint.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !registerMethods[sel.Sel.Name] {
+		return
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Name() != "Registry" || named.Obj().Pkg() == nil ||
+		!lint.HasPathSuffix(named.Obj().Pkg().Path(), "internal/telemetry") {
+		return
+	}
+	if len(call.Args) == 0 {
+		return
+	}
+	arg := call.Args[0]
+	tv, ok := pass.Info.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Reportf(arg.Pos(), "metric name is not a compile-time constant: fusionlint cannot verify it against fusion_<subsystem>_<name>")
+		return
+	}
+	name := constant.StringVal(tv.Value)
+	if msg := checkName(name, sel.Sel.Name); msg != "" {
+		pass.Reportf(arg.Pos(), "metric %q %s (want fusion_<subsystem>_<name>[_unit]; registration would panic at runtime)", name, msg)
+	}
+}
+
+// checkName mirrors telemetry.ValidateName plus the counter _total rule,
+// returning "" when name is acceptable.
+func checkName(name, method string) string {
+	const prefix = "fusion_"
+	if !strings.HasPrefix(name, prefix) {
+		return "does not start with fusion_"
+	}
+	for _, r := range name {
+		if (r < 'a' || r > 'z') && (r < '0' || r > '9') && r != '_' {
+			return "has a character outside [a-z0-9_]"
+		}
+	}
+	parts := strings.Split(name[len(prefix):], "_")
+	if len(parts) < 2 {
+		return "needs at least a subsystem and a name segment after fusion_"
+	}
+	for _, p := range parts {
+		if p == "" {
+			return "has an empty segment"
+		}
+		if p[0] >= '0' && p[0] <= '9' {
+			return "has a segment starting with a digit"
+		}
+	}
+	if (method == "Counter" || method == "CounterVec") && !strings.HasSuffix(name, "_total") {
+		return "is a counter and must end in _total"
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package telemetry_test
+
+import (
+	"testing"
+
+	"resilientfusion/internal/lint/linttest"
+	telemetrylint "resilientfusion/internal/lint/telemetry"
+)
+
+func TestTelemetry(t *testing.T) {
+	linttest.Run(t, "testdata", telemetrylint.Analyzer)
+}

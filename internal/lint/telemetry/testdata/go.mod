@@ -1,0 +1,3 @@
+module fusionlint.test/tele
+
+go 1.24

@@ -1,0 +1,7 @@
+package core
+
+import "log"
+
+func badCore() {
+	log.Print("reissue") // want "raw log.Print bypasses the injected telemetry logger"
+}

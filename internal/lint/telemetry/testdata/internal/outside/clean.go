@@ -1,0 +1,14 @@
+// Package outside sits outside the analyzer's scope: raw logging here
+// is allowed (daemon mains and tools own their stderr).
+package outside
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+func mainStyleLogging() {
+	log.Printf("serving on %s", ":8080")
+	fmt.Fprintln(os.Stderr, "usage: ...")
+}

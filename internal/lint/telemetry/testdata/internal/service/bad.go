@@ -1,0 +1,29 @@
+package service
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"fusionlint.test/tele/internal/telemetry"
+)
+
+var dynamicName = "fusion_svc_dyn_total"
+
+func badLogging(err error) {
+	log.Printf("job failed: %v", err)             // want "raw log.Printf bypasses the injected telemetry logger"
+	log.Println("draining")                       // want "raw log.Println bypasses the injected telemetry logger"
+	fmt.Fprintf(os.Stderr, "job failed: %v", err) // want "fmt.Fprintf to os.Stderr bypasses the injected telemetry logger"
+	fmt.Fprintln(os.Stderr, "draining")           // want "fmt.Fprintln to os.Stderr bypasses the injected telemetry logger"
+}
+
+func badMetrics(reg *telemetry.Registry) {
+	reg.Counter("jobs_total", "no prefix")                                         // want "does not start with fusion_"
+	reg.Gauge("fusion_depth", "one segment")                                       // want "needs at least a subsystem and a name segment"
+	reg.Counter("fusion_svc_jobs", "counter suffix")                               // want "must end in _total"
+	reg.CounterVec("fusion_svc_frames", "vec suffix", "ty")                        // want "must end in _total"
+	reg.Histogram("fusion_svc_Latency_seconds", "case", nil)                       // want "has a character outside"
+	reg.GaugeFunc("fusion_svc__depth", "empty segment", func() int64 { return 0 }) // want "has an empty segment"
+	reg.Gauge("fusion_svc_2x", "digit segment")                                    // want "starting with a digit"
+	reg.CounterVec(dynamicName, "dynamic", "type")                                 // want "not a compile-time constant"
+}

@@ -1,0 +1,27 @@
+package service
+
+import (
+	"fmt"
+	"io"
+
+	"fusionlint.test/tele/internal/telemetry"
+)
+
+const jobsName = "fusion_service_jobs_submitted_total"
+
+// cleanLogging routes diagnostics through an injected hook and writes
+// only to caller-supplied writers — none of this is flagged.
+func cleanLogging(logf func(string, ...any), w io.Writer) {
+	logf("job %s done", "j1")
+	fmt.Fprintf(w, "report: %d\n", 1)
+}
+
+func cleanMetrics(reg *telemetry.Registry) {
+	reg.Counter(jobsName, "Jobs admitted.")
+	reg.Counter("fusion_service_jobs_failed_total", "Jobs failed.")
+	reg.Gauge("fusion_service_queue_depth", "Queued jobs.")
+	reg.GaugeFunc("fusion_cache_entries", "Cached results.", func() int64 { return 0 })
+	reg.Histogram("fusion_http_request_seconds", "Request latency.", nil)
+	reg.CounterVec("fusion_cluster_frames_sent_total", "Frames sent.", "type")
+	reg.HistogramVec("fusion_http_route_seconds", "Route latency.", nil, "route", "status")
+}

@@ -2,6 +2,7 @@ package resilient
 
 import (
 	"errors"
+	"fmt"
 
 	"resilientfusion/internal/scplib"
 )
@@ -134,7 +135,9 @@ func (rt *Runtime) guardianBody(env scplib.Env) error {
 				mem.alive = false
 				rt.stats.Detections++
 				rt.stats.DetectionLatency = append(rt.stats.DetectionLatency, now-seen)
+				tr := rt.trace
 				rt.mu.Unlock()
+				tr.Event("detection", slot, int(g.epoch), g.name)
 				rt.sys.Kill(mem.phys)
 				env.Logf("guardian: %s replica %d silent for %.2fs — declaring failed",
 					g.name, slot, now-seen)
@@ -226,7 +229,9 @@ func (rt *Runtime) regenerate(env scplib.Env, g *group, slot int, failedAt float
 		g.members[slot] = newMem
 		rt.stats.Regenerations++
 		rt.stats.RegenerationLatency = append(rt.stats.RegenerationLatency, env.Now()-failedAt)
+		tr := rt.trace
 		rt.mu.Unlock()
+		tr.Event("regeneration", slot, int(g.epoch), fmt.Sprintf("%s on node %d", g.name, node))
 		env.Logf("guardian: regenerated %s replica %d on node %d as thread %d", g.name, slot, node, phys)
 
 		// Asynchronous state transfer from a survivor, correlated by the

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"resilientfusion/internal/scplib"
+	"resilientfusion/internal/telemetry"
 )
 
 // Runtime layers resiliency over a scplib.System. Define the logical
@@ -39,6 +40,7 @@ type Runtime struct {
 	exited   map[scplib.ThreadID]float64
 
 	stats Stats
+	trace *telemetry.TraceRecorder
 }
 
 // Stats reports the resiliency layer's protocol activity.
@@ -133,6 +135,15 @@ func (rt *Runtime) ThreadExited(phys scplib.ThreadID) {
 
 // Config returns the effective configuration.
 func (rt *Runtime) Config() Config { return rt.cfg }
+
+// SetTrace attaches a span recorder: detection and regeneration events
+// are stamped onto it alongside the Stats counters. A nil recorder (the
+// default) records nothing.
+func (rt *Runtime) SetTrace(tr *telemetry.TraceRecorder) {
+	rt.mu.Lock()
+	rt.trace = tr
+	rt.mu.Unlock()
+}
 
 // Stats returns a copy of the protocol statistics.
 func (rt *Runtime) Stats() Stats {

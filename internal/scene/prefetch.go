@@ -28,6 +28,11 @@ type PrefetchTiler struct {
 	t       *Tiler
 	ranges  []hsi.RowRange
 	pending *pendingTile
+
+	// OnRead, when set, observes every Tile call with whether the
+	// in-flight read-ahead satisfied it. Set it before the first Tile;
+	// it runs on the caller's goroutine, outside any locking.
+	OnRead func(prefetchHit bool)
 }
 
 type pendingTile struct {
@@ -56,6 +61,9 @@ func (p *PrefetchTiler) Shape() (int, int, int) { return p.t.Shape() }
 func (p *PrefetchTiler) Tile(rr hsi.RowRange) (*hsi.Cube, error) {
 	var cube *hsi.Cube
 	var err error
+	if p.OnRead != nil {
+		p.OnRead(p.pending != nil && p.pending.rr == rr)
+	}
 	if p.pending != nil && p.pending.rr == rr {
 		res := <-p.pending.ch
 		p.pending = nil

@@ -44,6 +44,10 @@ type ClusterSystem struct {
 	OnNodeDown   func(node int)
 	OnNodeAlive  func(node int)
 	OnThreadExit func(id ThreadID)
+	// Metrics, when set (same assignment window as the hooks), counts
+	// transport events: frames by type, spawn RPC latency, node slot
+	// transitions. Nil disables instrumentation.
+	Metrics *ClusterMetrics
 
 	mu      sync.Mutex
 	closed  bool
@@ -65,6 +69,7 @@ type pendingSpawn struct {
 type clusterPeer struct {
 	node      int
 	c         net.Conn
+	m         *ClusterMetrics // shared with the owning system (may be nil)
 	wmu       sync.Mutex
 	w         *bufio.Writer
 	lastAlive time.Time // throttles OnNodeAlive fan-out
@@ -214,12 +219,14 @@ func (s *ClusterSystem) Spawn(spec ThreadSpec) error {
 	s.pending[spec.ID] = pendingSpawn{ch: ch, node: spec.Node}
 	s.mu.Unlock()
 
+	t0 := time.Now()
 	if err := peer.writeFrame(cfSpawn, encodeSpawn(spec)); err != nil {
 		s.dropPeer(peer)
 		return fmt.Errorf("%w: node %d", ErrNodeDown, spec.Node)
 	}
 	select {
 	case err := <-ch:
+		s.Metrics.spawnObserved(time.Since(t0).Seconds())
 		if err != nil {
 			s.mu.Lock()
 			delete(s.owner, spec.ID)
@@ -227,6 +234,7 @@ func (s *ClusterSystem) Spawn(spec ThreadSpec) error {
 		}
 		return err
 	case <-time.After(s.spawnTimeout):
+		s.Metrics.spawnObserved(time.Since(t0).Seconds())
 		s.mu.Lock()
 		delete(s.pending, spec.ID)
 		delete(s.owner, spec.ID)
@@ -323,8 +331,9 @@ func (s *ClusterSystem) serveWorker(conn net.Conn) {
 		binary.LittleEndian.Uint16(body) != clusterProtoVersion {
 		return // not a compatible worker
 	}
+	s.Metrics.frameReceived(cfHello)
 
-	peer := &clusterPeer{c: conn, w: bufio.NewWriterSize(conn, 1<<16)}
+	peer := &clusterPeer{c: conn, m: s.Metrics, w: bufio.NewWriterSize(conn, 1<<16)}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -347,6 +356,7 @@ func (s *ClusterSystem) serveWorker(conn net.Conn) {
 		return
 	}
 	s.logf("cluster: worker connected as node %d (%s)", peer.node, conn.RemoteAddr())
+	s.Metrics.nodeUp()
 
 	for {
 		ftype, body, err := readClusterFrame(r)
@@ -355,6 +365,7 @@ func (s *ClusterSystem) serveWorker(conn net.Conn) {
 			s.dropPeer(peer)
 			return
 		}
+		s.Metrics.frameReceived(ftype)
 		s.touchAlive(peer)
 		switch ftype {
 		case cfMsg:
@@ -434,6 +445,7 @@ func (s *ClusterSystem) dropPeer(peer *clusterPeer) {
 	s.mu.Unlock()
 
 	peer.c.Close()
+	s.Metrics.nodeDown()
 	for _, ch := range failed {
 		ch <- fmt.Errorf("%w: node %d", ErrNodeDown, peer.node)
 	}
@@ -450,6 +462,7 @@ func (s *ClusterSystem) logf(format string, args ...any) {
 }
 
 func (p *clusterPeer) writeFrame(ftype uint8, body []byte) error {
+	p.m.frameSent(ftype)
 	p.wmu.Lock()
 	defer p.wmu.Unlock()
 	if err := writeClusterFrame(p.w, ftype, body); err != nil {

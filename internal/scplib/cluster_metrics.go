@@ -1,0 +1,91 @@
+package scplib
+
+import (
+	"resilientfusion/internal/telemetry"
+)
+
+// ClusterMetrics counts cluster-transport events — frames by type,
+// spawn RPC latency, node slot transitions — on a telemetry registry.
+// Assign ClusterSystem.Metrics between NewClusterSystem and Serve,
+// like the liveness hooks; all methods are safe on a nil receiver so
+// an uninstrumented system pays only a nil check per event.
+type ClusterMetrics struct {
+	framesSent   *telemetry.CounterVec
+	framesRecv   *telemetry.CounterVec
+	spawnSeconds *telemetry.Histogram
+	nodesUp      *telemetry.Counter
+	nodesDown    *telemetry.Counter
+}
+
+// spawnBuckets resolve the sub-second spawn RPCs the guardian's
+// regeneration latency depends on, up through the 10s spawn timeout.
+var spawnBuckets = []float64{.001, .005, .01, .05, .1, .5, 1, 5, 10}
+
+// NewClusterMetrics registers the transport instruments on reg.
+func NewClusterMetrics(reg *telemetry.Registry) *ClusterMetrics {
+	return &ClusterMetrics{
+		framesSent: reg.CounterVec("fusion_cluster_frames_sent_total",
+			"Cluster frames written to worker connections, by frame type.", "type"),
+		framesRecv: reg.CounterVec("fusion_cluster_frames_received_total",
+			"Cluster frames read from worker connections, by frame type.", "type"),
+		spawnSeconds: reg.Histogram("fusion_cluster_spawn_duration_seconds",
+			"Remote spawn RPC latency, write to result (or timeout).", spawnBuckets),
+		nodesUp: reg.Counter("fusion_cluster_node_up_total",
+			"Worker connections admitted to a node slot."),
+		nodesDown: reg.Counter("fusion_cluster_node_down_total",
+			"Worker connections dropped from a node slot."),
+	}
+}
+
+// frameTypeName names a cluster frame type for the exposition label.
+func frameTypeName(ft uint8) string {
+	switch ft {
+	case cfMsg:
+		return "msg"
+	case cfHello:
+		return "hello"
+	case cfWelcome:
+		return "welcome"
+	case cfSpawn:
+		return "spawn"
+	case cfSpawnResult:
+		return "spawn_result"
+	case cfKill:
+		return "kill"
+	case cfExit:
+		return "exit"
+	case cfPing:
+		return "ping"
+	}
+	return "unknown"
+}
+
+func (m *ClusterMetrics) frameSent(ft uint8) {
+	if m != nil {
+		m.framesSent.With(frameTypeName(ft)).Inc()
+	}
+}
+
+func (m *ClusterMetrics) frameReceived(ft uint8) {
+	if m != nil {
+		m.framesRecv.With(frameTypeName(ft)).Inc()
+	}
+}
+
+func (m *ClusterMetrics) spawnObserved(seconds float64) {
+	if m != nil {
+		m.spawnSeconds.Observe(seconds)
+	}
+}
+
+func (m *ClusterMetrics) nodeUp() {
+	if m != nil {
+		m.nodesUp.Inc()
+	}
+}
+
+func (m *ClusterMetrics) nodeDown() {
+	if m != nil {
+		m.nodesDown.Inc()
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"resilientfusion/internal/core"
+	"resilientfusion/internal/telemetry"
 )
 
 // resultCache is a content-addressed LRU of completed fusion results,
@@ -18,7 +19,9 @@ type resultCache struct {
 	ll    *list.List // front = most recent
 	items map[string]*list.Element
 
-	hits, misses int64
+	// Registry-backed counters (zero-value Counters when the cache runs
+	// without a metrics layer, e.g. in direct unit tests).
+	hits, misses, evictions *telemetry.Counter
 }
 
 type cacheEntry struct {
@@ -27,13 +30,20 @@ type cacheEntry struct {
 }
 
 // newResultCache builds a cache holding up to capacity results;
-// capacity <= 0 disables caching (every lookup misses, puts are dropped).
-func newResultCache(capacity int) *resultCache {
-	return &resultCache{
+// capacity <= 0 disables caching (every lookup misses, puts are
+// dropped). A nil metrics layer counts into private, unexported atomics.
+func newResultCache(capacity int, m *poolMetrics) *resultCache {
+	c := &resultCache{
 		cap:   capacity,
 		ll:    list.New(),
 		items: make(map[string]*list.Element),
 	}
+	if m != nil {
+		c.hits, c.misses, c.evictions = m.cacheHits, m.cacheMisses, m.cacheEvictions
+	} else {
+		c.hits, c.misses, c.evictions = new(telemetry.Counter), new(telemetry.Counter), new(telemetry.Counter)
+	}
+	return c
 }
 
 // get returns the cached result for key, counting a hit or miss.
@@ -42,10 +52,10 @@ func (c *resultCache) get(key string) (*core.Result, bool) {
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
-		c.hits++
+		c.hits.Inc()
 		return el.Value.(*cacheEntry).res, true
 	}
-	c.misses++
+	c.misses.Inc()
 	return nil, false
 }
 
@@ -77,6 +87,7 @@ func (c *resultCache) put(key string, res *core.Result) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions.Inc()
 	}
 }
 
@@ -84,5 +95,5 @@ func (c *resultCache) put(key string, res *core.Result) {
 func (c *resultCache) counters() (int64, int64, int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses, c.ll.Len()
+	return c.hits.Value(), c.misses.Value(), c.ll.Len()
 }

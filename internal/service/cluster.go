@@ -7,6 +7,7 @@ import (
 	"resilientfusion/internal/resilient"
 	"resilientfusion/internal/scene"
 	"resilientfusion/internal/scplib"
+	"resilientfusion/internal/telemetry"
 )
 
 // Cluster mode: instead of goroutine workers in the daemon's process,
@@ -85,17 +86,26 @@ type ClusterStats struct {
 	ViewChanges   int64 `json:"view_changes"`
 }
 
-// clusterState is the pool's cluster-mode machinery.
+// clusterState is the pool's cluster-mode machinery. The protocol
+// counters live on the pool's telemetry registry — snapshot() reads the
+// same atomics the Prometheus exposition renders, so /v2/stats and
+// /metrics can never disagree.
 type clusterState struct {
-	cfg ClusterConfig
-	sys *scplib.ClusterSystem
+	cfg  ClusterConfig
+	sys  *scplib.ClusterSystem
+	addr string
+
+	jobs          *telemetry.Counter
+	fallbacks     *telemetry.Counter
+	detections    *telemetry.Counter
+	regenerations *telemetry.Counter
+	viewChanges   *telemetry.Counter
 
 	mu        sync.Mutex
 	rts       []*resilient.Runtime // running cluster jobs' runtimes
 	nextBase  scplib.ThreadID
 	freeBases []scplib.ThreadID            // finished jobs' bases, reused FIFO
 	inUse     map[scplib.ThreadID]struct{} // bases of running jobs
-	stats     ClusterStats
 }
 
 // clusterPhysBase0 starts job phys IDs far above any coordinator-local
@@ -112,23 +122,37 @@ const (
 
 // newClusterState opens the coordinator listener and wires its transport
 // liveness hooks to fan out to every running cluster job. The system
-// only starts accepting at Serve below, after every hook is installed,
-// so the assignments never race with peer goroutines reading them.
-func newClusterState(cfg ClusterConfig, logf func(format string, args ...any)) (*clusterState, error) {
+// only starts accepting at Serve below, after every hook (and the
+// transport metrics sink) is installed, so the assignments never race
+// with peer goroutines reading them.
+func newClusterState(cfg ClusterConfig, logf func(format string, args ...any), reg *telemetry.Registry) (*clusterState, error) {
 	cfg = cfg.withDefaults()
 	sys, err := scplib.NewClusterSystem(cfg.Listen, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
 	sys.LogTo = logf
+	sys.Metrics = scplib.NewClusterMetrics(reg)
 	cl := &clusterState{
 		cfg: cfg, sys: sys,
+		addr: sys.Addr(),
+		jobs: reg.Counter("fusion_cluster_jobs_total",
+			"Jobs completed over the fusionworkerd fleet."),
+		fallbacks: reg.Counter("fusion_cluster_fallbacks_total",
+			"Jobs degraded to the in-process pool (below quorum or cluster failure)."),
+		detections: reg.Counter("fusion_cluster_detections_total",
+			"Replica failures detected by cluster jobs' guardians."),
+		regenerations: reg.Counter("fusion_cluster_regenerations_total",
+			"Replacement replicas regenerated by cluster jobs' guardians."),
+		viewChanges: reg.Counter("fusion_cluster_view_changes_total",
+			"View reconfigurations broadcast by cluster jobs' guardians."),
 		nextBase: clusterPhysBase0,
 		inUse:    make(map[scplib.ThreadID]struct{}),
 	}
-	cl.stats.Addr = sys.Addr()
-	cl.stats.Workers = cfg.Workers
-	cl.stats.Replication = cfg.Replication
+	reg.GaugeFunc("fusion_cluster_live_workers",
+		"fusionworkerd processes connected right now.", func() int64 {
+			return int64(sys.LiveWorkers())
+		})
 	sys.OnNodeDown = func(n int) {
 		for _, rt := range cl.runtimes() {
 			rt.NodeDown(n)
@@ -213,29 +237,34 @@ func (cl *clusterState) releaseBase(base scplib.ThreadID) {
 }
 
 func (cl *clusterState) fallback() {
-	cl.mu.Lock()
-	cl.stats.Fallbacks++
-	cl.mu.Unlock()
+	cl.fallbacks.Inc()
 }
 
-// absorb folds one finished job's resilient stats into the aggregate.
+// absorb folds one finished job's resilient stats into the registry
+// counters.
 func (cl *clusterState) absorb(st resilient.Stats, completed bool) {
-	cl.mu.Lock()
 	if completed {
-		cl.stats.Jobs++
+		cl.jobs.Inc()
 	}
-	cl.stats.Detections += int64(st.Detections)
-	cl.stats.Regenerations += int64(st.Regenerations)
-	cl.stats.ViewChanges += int64(st.ViewChanges)
-	cl.mu.Unlock()
+	cl.detections.Add(int64(st.Detections))
+	cl.regenerations.Add(int64(st.Regenerations))
+	cl.viewChanges.Add(int64(st.ViewChanges))
 }
 
+// snapshot builds the /v2/stats cluster section from the registry
+// counters (identical to what /metrics scrapes).
 func (cl *clusterState) snapshot() *ClusterStats {
-	cl.mu.Lock()
-	defer cl.mu.Unlock()
-	s := cl.stats
-	s.LiveWorkers = cl.sys.LiveWorkers()
-	return &s
+	return &ClusterStats{
+		Addr:          cl.addr,
+		Workers:       cl.cfg.Workers,
+		LiveWorkers:   cl.sys.LiveWorkers(),
+		Replication:   cl.cfg.Replication,
+		Jobs:          cl.jobs.Value(),
+		Fallbacks:     cl.fallbacks.Value(),
+		Detections:    cl.detections.Value(),
+		Regenerations: cl.regenerations.Value(),
+		ViewChanges:   cl.viewChanges.Value(),
+	}
 }
 
 // clusterOptions is the job's canonical options with the cluster's
@@ -265,6 +294,9 @@ func (p *Pool) runJobCluster(job *Job) bool {
 		return false
 	}
 	opts := cl.clusterOptions(job.opts)
+	// Trace rides in this copy only; job.opts and its ResultKey stay
+	// trace-free (see runJob).
+	opts.Trace = job.trace
 
 	var src core.CubeSource
 	if job.sceneID != "" {
@@ -276,6 +308,7 @@ func (p *Pool) runJobCluster(job *Job) bool {
 			return true
 		}
 		tiler := scene.NewPrefetchTiler(scene.NewTiler(rdr), opts.TileRanges(job.sceneHdr.Lines))
+		tiler.OnRead = p.metrics.sceneTileRead
 		defer tiler.Drain()
 		src = &sceneSource{tiler: tiler, job: job}
 	} else {

@@ -15,6 +15,7 @@ import (
 
 	"resilientfusion/internal/core"
 	"resilientfusion/internal/hsi"
+	"resilientfusion/internal/telemetry"
 )
 
 // maxCubeBytes bounds an uploaded cube (512 MiB of HSIC). A variable so
@@ -32,12 +33,15 @@ type jobJSON struct {
 	Error    string   `json:"error,omitempty"`
 	// Options echoes the canonical options the job ran with, defaults
 	// filled in, so clients see the knobs their submission resolved to.
-	Options   *JobOptions   `json:"options,omitempty"`
-	Progress  *TileProgress `json:"progress,omitempty"`
-	Submitted time.Time     `json:"submitted"`
-	Started   *time.Time    `json:"started,omitempty"`
-	Finished  *time.Time    `json:"finished,omitempty"`
-	Result    *resultJSON   `json:"result,omitempty"`
+	Options  *JobOptions   `json:"options,omitempty"`
+	Progress *TileProgress `json:"progress,omitempty"`
+	// Trace summarizes recorded stage spans (count, summed seconds); the
+	// full timeline is GET /v2/jobs/{id}/trace.
+	Trace     map[string]telemetry.StageSummary `json:"trace,omitempty"`
+	Submitted time.Time                         `json:"submitted"`
+	Started   *time.Time                        `json:"started,omitempty"`
+	Finished  *time.Time                        `json:"finished,omitempty"`
+	Result    *resultJSON                       `json:"result,omitempty"`
 }
 
 // resultJSON summarizes a core.Result for clients. The composite image
@@ -60,6 +64,7 @@ func statusJSON(st JobStatus) *jobJSON {
 		SceneID:   st.SceneID,
 		CacheHit:  st.CacheHit,
 		Progress:  st.Progress,
+		Trace:     st.Trace,
 		Submitted: st.Submitted,
 	}
 	if st.Err != nil {
@@ -171,6 +176,7 @@ func writeError(w http.ResponseWriter, code int, err error) {
 //	                     202 {id, state}
 //	GET  /v1/jobs/{id}   job status/result (?image=1 adds base64 PNG)
 //	GET  /v1/stats       queue depth, cache hit rate, throughput
+//	GET  /metrics        Prometheus text exposition of the pool registry
 //
 // Scene endpoints (whole-scene streaming fusion):
 //
@@ -342,8 +348,12 @@ func (p *Pool) Handler() http.Handler {
 		_, _ = w.Write(data)
 	})
 
+	mux.Handle("GET /metrics", p.metrics.reg.Handler())
+
 	p.registerV2(mux)
-	return mux
+	// Every route (both API versions, /metrics itself) reports into the
+	// route×status latency histogram.
+	return p.httpMiddleware(mux)
 }
 
 // uploadFormatError marks a malformed multipart upload — client-caused,

@@ -41,6 +41,7 @@ import (
 //	GET    /v2/jobs/{id}/result     content-negotiated artifact: the
 //	                                composite as image/png when Accept
 //	                                includes it, else the JSON summary
+//	GET    /v2/jobs/{id}/trace      recorded stage-span timeline (JSON)
 //	GET    /v2/stats                pool counters (same shape as v1)
 //	POST   /v2/scenes               multipart "header" + "data" upload
 //	GET    /v2/scenes               scene listing
@@ -52,6 +53,7 @@ func (p *Pool) registerV2(mux *http.ServeMux) {
 	mux.HandleFunc("GET /v2/jobs", p.v2ListJobs)
 	mux.HandleFunc("GET /v2/jobs/{id}", p.v2GetJob)
 	mux.HandleFunc("GET /v2/jobs/{id}/result", p.v2JobResult)
+	mux.HandleFunc("GET /v2/jobs/{id}/trace", p.v2JobTrace)
 	mux.HandleFunc("GET /v2/stats", func(w http.ResponseWriter, r *http.Request) {
 		if !v2NoQuery(w, r) {
 			return
@@ -250,6 +252,12 @@ func (p *Pool) v2GetJob(w http.ResponseWriter, r *http.Request) {
 	if d > p.cfg.MaxLongPoll {
 		d = p.cfg.MaxLongPoll
 	}
+	// Count a park only when the wait will actually block on a
+	// non-terminal job (the common fast path — polling a finished job —
+	// is not a park).
+	if st, err := p.Status(id); err == nil && st.State != StateDone && st.State != StateFailed {
+		p.metrics.longpollParks.Inc()
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), d)
 	defer cancel()
 	st, err := p.WaitContext(ctx, id)
@@ -303,6 +311,19 @@ func (p *Pool) v2JobResult(w http.ResponseWriter, r *http.Request) {
 	}
 	body := statusJSON(st)
 	writeJSON(w, http.StatusOK, body.Result)
+}
+
+// v2JobTrace serves the job's recorded stage-span timeline.
+func (p *Pool) v2JobTrace(w http.ResponseWriter, r *http.Request) {
+	if !v2NoQuery(w, r) {
+		return
+	}
+	tr, err := p.Trace(r.PathValue("id"))
+	if err != nil {
+		writeAPIError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, tr)
 }
 
 // acceptsPNG reports whether an Accept header asks for the composite

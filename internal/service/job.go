@@ -13,6 +13,7 @@ import (
 	"resilientfusion/internal/resilient"
 	"resilientfusion/internal/scene"
 	"resilientfusion/internal/scplib"
+	"resilientfusion/internal/telemetry"
 )
 
 // JobState is a job's position in its lifecycle.
@@ -47,6 +48,11 @@ type Job struct {
 	tilesTotal       int
 	tilesScreened    atomic.Int64
 	tilesTransformed atomic.Int64
+
+	// trace records the job's stage spans and resiliency events, set at
+	// enqueue and threaded into the run via an Options copy (never into
+	// job.opts, whose ResultKey feeds the cache).
+	trace *telemetry.TraceRecorder
 
 	done chan struct{} // closed on completion (done or failed)
 
@@ -92,7 +98,11 @@ type JobStatus struct {
 	// can see what their submission actually meant.
 	Options core.Options
 	// Progress is set for scene jobs.
-	Progress  *TileProgress
+	Progress *TileProgress
+	// Trace summarizes the job's recorded stage spans (count and summed
+	// seconds per stage); empty until the run records spans. The full
+	// timeline is served by GET /v2/jobs/{id}/trace.
+	Trace     map[string]telemetry.StageSummary
 	Submitted time.Time
 	Started   time.Time
 	Finished  time.Time

@@ -120,6 +120,7 @@ func (p *Pool) RegisterScene(headerText string, data io.Reader) (SceneInfo, erro
 	if err := spoolExact(dataPath, data, claimed); err != nil {
 		return SceneInfo{}, err
 	}
+	p.metrics.sceneSpoolBytes.Add(claimed)
 	// The .hdr companion makes the spool self-describing for operators;
 	// the registry itself keeps the parsed header.
 	if err := os.WriteFile(scene.HeaderPath(dataPath), []byte(h.Marshal()), 0o644); err != nil {

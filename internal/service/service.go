@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"image/png"
+	"log/slog"
 	"math"
 	"os"
 	"sort"
@@ -30,6 +31,7 @@ import (
 	"resilientfusion/internal/hsi"
 	"resilientfusion/internal/scene"
 	"resilientfusion/internal/scplib"
+	"resilientfusion/internal/telemetry"
 )
 
 // maxSubCubes bounds a job's decomposition (Granularity × Workers); see
@@ -95,6 +97,14 @@ type Config struct {
 	// Workers to Cluster.Workers so both paths decompose scenes
 	// identically.
 	Cluster *ClusterConfig
+	// Metrics is the telemetry registry the pool instruments (served at
+	// GET /metrics). Nil selects a pool-private registry. Registries
+	// panic on duplicate registration, so give each pool its own.
+	Metrics *telemetry.Registry
+	// Logger receives structured diagnostics. When LogTo is nil, a
+	// non-nil Logger supplies it (debug-leveled) so existing LogTo
+	// consumers keep working.
+	Logger *slog.Logger
 	// LogTo receives diagnostics (nil silences them).
 	LogTo func(format string, args ...any)
 }
@@ -134,6 +144,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxLongPoll <= 0 {
 		c.MaxLongPoll = 60 * time.Second
 	}
+	if c.LogTo == nil && c.Logger != nil {
+		c.LogTo = telemetry.LogTo(c.Logger)
+	}
 	return c
 }
 
@@ -163,6 +176,7 @@ type Pool struct {
 	cluster   *clusterState // nil unless cluster mode is on
 	workerIDs []scplib.ThreadID
 	cache     *resultCache
+	metrics   *poolMetrics
 	queue     chan *Job
 	wg        sync.WaitGroup // dispatcher goroutines
 	t0        time.Time
@@ -175,10 +189,6 @@ type Pool struct {
 	nextJob    uint64
 	nextThread scplib.ThreadID
 	running    int
-	submitted  int64
-	completed  int64
-	failed     int64
-	rejected   int64
 
 	// Scene registry (see scene.go). spoolDir is resolved at NewPool;
 	// ownSpool marks a pool-created temporary directory removed by Close.
@@ -194,10 +204,13 @@ func NewPool(cfg Config) (*Pool, error) {
 	cfg = cfg.withDefaults()
 	sys := scplib.NewRealSystem()
 	sys.LogTo = cfg.LogTo
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	p := &Pool{
 		cfg:        cfg,
 		sys:        sys,
-		cache:      newResultCache(cfg.CacheEntries),
 		queue:      make(chan *Job, cfg.QueueDepth),
 		shut:       make(chan struct{}),
 		t0:         time.Now(),
@@ -206,6 +219,8 @@ func NewPool(cfg Config) (*Pool, error) {
 		spoolDir:   cfg.SpoolDir,
 		nextThread: scplib.ThreadID(cfg.Workers + 1),
 	}
+	p.metrics = newPoolMetrics(reg, p)
+	p.cache = newResultCache(cfg.CacheEntries, p.metrics)
 	if p.spoolDir == "" {
 		dir, err := os.MkdirTemp("", "fusiond-scenes-")
 		if err != nil {
@@ -216,7 +231,7 @@ func NewPool(cfg Config) (*Pool, error) {
 		return nil, err
 	}
 	if cfg.Cluster != nil {
-		cl, err := newClusterState(*cfg.Cluster, cfg.LogTo)
+		cl, err := newClusterState(*cfg.Cluster, cfg.LogTo, reg)
 		if err != nil {
 			if p.ownSpool {
 				os.RemoveAll(p.spoolDir)
@@ -233,7 +248,7 @@ func NewPool(cfg Config) (*Pool, error) {
 		if err := sys.Spawn(scplib.ThreadSpec{
 			ID:   id,
 			Name: fmt.Sprintf("poolworker%d", w),
-			Body: poolWorkerBody(),
+			Body: poolWorkerBody(p.metrics),
 		}); err != nil {
 			return nil, err
 		}
@@ -346,10 +361,10 @@ func (p *Pool) enqueue(mk func(num uint64) *Job) (JobStatus, error) {
 	job.done = make(chan struct{})
 	job.state = StateQueued
 	job.submitted = time.Now()
+	job.trace = telemetry.NewTraceRecorder(0)
 	if job.digest != "" {
 		job.key = job.digest + "|" + job.opts.ResultKey()
 	}
-	p.submitted++
 	p.jobs[job.id] = job
 	p.mu.Unlock()
 
@@ -361,6 +376,7 @@ func (p *Pool) enqueue(mk func(num uint64) *Job) (JobStatus, error) {
 			if job.sceneID != "" {
 				job.markTilesComplete()
 			}
+			p.metrics.jobsSubmitted.Inc()
 			p.finish(job, res, nil, true)
 			return p.snapshot(job), nil
 		}
@@ -370,20 +386,21 @@ func (p *Pool) enqueue(mk func(num uint64) *Job) (JobStatus, error) {
 	// atomic with respect to Close, which closes the queue channel.
 	p.mu.Lock()
 	if p.closed {
-		p.submitted-- // never admitted; keep submitted = accepted jobs
-		delete(p.jobs, job.id)
+		delete(p.jobs, job.id) // never admitted
 		p.mu.Unlock()
 		return JobStatus{}, ErrClosed
 	}
 	select {
 	case p.queue <- job:
 		p.mu.Unlock()
+		// Submitted counts admitted jobs only, incremented after the
+		// send so a rejected submission never touches it.
+		p.metrics.jobsSubmitted.Inc()
 		return p.snapshot(job), nil
 	default:
-		p.rejected++
-		p.submitted--
 		delete(p.jobs, job.id)
 		p.mu.Unlock()
+		p.metrics.jobsRejected.Inc()
 		return JobStatus{}, ErrQueueFull
 	}
 }
@@ -535,7 +552,8 @@ func (p *Pool) ImagePNGBase64(id string) (string, error) {
 	return b64, nil
 }
 
-// Stats reports the pool's counters.
+// Stats reports the pool's counters, read from the same telemetry
+// registry the Prometheus exposition serves.
 func (p *Pool) Stats() Stats {
 	hits, misses, size := p.cache.counters()
 	p.mu.Lock()
@@ -545,17 +563,17 @@ func (p *Pool) Stats() Stats {
 		Workers:       p.cfg.Workers,
 		QueueDepth:    len(p.queue),
 		Running:       p.running,
-		Submitted:     p.submitted,
-		Completed:     p.completed,
-		Failed:        p.failed,
-		Rejected:      p.rejected,
+		Submitted:     p.metrics.jobsSubmitted.Value(),
+		Completed:     p.metrics.jobsCompleted.Value(),
+		Failed:        p.metrics.jobsFailed.Value(),
+		Rejected:      p.metrics.jobsRejected.Value(),
 		CacheHits:     hits,
 		CacheMisses:   misses,
 		CacheSize:     size,
 		UptimeSeconds: up,
 	}
 	if up > 0 {
-		s.Throughput = float64(p.completed) / up
+		s.Throughput = float64(s.Completed) / up
 	}
 	if p.cluster != nil {
 		s.Cluster = p.cluster.snapshot()
@@ -643,6 +661,11 @@ func (p *Pool) runJob(job *Job) {
 		Name: fmt.Sprintf("jobmgr-%d", job.num),
 		Body: func(env scplib.Env) error {
 			je := newJobEnv(env, job.num, job.opts.Threshold, job.opts.Parallelism, p.workerIDs)
+			// The recorder rides in a copy of the options: job.opts (and
+			// its ResultKey, computed at enqueue) stays trace-free, so
+			// caching and the canonical-options echo are untouched.
+			opts := job.opts
+			opts.Trace = job.trace
 			var jobErr error
 			// The errc send must happen on every exit — including a panic
 			// in the manager protocol, which scplib's thread wrapper would
@@ -669,12 +692,13 @@ func (p *Pool) runJob(job *Job) {
 					return nil
 				}
 				tiler := scene.NewPrefetchTiler(scene.NewTiler(rdr),
-					job.opts.TileRanges(job.sceneHdr.Lines))
+					opts.TileRanges(job.sceneHdr.Lines))
+				tiler.OnRead = p.metrics.sceneTileRead
 				defer tiler.Drain()
 				src := &sceneSource{tiler: tiler, job: job}
-				jobErr = core.RunManagerSource(je, src, job.opts, res)
+				jobErr = core.RunManagerSource(je, src, opts, res)
 			} else {
-				jobErr = core.RunManager(je, job.cube, job.opts, res)
+				jobErr = core.RunManager(je, job.cube, opts, res)
 			}
 			// Job failures are reported on the job, not accumulated as
 			// system errors.
@@ -712,14 +736,17 @@ func (p *Pool) finish(job *Job, res *core.Result, err error, fromCache bool) {
 	}
 	job.finished = time.Now()
 	job.cacheHit = fromCache
+	if !fromCache {
+		p.metrics.jobsDuration.Observe(job.finished.Sub(job.submitted).Seconds())
+	}
 	if err != nil {
 		job.state = StateFailed
 		job.err = err
-		p.failed++
+		p.metrics.jobsFailed.Inc()
 	} else {
 		job.state = StateDone
 		job.result = res
-		p.completed++
+		p.metrics.jobsCompleted.Inc()
 		// The scene's result endpoint serves its most recent success.
 		if job.sceneID != "" {
 			if ent := p.scenes[job.sceneID]; ent != nil {
@@ -774,8 +801,40 @@ func (p *Pool) snapshotLocked(job *Job) JobStatus {
 		Result:    job.result,
 		Options:   job.opts,
 		Progress:  job.progress(),
+		Trace:     job.trace.Summary(),
 		Submitted: job.submitted,
 		Started:   job.started,
 		Finished:  job.finished,
 	}
+}
+
+// JobTrace is a job's full recorded span timeline, the resource behind
+// GET /v2/jobs/{id}/trace.
+type JobTrace struct {
+	JobID string   `json:"job_id"`
+	State JobState `json:"state"`
+	// Spans is the timeline, oldest first; ring overwrites drop the
+	// oldest spans and count into Dropped.
+	Spans   []telemetry.Span `json:"spans"`
+	Dropped int64            `json:"dropped,omitempty"`
+}
+
+// Trace returns the job's recorded span timeline. A job that has not
+// started (or ran entirely from cache) reports an empty span list.
+func (p *Pool) Trace(id string) (JobTrace, error) {
+	p.mu.Lock()
+	job := p.jobs[id]
+	var state JobState
+	if job != nil {
+		state = job.state
+	}
+	p.mu.Unlock()
+	if job == nil {
+		return JobTrace{}, ErrUnknownJob
+	}
+	spans, dropped := job.trace.Snapshot()
+	if spans == nil {
+		spans = []telemetry.Span{}
+	}
+	return JobTrace{JobID: id, State: state, Spans: spans, Dropped: dropped}, nil
 }

@@ -4,10 +4,12 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"time"
 
 	"resilientfusion/internal/core"
 	"resilientfusion/internal/perfmodel"
 	"resilientfusion/internal/scplib"
+	"resilientfusion/internal/telemetry"
 )
 
 // kindJobErr is the service-level message kind a pooled worker uses to
@@ -51,13 +53,34 @@ func envelopeJobID(p []byte) (uint64, bool) {
 	return binary.LittleEndian.Uint64(p), true
 }
 
+// stageHistogram maps a request kind to its latency histogram (nil for
+// kinds that are not kernel stages).
+func stageHistogram(met *poolMetrics, kind uint16) *telemetry.Histogram {
+	if met == nil {
+		return nil
+	}
+	switch kind {
+	case core.KindScreenReq:
+		return met.stageScreen
+	case core.KindCovReq:
+		return met.stageCovariance
+	case core.KindTransformReq:
+		return met.stageTransform
+	}
+	return nil
+}
+
 // poolWorkerBody is a long-lived fusion worker: it serves the screening,
 // covariance and transform steps for many jobs concurrently, holding one
 // core.WorkerState per in-flight job. Job state is created lazily on the
 // job's first message and retired on its KindStop — the manager sends one
 // per worker when the job ends (success or failure), so the pool pays
 // system construction and thread spawn once, not per cube.
-func poolWorkerBody() scplib.Body {
+//
+// met records per-stage kernel latency (nil disables). The timing wraps
+// ws.Handle from outside — the worker stays a deterministic function of
+// its message stream, so outputs are bit-identical with metrics on.
+func poolWorkerBody(met *poolMetrics) scplib.Body {
 	return func(env scplib.Env) error {
 		states := make(map[uint64]*core.WorkerState)
 		// Worker-lifetime kernel buffers, shared across the jobs this
@@ -86,7 +109,15 @@ func poolWorkerBody() scplib.Body {
 				ws.UseScratch(scratch)
 				states[jobID] = ws
 			}
+			var t0 time.Time
+			hist := stageHistogram(met, m.Kind)
+			if hist != nil {
+				t0 = time.Now()
+			}
 			replyKind, reply, flops, err := ws.Handle(m.Kind, inner)
+			if hist != nil {
+				hist.Observe(time.Since(t0).Seconds())
+			}
 			if err != nil {
 				// Fail this job fast without taking the worker (and every
 				// other job multiplexed on it) down.

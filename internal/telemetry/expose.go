@@ -1,0 +1,50 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format 0.0.4, sorted by family name so scrapes are
+// stable and diffable in golden tests.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*metric(nil), r.list...)
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var sb strings.Builder
+	for _, m := range fams {
+		sb.WriteString("# HELP ")
+		sb.WriteString(m.name)
+		sb.WriteByte(' ')
+		sb.WriteString(escapeHelp(m.help))
+		sb.WriteByte('\n')
+		sb.WriteString("# TYPE ")
+		sb.WriteString(m.name)
+		sb.WriteByte(' ')
+		sb.WriteString(m.typ)
+		sb.WriteByte('\n')
+		m.collect(&sb)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// escapeHelp escapes a HELP string: backslash and newline (the format
+// leaves double quotes alone in HELP text).
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// Handler returns the GET /metrics scrape handler.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

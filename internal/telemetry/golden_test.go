@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the exposition golden file")
+
+// TestExpositionGolden pins the full scrape output — HELP/TYPE lines,
+// family ordering, label escaping, histogram +Inf/_sum/_count — to a
+// golden file so any format drift is an explicit diff.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	jobs := r.Counter("fusion_jobs_submitted_total", "Jobs accepted by the pool.")
+	jobs.Add(12)
+	r.Gauge("fusion_jobs_running", "Jobs currently executing.").Set(2)
+	r.GaugeFunc("fusion_queue_depth", "Jobs parked in the admission queue.", func() int64 { return 3 })
+	h := r.Histogram("fusion_job_duration_seconds", "End-to-end job latency.", []float64{0.5, 1, 5})
+	h.Observe(0.25)
+	h.Observe(0.75)
+	h.Observe(60)
+	hv := r.HistogramVec("fusion_http_request_duration_seconds",
+		"HTTP latency by route and status.", []float64{0.01, 0.1}, "route", "status")
+	hv.With("/v2/jobs/{id}", "200").Observe(0.005)
+	hv.With("/v2/jobs/{id}", "200").Observe(0.05)
+	hv.With("/metrics", "200").Observe(0.2)
+	cv := r.CounterVec("fusion_cluster_frames_sent_total",
+		`Cluster frames sent by type (escaping: \ " and newline).`, "type")
+	cv.With("msg").Add(41)
+	cv.With(`sp"awn\odd` + "\n").Inc()
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+
+	path := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// FuzzMetricName checks the registry cannot be driven into emitting a
+// corrupt exposition: any name ValidateName accepts must render as a
+// parseable sample line, and registration must panic on exactly the
+// names ValidateName rejects.
+func FuzzMetricName(f *testing.F) {
+	f.Add("fusion_jobs_submitted_total")
+	f.Add("fusion_cache_hits_total")
+	f.Add("jobs_total")
+	f.Add("fusion__total")
+	f.Add("fusion_jobs total")
+	f.Add("fusion_jobs_\x00_total")
+	f.Add("fusion_j\nobs_total")
+	f.Fuzz(func(t *testing.T, name string) {
+		err := ValidateName(name)
+		var panicked bool
+		func() {
+			defer func() { panicked = recover() != nil }()
+			r := NewRegistry()
+			c := r.Counter(name, "fuzz")
+			c.Inc()
+			var sb strings.Builder
+			if werr := r.WritePrometheus(&sb); werr != nil {
+				t.Fatalf("write: %v", werr)
+			}
+			out := sb.String()
+			// An accepted name must produce exactly its own sample line:
+			// no control characters, no broken line structure.
+			if strings.ContainsAny(name, "\n\r\x00 ") {
+				t.Fatalf("registry accepted a name with whitespace/control chars: %q", name)
+			}
+			if !strings.Contains(out, name+" 1\n") {
+				t.Fatalf("sample line missing for %q:\n%s", name, out)
+			}
+		}()
+		if hasTotal := strings.HasSuffix(name, "_total"); err == nil && hasTotal && panicked {
+			t.Fatalf("valid name %q rejected at registration", name)
+		}
+		if (err != nil || !strings.HasSuffix(name, "_total")) && !panicked {
+			t.Fatalf("invalid counter name %q accepted", name)
+		}
+	})
+}

@@ -1,0 +1,52 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds the daemons' shared slog setup: format is "text"
+// or "json" (-log-format), level is debug/info/warn/error
+// (-log-level). Unknown values fall back to text/info so a typo in a
+// flag degrades to a usable logger instead of a dead daemon.
+func NewLogger(w io.Writer, format, level string) *slog.Logger {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		lv = slog.LevelInfo
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	if strings.ToLower(format) == "json" {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(h)
+}
+
+// LogTo adapts a slog.Logger to the legacy LogTo(format, args...)
+// callback used throughout service/scplib/resilient. Legacy messages
+// land at debug level: they are thread-level diagnostics, chatty by
+// design, and the structured paths log the operationally interesting
+// events at info and above. Returns nil for a nil logger so existing
+// nil-LogTo call sites stay no-ops.
+func LogTo(l *slog.Logger) func(format string, args ...any) {
+	if l == nil {
+		return nil
+	}
+	return func(format string, args ...any) {
+		if l.Enabled(context.Background(), slog.LevelDebug) {
+			l.Debug(fmt.Sprintf(format, args...))
+		}
+	}
+}

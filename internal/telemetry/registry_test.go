@@ -1,0 +1,184 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestValidateName(t *testing.T) {
+	good := []string{
+		"fusion_jobs_submitted_total",
+		"fusion_cache_hits_total",
+		"fusion_http_request_duration_seconds",
+		"fusion_queue_depth",
+	}
+	for _, n := range good {
+		if err := ValidateName(n); err != nil {
+			t.Errorf("ValidateName(%q) = %v, want nil", n, err)
+		}
+	}
+	bad := []string{
+		"",
+		"jobs_total",               // missing prefix
+		"fusion_total",             // no subsystem/name split
+		"fusion__total",            // empty segment
+		"fusion_jobs_",             // trailing empty segment
+		"fusion_Jobs_total",        // uppercase
+		"fusion_jobs_5xx_total",    // digit-led segment
+		"fusion_jobs total",        // space
+		"fusion_jobs_total\n",      // control char
+		"fusion_jobs-failed_total", // dash
+	}
+	for _, n := range bad {
+		if err := ValidateName(n); err == nil {
+			t.Errorf("ValidateName(%q) = nil, want error", n)
+		}
+	}
+}
+
+func TestRegistryPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Counter("fusion_jobs_submitted_total", "x")
+	mustPanic("duplicate", func() { r.Counter("fusion_jobs_submitted_total", "x") })
+	mustPanic("bad name", func() { r.Counter("Jobs_total", "x") })
+	mustPanic("counter without _total", func() { r.Counter("fusion_jobs_submitted", "x") })
+	mustPanic("bad label", func() { r.CounterVec("fusion_http_requests_total", "x", "0route") })
+	mustPanic("wrong arity", func() {
+		v := r.CounterVec("fusion_frames_sent_total", "x", "type")
+		v.With("a", "b")
+	})
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("fusion_jobs_completed_total", "completed")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("fusion_jobs_running", "running")
+	g.Set(3)
+	g.Dec()
+	g.Add(2)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	h := r.Histogram("fusion_job_duration_seconds", "d", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+	if h.Count() != 3 {
+		t.Fatalf("histogram count = %d, want 3", h.Count())
+	}
+	if h.Sum() != 55.5 {
+		t.Fatalf("histogram sum = %v, want 55.5", h.Sum())
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`fusion_job_duration_seconds_bucket{le="1"} 1`,
+		`fusion_job_duration_seconds_bucket{le="10"} 2`,
+		`fusion_job_duration_seconds_bucket{le="+Inf"} 3`,
+		`fusion_job_duration_seconds_sum 55.5`,
+		`fusion_job_duration_seconds_count 3`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVecChildrenAndEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("fusion_http_requests_total", "by route/status", "route", "status")
+	v.With("/v1/jobs", "200").Add(2)
+	v.With("/v1/jobs", "429").Inc()
+	v.With("weird\"route\\with\nstuff", "200").Inc()
+	if v.With("/v1/jobs", "200") != v.With("/v1/jobs", "200") {
+		t.Fatal("With not cached")
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`fusion_http_requests_total{route="/v1/jobs",status="200"} 2`,
+		`fusion_http_requests_total{route="/v1/jobs",status="429"} 1`,
+		`fusion_http_requests_total{route="weird\"route\\with\nstuff",status="200"} 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestConcurrentUpdates hammers one counter, one histogram, and one
+// vec from many goroutines while a reader scrapes — meaningful under
+// -race, and the final totals check atomicity of the CAS sum loop.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("fusion_jobs_submitted_total", "s")
+	h := r.Histogram("fusion_job_duration_seconds", "d", []float64{1, 2, 4})
+	v := r.HistogramVec("fusion_worker_stage_seconds", "w", []float64{1}, "stage")
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(0.5)
+				v.With("screen").Observe(float64(i%3) * 0.25)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			_ = r.WritePrometheus(&sb)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if c.Value() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+	if want := float64(workers*per) * 0.5; h.Sum() != want {
+		t.Fatalf("histogram sum = %v, want %v", h.Sum(), want)
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	n := 7
+	r.GaugeFunc("fusion_queue_depth", "queued", func() int64 { return int64(n) })
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "fusion_queue_depth 7\n") {
+		t.Fatalf("gauge func missing:\n%s", sb.String())
+	}
+}

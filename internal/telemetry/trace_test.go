@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTraceRecorderNilSafe(t *testing.T) {
+	var tr *TraceRecorder
+	tr.Stage("screen", 0, 0, 1) // must not panic
+	tr.Event("regeneration", 1, 2, "")
+	if tr.Now() != 0 {
+		t.Fatal("nil Now() != 0")
+	}
+	if spans, dropped := tr.Snapshot(); spans != nil || dropped != 0 {
+		t.Fatal("nil Snapshot not empty")
+	}
+	if tr.Summary() != nil {
+		t.Fatal("nil Summary not nil")
+	}
+}
+
+func TestTraceRecorderRing(t *testing.T) {
+	tr := NewTraceRecorder(4)
+	for i := 0; i < 7; i++ {
+		tr.Stage("screen", i, float64(i), float64(i)+0.5)
+	}
+	spans, dropped := tr.Snapshot()
+	if len(spans) != 4 {
+		t.Fatalf("len = %d, want 4 (ring capacity)", len(spans))
+	}
+	if dropped != 3 {
+		t.Fatalf("dropped = %d, want 3", dropped)
+	}
+	// Oldest three were overwritten: survivors are indices 3..6.
+	for i, s := range spans {
+		if s.Index != i+3 {
+			t.Fatalf("span %d has index %d, want %d", i, s.Index, i+3)
+		}
+	}
+	sum := tr.Summary()
+	if sum["screen"].Count != 4 || sum["screen"].Seconds != 2.0 {
+		t.Fatalf("summary = %+v", sum["screen"])
+	}
+}
+
+func TestTraceRecorderEventAndOrder(t *testing.T) {
+	tr := NewTraceRecorder(16)
+	tr.Stage("mean", -1, 2, 3)
+	tr.Stage("ingest", 0, 0, 1)
+	tr.Event("regeneration", 1, 2, "replica 1")
+	spans, _ := tr.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("len = %d", len(spans))
+	}
+	// Event stamps elapsed-now (≈0s here), so it sorts after ingest
+	// (start 0) and before mean (start 2).
+	if spans[0].Name != "ingest" || spans[2].Name != "mean" {
+		t.Fatalf("not sorted by start: %+v", spans)
+	}
+	ev := spans[1]
+	if ev.Name != "regeneration" || ev.Epoch != 2 || ev.Note != "replica 1" || ev.Start != ev.End {
+		t.Fatalf("event span wrong: %+v", ev)
+	}
+}
+
+func TestTraceRecorderConcurrent(t *testing.T) {
+	tr := NewTraceRecorder(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				t0 := tr.Now()
+				tr.Stage("screen", w*200+i, t0, tr.Now())
+				if i%50 == 0 {
+					tr.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	spans, dropped := tr.Snapshot()
+	if len(spans) != 64 || dropped != 4*200-64 {
+		t.Fatalf("spans=%d dropped=%d", len(spans), dropped)
+	}
+}
