@@ -484,6 +484,32 @@ func (w *countWriter) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
+// --- Pluggable fusion algorithms ---
+
+// BenchmarkAlgorithms compares the registered fusion algorithms on the
+// same scene through the sequential oracle — the PCT protocol pipeline
+// against the pyramid and DWT tile kernels, at serial and parallel
+// kernel settings (the output is parallelism-invariant; only the wall
+// clock moves). Recorded to BENCH_algorithms.json via cmd/benchkernels
+// -algorithms.
+func BenchmarkAlgorithms(b *testing.B) {
+	c := cube(b)
+	for _, alg := range []string{"pct", "pyramid", "dwt"} {
+		for _, par := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/par=%d", alg, par), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := core.Sequential(c, core.Options{
+						Workers: 4, Granularity: 2, Threshold: 0.03,
+						Parallelism: par, Algorithm: alg,
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // --- Real-runtime end-to-end (true parallelism on the host) ---
 
 func BenchmarkRealRuntimeFusion(b *testing.B) {

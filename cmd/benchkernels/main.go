@@ -20,6 +20,10 @@
 // BENCH_telemetry.json, and adds each kernel's on-vs-off overhead
 // percentage to the entry; the budget is < 2% per kernel.
 //
+// -algorithms selects the fusion-algorithm comparison
+// (BenchmarkAlgorithms: pct vs pyramid vs dwt on the same scene) and
+// records it to BENCH_algorithms.json.
+//
 // Without -input the tool runs `go test -run ^$ -bench <set> -benchmem`
 // itself (with -count runs, keeping each benchmark's fastest run to damp
 // scheduler noise). With -input it parses a previously captured `go test
@@ -56,6 +60,11 @@ const screenBenchSet = "BenchmarkScreen$|BenchmarkScreenBatched"
 // BENCH_telemetry.json (-telemetry): each kernel bare vs wrapped with
 // the service layer's per-message instrumentation.
 const telemetryBenchSet = "BenchmarkTelemetryOverhead"
+
+// algorithmsBenchSet is the fusion-algorithm comparison tracked in
+// BENCH_algorithms.json (-algorithms): the PCT protocol pipeline vs the
+// pyramid and DWT tile kernels on the same scene.
+const algorithmsBenchSet = "BenchmarkAlgorithms"
 
 type benchResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
@@ -100,6 +109,8 @@ func main() {
 		"record the screening-engine set to BENCH_screen.json (overrides -bench/-out defaults)")
 	telemetry := flag.Bool("telemetry", false,
 		"record the telemetry-overhead guard to BENCH_telemetry.json with on/off overhead percentages")
+	algorithms := flag.Bool("algorithms", false,
+		"record the fusion-algorithm comparison to BENCH_algorithms.json (overrides -bench/-out defaults)")
 	flag.Parse()
 	if *label == "" {
 		fmt.Fprintln(os.Stderr, "benchkernels: -label is required")
@@ -119,6 +130,14 @@ func main() {
 		}
 		if *out == "BENCH_kernels.json" {
 			*out = "BENCH_telemetry.json"
+		}
+	}
+	if *algorithms {
+		if *bench == benchSet {
+			*bench = algorithmsBenchSet
+		}
+		if *out == "BENCH_kernels.json" {
+			*out = "BENCH_algorithms.json"
 		}
 	}
 

@@ -7,11 +7,12 @@
 //
 //	submit <cube.hsic>         submit an HSIC cube for fusion
 //	                           (-granularity, -prefetch, -threshold,
-//	                           -components, -parallelism; -wait blocks
-//	                           until the job is terminal)
+//	                           -components, -parallelism, -algorithm;
+//	                           -wait blocks until the job is terminal)
 //	status <job-id>            print a job resource
 //	wait   <job-id>            long-poll a job to its terminal state
 //	                           (-timeout bounds the wait client-side)
+//	cancel <job-id>            withdraw a queued job
 //	jobs                       list jobs (-state, -limit)
 //	result <job-id>            fetch a result: -o writes the composite
 //	                           PNG, otherwise the JSON summary prints
@@ -61,6 +62,8 @@ func main() {
 		err = cmdStatus(ctx, client, args[1:])
 	case "wait":
 		err = cmdWait(ctx, client, args[1:])
+	case "cancel":
+		err = cmdCancel(ctx, client, args[1:])
 	case "jobs":
 		err = cmdJobs(ctx, client, args[1:])
 	case "result":
@@ -91,9 +94,11 @@ func usage() {
 
 commands:
   submit <cube.hsic>       submit an HSIC cube (-threshold, -granularity,
-                           -prefetch, -components, -parallelism, -wait)
+                           -prefetch, -components, -parallelism,
+                           -algorithm, -wait)
   status <job-id>          print a job resource
   wait <job-id>            long-poll a job to a terminal state (-timeout)
+  cancel <job-id>          withdraw a queued job
   jobs                     list jobs (-state, -limit)
   result <job-id>          fetch a result (-o composite.png for the image)
   scenes                   list registered scenes
@@ -111,6 +116,7 @@ func optionFlags(fs *flag.FlagSet) func() *fusionclient.Options {
 	threshold := fs.Float64("threshold", 0, "spectral-angle screening threshold (radians)")
 	components := fs.Int("components", 0, "principal components retained (min 3)")
 	parallelism := fs.Int("parallelism", 0, "per-worker kernel parallelism")
+	algorithm := fs.String("algorithm", "", "fusion algorithm (pct, pyramid, dwt)")
 	return func() *fusionclient.Options {
 		var opts fusionclient.Options
 		set := false
@@ -126,6 +132,8 @@ func optionFlags(fs *flag.FlagSet) func() *fusionclient.Options {
 				opts.Components, set = components, true
 			case "parallelism":
 				opts.Parallelism, set = parallelism, true
+			case "algorithm":
+				opts.Algorithm, set = algorithm, true
 			}
 		})
 		if !set {
@@ -148,7 +156,11 @@ func printJob(job *fusionclient.Job) {
 	}
 	if job.Options != nil {
 		o := job.Options
-		fmt.Printf("  [w=%d g=%d t=%g c=%d]", o.Workers, o.Granularity, o.Threshold, o.Components)
+		fmt.Printf("  [w=%d g=%d t=%g c=%d", o.Workers, o.Granularity, o.Threshold, o.Components)
+		if o.Algorithm != "" && o.Algorithm != "pct" {
+			fmt.Printf(" alg=%s", o.Algorithm)
+		}
+		fmt.Printf("]")
 	}
 	if job.Result != nil {
 		fmt.Printf("  K=%d sub_cubes=%d", job.Result.UniqueSetSize, job.Result.SubCubes)
@@ -222,9 +234,21 @@ func cmdWait(ctx context.Context, client *fusionclient.Client, args []string) er
 	return nil
 }
 
+func cmdCancel(ctx context.Context, client *fusionclient.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("cancel needs exactly one job ID")
+	}
+	job, err := client.Cancel(ctx, args[0])
+	if err != nil {
+		return err
+	}
+	printJob(job)
+	return nil
+}
+
 func cmdJobs(ctx context.Context, client *fusionclient.Client, args []string) error {
 	fs := flag.NewFlagSet("jobs", flag.ExitOnError)
-	state := fs.String("state", "", "filter by state (queued, running, done, failed)")
+	state := fs.String("state", "", "filter by state (queued, running, done, failed, canceled)")
 	limit := fs.Int("limit", 0, "bound the listing (0: server default)")
 	fs.Parse(args)
 	jobs, err := client.Jobs(ctx, fusionclient.JobState(*state), *limit)

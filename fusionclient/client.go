@@ -175,6 +175,22 @@ func (c *Client) Job(ctx context.Context, id string) (*Job, error) {
 	return &job, nil
 }
 
+// Cancel withdraws a queued job (DELETE /v2/jobs/{id}) and returns the
+// canceled resource. Jobs already running or finished come back as an
+// *APIError with code "job_not_cancelable".
+func (c *Client) Cancel(ctx context.Context, id string) (*Job, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
+		c.base+"/v2/jobs/"+url.PathEscape(id), nil)
+	if err != nil {
+		return nil, err
+	}
+	var job Job
+	if err := c.do(req, &job); err != nil {
+		return nil, err
+	}
+	return &job, nil
+}
+
 // Wait blocks until the job reaches a terminal state or ctx is done,
 // using server-side long-polls (GET /v2/jobs/{id}?wait=...) instead of a
 // status-poll loop: each request parks on the server until the job

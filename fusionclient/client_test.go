@@ -381,23 +381,113 @@ func TestWaitDeadline(t *testing.T) {
 	_ = pool
 }
 
+// TestAlgorithmAndCancel exercises the two newest SDK surfaces end to
+// end: submitting with a non-default fusion algorithm (echoed back in
+// canonical form) and canceling a queued job with the typed conflict
+// errors on every non-cancelable state.
+func TestAlgorithmAndCancel(t *testing.T) {
+	client, pool := startService(t, service.Config{
+		Workers: 1, MaxConcurrent: 1, QueueDepth: 4, CacheEntries: -1,
+	})
+	ctx := context.Background()
+
+	if _, err := client.Cancel(ctx, "job-999"); ErrorCode(err) != CodeUnknownJob {
+		t.Errorf("cancel unknown job: %v", err)
+	}
+	if _, err := client.SubmitCube(ctx, testCube(t, 16), &Options{Algorithm: String("median")}); ErrorCode(err) != CodeBadOption {
+		t.Errorf("unknown algorithm: %v", err)
+	}
+
+	// Wedge the single dispatcher so the pyramid job queues behind it,
+	// observable long enough to cancel over HTTP.
+	big, err := hsi.GenerateScene(hsi.SceneSpec{
+		Width: 256, Height: 256, Bands: 96, Seed: 3,
+		NoiseSigma: 6, Illumination: 0.15, OpenVehicles: 3, CamouflagedVehicles: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := client.SubmitCube(ctx, big.Cube, &Options{Threshold: Float(0.008)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := client.SubmitCube(ctx, testCube(t, 17), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if queued.State != StateQueued {
+		t.Fatalf("expected a queued job behind the wedge, got %s", queued.State)
+	}
+
+	canceled, err := client.Cancel(ctx, queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canceled.State != StateCanceled || !canceled.Terminal() || canceled.Finished == nil {
+		t.Fatalf("canceled job: %+v", canceled)
+	}
+	var ae *APIError
+	if _, err := client.Cancel(ctx, queued.ID); !errors.As(err, &ae) ||
+		ae.Code != CodeJobNotCancelable || ae.HTTPStatus != http.StatusConflict {
+		t.Errorf("re-cancel: %v", err)
+	}
+
+	// The wedge finishes untouched and is then past canceling too.
+	if job, err := client.Wait(ctx, slow.ID); err != nil || job.State != StateDone {
+		t.Fatalf("slow job: %+v err=%v", job, err)
+	}
+	if _, err := client.Cancel(ctx, slow.ID); ErrorCode(err) != CodeJobNotCancelable {
+		t.Errorf("cancel done job: %v", err)
+	}
+	if jobs, err := client.Jobs(ctx, StateCanceled, 0); err != nil || len(jobs) != 1 || jobs[0].ID != queued.ID {
+		t.Errorf("canceled filter: %+v err=%v", jobs, err)
+	}
+
+	// A non-default algorithm rides the same submit path: canonical echo,
+	// terminal completion, and a composite of the cube's dimensions.
+	cube := testCube(t, 18)
+	job, err := client.SubmitCube(ctx, cube, &Options{Algorithm: String("Pyramid")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Options == nil || job.Options.Algorithm != "pyramid" {
+		t.Fatalf("algorithm echo: %+v", job.Options)
+	}
+	if job, err = client.Wait(ctx, job.ID); err != nil || job.State != StateDone {
+		t.Fatalf("pyramid job: %+v err=%v", job, err)
+	}
+	data, err := client.ResultPNG(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := img.Bounds(); b.Dx() != cube.Width || b.Dy() != cube.Height {
+		t.Errorf("pyramid composite %dx%d, cube %dx%d", b.Dx(), b.Dy(), cube.Width, cube.Height)
+	}
+	_ = pool
+}
+
 // TestErrorCodesMatchService pins the SDK's mirrored code constants to
 // the service's — the two lists must never drift.
 func TestErrorCodesMatchService(t *testing.T) {
 	pairs := map[string]string{
-		CodeBadOption:       service.CodeBadOption,
-		CodeBadPayload:      service.CodeBadPayload,
-		CodePayloadTooLarge: service.CodePayloadTooLarge,
-		CodeQueueFull:       service.CodeQueueFull,
-		CodePoolClosed:      service.CodePoolClosed,
-		CodeUnknownJob:      service.CodeUnknownJob,
-		CodeUnknownScene:    service.CodeUnknownScene,
-		CodeSceneLimit:      service.CodeSceneLimit,
-		CodeNoSceneResult:   service.CodeNoSceneResult,
-		CodeImageExpired:    service.CodeImageExpired,
-		CodeJobNotFinished:  service.CodeJobNotFinished,
-		CodeJobFailed:       service.CodeJobFailed,
-		CodeInternal:        service.CodeInternal,
+		CodeBadOption:        service.CodeBadOption,
+		CodeBadPayload:       service.CodeBadPayload,
+		CodePayloadTooLarge:  service.CodePayloadTooLarge,
+		CodeQueueFull:        service.CodeQueueFull,
+		CodePoolClosed:       service.CodePoolClosed,
+		CodeUnknownJob:       service.CodeUnknownJob,
+		CodeUnknownScene:     service.CodeUnknownScene,
+		CodeSceneLimit:       service.CodeSceneLimit,
+		CodeNoSceneResult:    service.CodeNoSceneResult,
+		CodeImageExpired:     service.CodeImageExpired,
+		CodeJobNotCancelable: service.CodeJobNotCancelable,
+		CodeJobNotFinished:   service.CodeJobNotFinished,
+		CodeJobFailed:        service.CodeJobFailed,
+		CodeInternal:         service.CodeInternal,
 	}
 	for client, svc := range pairs {
 		if client != svc {

@@ -20,19 +20,20 @@ import (
 //		// back off and resubmit
 //	}
 const (
-	CodeBadOption       = "bad_option"
-	CodeBadPayload      = "bad_payload"
-	CodePayloadTooLarge = "payload_too_large"
-	CodeQueueFull       = "queue_full"
-	CodePoolClosed      = "pool_closed"
-	CodeUnknownJob      = "unknown_job"
-	CodeUnknownScene    = "unknown_scene"
-	CodeSceneLimit      = "scene_limit"
-	CodeNoSceneResult   = "no_scene_result"
-	CodeImageExpired    = "image_expired"
-	CodeJobNotFinished  = "job_not_finished"
-	CodeJobFailed       = "job_failed"
-	CodeInternal        = "internal"
+	CodeBadOption        = "bad_option"
+	CodeBadPayload       = "bad_payload"
+	CodePayloadTooLarge  = "payload_too_large"
+	CodeQueueFull        = "queue_full"
+	CodePoolClosed       = "pool_closed"
+	CodeUnknownJob       = "unknown_job"
+	CodeUnknownScene     = "unknown_scene"
+	CodeSceneLimit       = "scene_limit"
+	CodeNoSceneResult    = "no_scene_result"
+	CodeImageExpired     = "image_expired"
+	CodeJobNotCancelable = "job_not_cancelable"
+	CodeJobNotFinished   = "job_not_finished"
+	CodeJobFailed        = "job_failed"
+	CodeInternal         = "internal"
 )
 
 // APIError is a structured service error, round-tripped from the v2

@@ -7,14 +7,17 @@ import "time"
 type JobState string
 
 const (
-	StateQueued  JobState = "queued"
-	StateRunning JobState = "running"
-	StateDone    JobState = "done"
-	StateFailed  JobState = "failed"
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
 )
 
 // Terminal reports whether the state is final.
-func (s JobState) Terminal() bool { return s == StateDone || s == StateFailed }
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
 
 // Options are the client-settable fusion knobs. Nil fields take the
 // pool's defaults (so does an explicit zero — the service treats zero
@@ -35,6 +38,9 @@ type Options struct {
 	Components *int `json:"components,omitempty"`
 	// Parallelism is the per-worker kernel parallelism (result-invariant).
 	Parallelism *int `json:"parallelism,omitempty"`
+	// Algorithm selects the fusion algorithm by registry name ("pct",
+	// "pyramid", "dwt"); nil or empty selects "pct".
+	Algorithm *string `json:"algorithm,omitempty"`
 }
 
 // Int returns a pointer to v, for Options literals.
@@ -42,6 +48,9 @@ func Int(v int) *int { return &v }
 
 // Float returns a pointer to v, for Options literals.
 func Float(v float64) *float64 { return &v }
+
+// String returns a pointer to v, for Options literals.
+func String(v string) *string { return &v }
 
 // JobOptions is the canonical options echo: every knob the job actually
 // ran with, defaults filled in, including the pool-fixed worker count.
@@ -52,6 +61,7 @@ type JobOptions struct {
 	Threshold   float64 `json:"threshold"`
 	Components  int     `json:"components"`
 	Parallelism int     `json:"parallelism"`
+	Algorithm   string  `json:"algorithm"`
 }
 
 // TileProgress is a scene job's per-tile pipeline position.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 
+	"resilientfusion/internal/fuse"
 	"resilientfusion/internal/perfmodel"
 	"resilientfusion/internal/resilient"
 	"resilientfusion/internal/scplib"
@@ -29,23 +30,30 @@ const WorkerBodyKind = "core.worker"
 //	manager     int32
 //	threshold   float64 bits
 //	parallelism int32
-const workerArgsBytes = 16
+//	algorithm   uint32 (fuse.ID)
+const workerArgsBytes = 20
 
-func encodeWorkerArgs(manager resilient.LogicalID, threshold float64, parallelism int) []byte {
+func encodeWorkerArgs(manager resilient.LogicalID, threshold float64, parallelism int, alg fuse.ID) []byte {
 	buf := make([]byte, workerArgsBytes)
 	binary.LittleEndian.PutUint32(buf[0:], uint32(manager))
 	binary.LittleEndian.PutUint64(buf[4:], math.Float64bits(threshold))
 	binary.LittleEndian.PutUint32(buf[12:], uint32(int32(parallelism)))
+	binary.LittleEndian.PutUint32(buf[16:], uint32(alg))
 	return buf
 }
 
-func decodeWorkerArgs(b []byte) (resilient.LogicalID, float64, int, error) {
+func decodeWorkerArgs(b []byte) (resilient.LogicalID, float64, int, string, error) {
 	if len(b) < workerArgsBytes {
-		return 0, 0, 0, fmt.Errorf("core: worker args %d bytes", len(b))
+		return 0, 0, 0, "", fmt.Errorf("core: worker args %d bytes", len(b))
+	}
+	alg, ok := fuse.ByID(fuse.ID(binary.LittleEndian.Uint32(b[16:])))
+	if !ok {
+		return 0, 0, 0, "", fmt.Errorf("core: worker args carry unknown algorithm id %d",
+			binary.LittleEndian.Uint32(b[16:]))
 	}
 	return resilient.LogicalID(int32(binary.LittleEndian.Uint32(b[0:]))),
 		math.Float64frombits(binary.LittleEndian.Uint64(b[4:])),
-		int(int32(binary.LittleEndian.Uint32(b[12:]))), nil
+		int(int32(binary.LittleEndian.Uint32(b[12:]))), alg.Name, nil
 }
 
 // RegisterWorkerBodies installs the fusion worker factory into a
@@ -55,11 +63,11 @@ func decodeWorkerArgs(b []byte) (resilient.LogicalID, float64, int, error) {
 // correct here.
 func RegisterWorkerBodies(reg *resilient.BodyRegistry) {
 	reg.Register(WorkerBodyKind, func(args []byte) (resilient.RBody, error) {
-		manager, threshold, parallelism, err := decodeWorkerArgs(args)
+		manager, threshold, parallelism, algorithm, err := decodeWorkerArgs(args)
 		if err != nil {
 			return nil, err
 		}
-		return workerBody(manager, threshold, parallelism, perfmodel.Default()), nil
+		return workerBody(manager, algorithm, threshold, parallelism, perfmodel.Default()), nil
 	})
 }
 
@@ -98,6 +106,11 @@ func StartJob(sys scplib.System, src CubeSource, opts Options, base scplib.Threa
 	if opts.Components < 3 {
 		return nil, fmt.Errorf("%w: need >=3 components for color mapping", ErrBadOptions)
 	}
+	alg, ok := fuse.Lookup(opts.Algorithm)
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown algorithm %q (have %v)",
+			ErrBadOptions, opts.Algorithm, fuse.Names())
+	}
 	if opts.Parallelism == 0 {
 		opts.Parallelism = SharedKernelParallelism(opts.Workers)
 	}
@@ -116,13 +129,13 @@ func StartJob(sys scplib.System, src CubeSource, opts Options, base scplib.Threa
 		return nil, err
 	}
 	rt.SetTrace(opts.Trace)
-	args := encodeWorkerArgs(ManagerID, opts.Threshold, opts.Parallelism)
+	args := encodeWorkerArgs(ManagerID, opts.Threshold, opts.Parallelism, alg.ID)
 	for w := 1; w <= opts.Workers; w++ {
 		placements := make([]int, opts.Replication)
 		for k := 0; k < opts.Replication; k++ {
 			placements[k] = 1 + (w-1+k)%opts.Workers
 		}
-		body := workerBody(ManagerID, opts.Threshold, opts.Parallelism, opts.Cost)
+		body := workerBody(ManagerID, opts.Algorithm, opts.Threshold, opts.Parallelism, opts.Cost)
 		// Always a (possibly single-member) monitored group: cluster
 		// workers are regenerable even at replication 1, unlike the
 		// in-process baseline's unmonitored singletons.

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"resilientfusion/internal/fuse"
 	"resilientfusion/internal/hsi"
 	"resilientfusion/internal/resilient"
 	"resilientfusion/internal/scplib"
@@ -290,14 +291,18 @@ func TestClusterJobsShareSystem(t *testing.T) {
 }
 
 func TestWorkerArgsRoundTrip(t *testing.T) {
-	mgr, thr, par, err := decodeWorkerArgs(encodeWorkerArgs(ManagerID, 0.125, 3))
+	mgr, thr, par, alg, err := decodeWorkerArgs(encodeWorkerArgs(ManagerID, 0.125, 3, fuse.IDPyramid))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if mgr != ManagerID || thr != 0.125 || par != 3 {
-		t.Fatalf("round trip: mgr=%d thr=%g par=%d", mgr, thr, par)
+	if mgr != ManagerID || thr != 0.125 || par != 3 || alg != "pyramid" {
+		t.Fatalf("round trip: mgr=%d thr=%g par=%d alg=%q", mgr, thr, par, alg)
 	}
-	if _, _, _, err := decodeWorkerArgs(make([]byte, 8)); err == nil {
+	if _, _, _, _, err := decodeWorkerArgs(make([]byte, 8)); err == nil {
 		t.Fatal("short args accepted")
+	}
+	bogus := encodeWorkerArgs(ManagerID, 0.125, 3, fuse.ID(999))
+	if _, _, _, _, err := decodeWorkerArgs(bogus); err == nil {
+		t.Fatal("unknown algorithm id accepted")
 	}
 }

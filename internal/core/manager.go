@@ -6,6 +6,7 @@ import (
 	"image"
 
 	"resilientfusion/internal/colormap"
+	"resilientfusion/internal/fuse"
 	"resilientfusion/internal/hsi"
 	"resilientfusion/internal/linalg"
 	"resilientfusion/internal/pct"
@@ -105,6 +106,7 @@ type manager struct {
 	// the span covers send→response, reissues included; -1 means unsent.
 	tr                    *telemetry.TraceRecorder
 	screenT0, covT0, tfT0 []float64
+	fuseT0                []float64
 }
 
 // newT0 returns an n-slot dispatch-stamp slice, all unsent.
@@ -127,6 +129,33 @@ func (m *manager) run() error {
 	m.screenT0 = newT0(len(m.ranges))
 	m.covT0 = newT0(opts.Workers)
 	m.tfT0 = newT0(len(m.ranges))
+	m.fuseT0 = newT0(len(m.ranges))
+
+	// Registry dispatch: tile-kernel algorithms (pyramid, dwt) run one
+	// distribute/collect phase — same dynamic scheduling, prefetch and
+	// reissue machinery as screening, but each reply is a finished RGB
+	// slab. The pct entry has no tile kernel and continues into the
+	// 8-step protocol below.
+	alg, ok := fuse.Lookup(opts.Algorithm)
+	if !ok {
+		return fmt.Errorf("%w: unknown algorithm %q (have %v)",
+			ErrBadOptions, opts.Algorithm, fuse.Names())
+	}
+	if alg.FuseTile != nil {
+		img, err := m.fusePhase()
+		if err != nil {
+			return fmt.Errorf("fuse phase: %w", err)
+		}
+		m.res.Image = img
+		m.res.Times.Transform = m.env.Now() - t0
+		m.res.Times.Total = m.env.Now() - t0
+		for w := 1; w <= opts.Workers; w++ {
+			if err := m.env.Send(resilient.LogicalID(w), KindStop, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 
 	// Steps 1–2: distributed screening, then sequential merge.
 	uniqueSets, err := m.screenPhase()
@@ -298,6 +327,106 @@ func (m *manager) screenPhase() ([][]linalg.Vector, error) {
 		}
 	}
 	return uniq, nil
+}
+
+// sendFuse ships sub-cube idx to a worker for whole-tile fusion,
+// pulling the tile from the source (an in-memory extract or a streamed
+// read).
+func (m *manager) sendFuse(idx int, to resilient.LogicalID) error {
+	ingestT0 := m.tr.Now()
+	tile, err := m.src.Tile(m.ranges[idx])
+	if err != nil {
+		return err
+	}
+	m.tr.Stage("ingest", idx, ingestT0, m.tr.Now())
+	payload, err := EncodeFuseReq(&FuseReq{Range: m.ranges[idx], Cube: tile})
+	if err != nil {
+		return err
+	}
+	m.owner[idx] = to
+	if m.fuseT0[idx] < 0 {
+		m.fuseT0[idx] = m.tr.Now()
+	}
+	return m.env.Send(to, KindFuseReq, payload)
+}
+
+// fusePhase is the whole run for tile-kernel algorithms: sub-cubes are
+// distributed dynamically with the screen phase's breadth-first initial
+// fill and prefetch overlap, each reply carries the tile's finished RGB
+// slab, and the manager assembles the composite. Tile requests carry
+// their data, so a reissue after a worker loss needs no cached state —
+// any live worker can recompute any tile.
+func (m *manager) fusePhase() (*image.RGBA, error) {
+	S := len(m.ranges)
+	img := image.NewRGBA(image.Rect(0, 0, m.width, m.height))
+	doneIdx := make([]bool, S)
+	next := 0 // next unassigned sub-cube
+	outstanding := newIntSet(S)
+	reissues := 0
+
+	prefetch := m.opts.Prefetch
+	if prefetch < 0 {
+		prefetch = 0
+	}
+	for q := 0; q <= prefetch && next < S; q++ {
+		for w := 1; w <= m.opts.Workers && next < S; w++ {
+			if err := m.sendFuse(next, resilient.LogicalID(w)); err != nil {
+				return nil, err
+			}
+			outstanding.add(next)
+			next++
+		}
+	}
+	for done := 0; done < S; {
+		msg, err := m.env.RecvTimeout(m.opts.RequestTimeout)
+		if errors.Is(err, resilient.ErrTimeout) {
+			reissues++
+			m.res.Reissues++
+			if reissues > m.opts.MaxReissues {
+				return nil, fmt.Errorf("fusion stalled after %d reissues (%d/%d done)", reissues, done, S)
+			}
+			for _, idx := range outstanding.keys() {
+				if err := m.sendFuse(idx, m.owner[idx]); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		if msg.Kind != KindFuseResp {
+			continue // stale traffic from a reissue race
+		}
+		resp, err := DecodeFuseResp(msg.Payload)
+		if err != nil {
+			return nil, err
+		}
+		idx := resp.Range.Index
+		if idx < 0 || idx >= S || doneIdx[idx] {
+			continue // duplicate (reissue raced the original)
+		}
+		blitRGB(img, resp)
+		m.tr.Stage("fuse", idx, m.fuseT0[idx], m.tr.Now())
+		doneIdx[idx] = true
+		outstanding.remove(idx)
+		done++
+		// A tile completes both pipeline positions at once for progress
+		// observers: there is no separate screen step to report.
+		if obs, ok := m.src.(TileObserver); ok {
+			obs.TileScreened(done, S)
+			obs.TileTransformed(done, S)
+		}
+		// Keep the responding worker busy with the next sub-problem.
+		if next < S {
+			if err := m.sendFuse(next, msg.From); err != nil {
+				return nil, err
+			}
+			outstanding.add(next)
+			next++
+		}
+	}
+	return img, nil
 }
 
 // mergePhase is algorithm step 2: the manager combines per-sub-cube

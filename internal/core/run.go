@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"resilientfusion/internal/fuse"
 	"resilientfusion/internal/hsi"
 	"resilientfusion/internal/linalg"
 	"resilientfusion/internal/perfmodel"
@@ -44,6 +45,12 @@ type Options struct {
 	Components int
 	// Solver selects the eigensolver (default tridiagonal QL).
 	Solver linalg.EigenSolver
+	// Algorithm selects the fusion algorithm by registry name
+	// ("pct", "pyramid", "dwt"; empty selects "pct", the paper's
+	// pipeline). Canonicalized by withDefaults and folded into ResultKey,
+	// so distinct algorithms can never share a cache entry. Unknown names
+	// are rejected with ErrBadOptions at job construction.
+	Algorithm string
 	// Replication is the resiliency level: 1 runs bare workers (the
 	// paper's "no resiliency" series), 2 replicates every worker.
 	Replication int
@@ -89,6 +96,7 @@ func (o Options) withDefaults() Options {
 	if o.Components == 0 {
 		o.Components = 3
 	}
+	o.Algorithm = fuse.Canonical(o.Algorithm)
 	if o.Replication == 0 {
 		o.Replication = 1
 	}
@@ -149,14 +157,24 @@ func (o Options) TileRanges(height int) []hsi.RowRange {
 
 // ResultKey returns a deterministic string over exactly the fields that
 // influence the fusion output: Workers, Granularity, Threshold,
-// Components and Solver (see Sequential's contract). Scheduling and
-// resiliency knobs (Prefetch, Replication, timeouts, Cost) do not change
-// the result and are excluded. The service layer combines this key with
-// the cube digest to content-address its result cache.
+// Components, Solver and Algorithm (see Sequential's contract).
+// Scheduling and resiliency knobs (Prefetch, Replication, timeouts,
+// Cost) do not change the result and are excluded. The service layer
+// combines this key with the cube digest to content-address its result
+// cache.
+//
+// The pct key keeps its pre-registry byte layout (no algorithm
+// component), so every cache entry written before algorithms existed
+// remains addressable; other algorithms append a ".a<name>" suffix,
+// which can never collide with a pct key.
 func (o Options) ResultKey() string {
 	c := o.withDefaults()
-	return fmt.Sprintf("w%d.g%d.t%016x.c%d.s%d",
+	key := fmt.Sprintf("w%d.g%d.t%016x.c%d.s%d",
 		c.Workers, c.Granularity, math.Float64bits(c.Threshold), c.Components, int(c.Solver))
+	if c.Algorithm != "pct" {
+		key += ".a" + c.Algorithm
+	}
+	return key
 }
 
 // Job is a configured fusion run bound to a system. Failure plans may be
@@ -202,6 +220,10 @@ func NewJobSource(sys scplib.System, src CubeSource, opts Options) (*Job, error)
 	if opts.Components < 3 {
 		return nil, fmt.Errorf("%w: need >=3 components for color mapping", ErrBadOptions)
 	}
+	if _, ok := fuse.Lookup(opts.Algorithm); !ok {
+		return nil, fmt.Errorf("%w: unknown algorithm %q (have %v)",
+			ErrBadOptions, opts.Algorithm, fuse.Names())
+	}
 
 	// Workers compute concurrently; share the host's parallelism among
 	// them instead of letting every worker fan out to GOMAXPROCS.
@@ -230,7 +252,7 @@ func NewJobSource(sys scplib.System, src CubeSource, opts Options) (*Job, error)
 	for w := 1; w <= opts.Workers; w++ {
 		lid := resilient.LogicalID(w)
 		name := fmt.Sprintf("worker%d", w)
-		body := workerBody(ManagerID, opts.Threshold, opts.Parallelism, opts.Cost)
+		body := workerBody(ManagerID, opts.Algorithm, opts.Threshold, opts.Parallelism, opts.Cost)
 		if opts.Replication == 1 {
 			if err := rt.AddSingleton(lid, name, w, body); err != nil {
 				return nil, err

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"fmt"
 	"image"
 
 	"resilientfusion/internal/colormap"
+	"resilientfusion/internal/fuse"
 	"resilientfusion/internal/hsi"
 	"resilientfusion/internal/linalg"
 	"resilientfusion/internal/pct"
@@ -15,11 +17,19 @@ import (
 // thread with no messaging. Its output is bit-identical to the
 // distributed pipeline's for the same Options, which is the correctness
 // oracle the distributed tests check against. (Only Workers, Granularity,
-// Threshold, Components and Solver influence the result.)
+// Threshold, Components, Solver and Algorithm influence the result.)
 func Sequential(cube *hsi.Cube, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if err := cube.Validate(); err != nil {
 		return nil, err
+	}
+	alg, ok := fuse.Lookup(opts.Algorithm)
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown algorithm %q (have %v)",
+			ErrBadOptions, opts.Algorithm, fuse.Names())
+	}
+	if alg.FuseTile != nil {
+		return sequentialFuse(cube, opts, alg)
 	}
 	res := &Result{}
 
@@ -103,6 +113,30 @@ func Sequential(cube *hsi.Cube, opts Options) (*Result, error) {
 			return nil, err
 		}
 		blitRGB(img, resp)
+	}
+	res.Image = img
+	res.completed = true
+	return res, nil
+}
+
+// sequentialFuse is the one-thread oracle for tile-kernel algorithms:
+// the manager's exact row decomposition, each tile fused by the
+// registered kernel, slabs assembled exactly like fusePhase does.
+func sequentialFuse(cube *hsi.Cube, opts Options, alg fuse.Algorithm) (*Result, error) {
+	res := &Result{}
+	ranges := opts.TileRanges(cube.Height)
+	res.SubCubes = len(ranges)
+	img := image.NewRGBA(image.Rect(0, 0, cube.Width, cube.Height))
+	for _, rr := range ranges {
+		sub, err := hsi.Extract(cube, rr)
+		if err != nil {
+			return nil, err
+		}
+		rgb := make([]byte, sub.Cube.Pixels()*3)
+		if err := alg.FuseTile(sub.Cube, opts.Parallelism, rgb); err != nil {
+			return nil, err
+		}
+		blitRGB(img, &FuseResp{Range: rr, Width: cube.Width, RGB: rgb})
 	}
 	res.Image = img
 	res.completed = true

@@ -41,6 +41,11 @@ const (
 	KindCacheMiss
 	// KindStop shuts a worker down gracefully.
 	KindStop
+	// KindFuseReq carries a sub-cube for a tile-kernel algorithm
+	// (pyramid, dwt): the whole per-tile fusion in one request.
+	KindFuseReq
+	// KindFuseResp returns a tile kernel's fused RGB slab.
+	KindFuseResp
 )
 
 // ErrWire reports malformed fusion payloads.
@@ -551,3 +556,29 @@ func DecodeCacheMiss(p []byte) (int, error) {
 	idx, err := r.u32()
 	return int(idx), err
 }
+
+// --- Fuse: tile-kernel algorithms (pyramid, dwt) ---
+//
+// A fuse request ships a sub-cube exactly like a screening request, and
+// a fuse response returns the tile's color-mapped slab exactly like a
+// transform response, so both reuse those codecs byte-for-byte: the
+// message kind, not the payload layout, is what distinguishes the
+// single-phase tile-kernel exchange from the multi-phase pct protocol.
+
+// FuseReq carries a sub-cube for one whole-tile fusion.
+type FuseReq = ScreenReq
+
+// FuseResp returns a tile's fused RGB slab.
+type FuseResp = TransformResp
+
+// EncodeFuseReq serializes a tile-fusion request.
+func EncodeFuseReq(req *FuseReq) ([]byte, error) { return EncodeScreenReq(req) }
+
+// DecodeFuseReq parses a tile-fusion request.
+func DecodeFuseReq(p []byte) (*FuseReq, error) { return DecodeScreenReq(p) }
+
+// EncodeFuseResp serializes a tile-fusion response.
+func EncodeFuseResp(resp *FuseResp) []byte { return EncodeTransformResp(resp) }
+
+// DecodeFuseResp parses a tile-fusion response.
+func DecodeFuseResp(p []byte) (*FuseResp, error) { return DecodeTransformResp(p) }

@@ -2,8 +2,10 @@ package core
 
 import (
 	"bytes"
+	"fmt"
 
 	"resilientfusion/internal/colormap"
+	"resilientfusion/internal/fuse"
 	"resilientfusion/internal/hsi"
 	"resilientfusion/internal/linalg"
 	"resilientfusion/internal/pct"
@@ -19,6 +21,7 @@ import (
 // worker thread owns exactly one; the service pool's multiplexing workers
 // keep one per in-flight job.
 type WorkerState struct {
+	algorithm   string // canonical registry name ("" behaves as "pct")
 	threshold   float64
 	parallelism int // kernel parallelism (0 = GOMAXPROCS)
 	cost        perfmodel.Model
@@ -51,12 +54,14 @@ func (s *Scratch) covFor(n int) *linalg.Matrix {
 	return s.cov
 }
 
-// NewWorkerState returns empty per-job worker state. parallelism is the
-// kernel parallelism of the screening, statistics and transform steps
-// (0 selects GOMAXPROCS); it never changes the computed bits, only the
-// wall clock.
-func NewWorkerState(threshold float64, parallelism int, cost perfmodel.Model) *WorkerState {
+// NewWorkerState returns empty per-job worker state for the named
+// fusion algorithm (registry name; "" behaves as "pct"). parallelism is
+// the kernel parallelism of the screening, statistics, transform and
+// tile-fusion steps (0 selects GOMAXPROCS); it never changes the
+// computed bits, only the wall clock.
+func NewWorkerState(algorithm string, threshold float64, parallelism int, cost perfmodel.Model) *WorkerState {
 	return &WorkerState{
+		algorithm:   fuse.Canonical(algorithm),
 		threshold:   threshold,
 		parallelism: parallelism,
 		cost:        cost,
@@ -143,16 +148,41 @@ func (ws *WorkerState) Handle(kind uint16, payload []byte) (replyKind uint16, re
 			return 0, nil, 0, err
 		}
 		return KindTransformResp, EncodeTransformResp(resp), flops, nil
+
+	case KindFuseReq:
+		req, err := DecodeFuseReq(payload)
+		if err != nil {
+			return 0, nil, 0, err
+		}
+		alg, ok := fuse.Lookup(ws.algorithm)
+		if !ok || alg.FuseTile == nil {
+			return 0, nil, 0, fmt.Errorf("core: no tile kernel registered for algorithm %q", ws.algorithm)
+		}
+		// The whole per-tile fusion in one step: decompose, select, merge
+		// and color-map inside the registered kernel, deterministic at
+		// every parallelism. Reissued requests recompute — the kernel is
+		// pure, so the reply is byte-identical and the manager dedupes.
+		pixels := req.Cube.Pixels()
+		rgb := make([]byte, pixels*3)
+		if err := alg.FuseTile(req.Cube, ws.parallelism, rgb); err != nil {
+			return 0, nil, 0, err
+		}
+		resp := &FuseResp{Range: req.Range, Width: req.Cube.Width, RGB: rgb}
+		// Charge the transform-shaped model cost: one pass over the tile's
+		// samples producing 3 output planes, plus the color mapping.
+		flops := ws.cost.TransformFlops(pixels, req.Cube.Bands, 3) + ws.cost.ColorMapFlops(pixels)
+		return KindFuseResp, EncodeFuseResp(resp), flops, nil
 	}
 	return 0, nil, 0, nil
 }
 
-// workerBody executes the worker side of the 8-step algorithm as a
-// dedicated resilient thread: one WorkerState for its lifetime, stopping
-// on KindStop.
-func workerBody(manager resilient.LogicalID, threshold float64, parallelism int, cost perfmodel.Model) resilient.RBody {
+// workerBody executes the worker side of the fusion protocol as a
+// dedicated resilient thread — the 8-step pct exchange or the
+// single-phase tile-kernel exchange, per the job's algorithm — with one
+// WorkerState for its lifetime, stopping on KindStop.
+func workerBody(manager resilient.LogicalID, algorithm string, threshold float64, parallelism int, cost perfmodel.Model) resilient.RBody {
 	return func(env resilient.REnv) error {
-		ws := NewWorkerState(threshold, parallelism, cost)
+		ws := NewWorkerState(algorithm, threshold, parallelism, cost)
 		ws.UseScratch(NewScratch())
 		for {
 			m, err := env.Recv()

@@ -1,0 +1,187 @@
+package dwt
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"resilientfusion/internal/hsi"
+	"resilientfusion/internal/linalg"
+)
+
+// Parity tests, in the mold of pct/parity_test.go: the kernel must match
+// a plain scalar reference bit-for-bit at every Parallelism. The
+// reference implements the documented operation order — rows-then-
+// columns Haar per level, row-major activity accumulation, ascending
+// band/level/subband selection with strict > — with naive sequential
+// loops and no goroutines.
+
+var parityPar = []int{1, 2, 3, 7, 64}
+
+func parityCube(t *testing.T, seed int64, w, h, bands int) *hsi.Cube {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	c := hsi.MustNewCube(w, h, bands)
+	for i := range c.Data {
+		c.Data[i] = float32(rng.NormFloat64()*40 + 120)
+	}
+	return c
+}
+
+// refFuse is the scalar reference for Fuse: the same documented math in
+// plain sequential loops, reusing only the order-free helpers.
+func refFuse(tile *hsi.Cube) []byte {
+	rgb := make([]byte, tile.Pixels()*3)
+	for ch, g := range bandGroups(tile.Bands) {
+		writeChannel(rgb, refFuseGroup(tile, g.lo, g.hi), ch)
+	}
+	return rgb
+}
+
+func refFuseGroup(tile *hsi.Cube, lo, hi int) []float64 {
+	w, h := tile.Width, tile.Height
+	n := hi - lo
+	levels := Levels(w, h)
+
+	coeffs := make([][]float64, n)
+	for b := 0; b < n; b++ {
+		plane := bandPlane(tile, lo+b)
+		forward(plane, w, h, levels)
+		coeffs[b] = plane
+	}
+
+	details, approx := subbands(w, h, levels)
+	fused := make([]float64, w*h)
+	for l := 0; l < levels; l++ {
+		for s := 0; s < 3; s++ {
+			r := details[l][s]
+			if r.w == 0 || r.h == 0 {
+				continue
+			}
+			best, bestScore := 0, activity(coeffs[0], w, r)
+			for b := 1; b < n; b++ {
+				if sc := activity(coeffs[b], w, r); sc > bestScore {
+					best, bestScore = b, sc
+				}
+			}
+			copyRegion(fused, coeffs[best], w, r)
+		}
+	}
+	inv := 1 / float64(n)
+	for y := approx.y0; y < approx.y0+approx.h; y++ {
+		for x := approx.x0; x < approx.x0+approx.w; x++ {
+			var sum float64
+			for b := 0; b < n; b++ {
+				sum += coeffs[b][y*w+x]
+			}
+			fused[y*w+x] = sum * inv
+		}
+	}
+	inverse(fused, w, h, levels)
+	return fused
+}
+
+func TestFuseMatchesScalarReference(t *testing.T) {
+	shapes := []struct{ w, h, bands int }{
+		{17, 9, 7},
+		{32, 5, 12},
+		{21, 1, 3}, // single-row slab
+		{8, 8, 2},  // fewer bands than channels
+		{5, 3, 1},
+	}
+	for _, s := range shapes {
+		tile := parityCube(t, int64(s.w*1000+s.h*10+s.bands), s.w, s.h, s.bands)
+		want := refFuse(tile)
+		for _, par := range parityPar {
+			got := make([]byte, tile.Pixels()*3)
+			if err := Fuse(tile, par, got); err != nil {
+				t.Fatalf("%dx%dx%d par=%d: %v", s.w, s.h, s.bands, par, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%dx%dx%d par=%d: output differs from scalar reference",
+					s.w, s.h, s.bands, par)
+			}
+		}
+	}
+}
+
+func TestFuseParallelismInvariant(t *testing.T) {
+	tile := parityCube(t, 42, 40, 24, 15)
+	pars := append(append([]int(nil), parityPar...), linalg.MaxWorkers())
+	var want []byte
+	for _, par := range pars {
+		got := make([]byte, tile.Pixels()*3)
+		if err := Fuse(tile, par, got); err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("par=%d output differs from par=%d", par, pars[0])
+		}
+	}
+}
+
+// TestHaarRoundTrip pins exact invertibility of the odd-length pairing
+// rule: forward then inverse must reproduce the plane to within float
+// rounding at every awkward extent.
+func TestHaarRoundTrip(t *testing.T) {
+	for _, s := range []struct{ w, h int }{
+		{16, 16}, {17, 9}, {1, 7}, {7, 1}, {5, 5}, {2, 3}, {1, 1},
+	} {
+		rng := rand.New(rand.NewSource(int64(s.w*100 + s.h)))
+		plane := make([]float64, s.w*s.h)
+		for i := range plane {
+			plane[i] = rng.NormFloat64() * 50
+		}
+		orig := append([]float64(nil), plane...)
+		levels := Levels(s.w, s.h)
+		forward(plane, s.w, s.h, levels)
+		inverse(plane, s.w, s.h, levels)
+		for i := range plane {
+			if math.Abs(plane[i]-orig[i]) > 1e-9 {
+				t.Fatalf("%dx%d: round trip drifted at %d: %g vs %g",
+					s.w, s.h, i, plane[i], orig[i])
+			}
+		}
+	}
+}
+
+// TestSubbandsTile checks the coefficient layout partitions the plane:
+// every sample belongs to exactly one detail region or the final
+// approximation.
+func TestSubbandsTile(t *testing.T) {
+	for _, s := range []struct{ w, h int }{{16, 16}, {17, 9}, {5, 3}, {1, 7}} {
+		levels := Levels(s.w, s.h)
+		details, approx := subbands(s.w, s.h, levels)
+		seen := make([]int, s.w*s.h)
+		mark := func(r region) {
+			for y := r.y0; y < r.y0+r.h; y++ {
+				for x := r.x0; x < r.x0+r.w; x++ {
+					seen[y*s.w+x]++
+				}
+			}
+		}
+		for _, lvl := range details {
+			for _, r := range lvl {
+				mark(r)
+			}
+		}
+		mark(approx)
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("%dx%d levels=%d: sample %d covered %d times", s.w, s.h, levels, i, c)
+			}
+		}
+	}
+}
+
+func TestFuseRejectsShortBuffer(t *testing.T) {
+	tile := parityCube(t, 1, 4, 4, 3)
+	if err := Fuse(tile, 1, make([]byte, 5)); err == nil {
+		t.Fatal("short rgb buffer accepted")
+	}
+}

@@ -1,0 +1,265 @@
+package pyramid
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"resilientfusion/internal/hsi"
+	"resilientfusion/internal/linalg"
+)
+
+// Parity tests, in the mold of pct/parity_test.go: the kernel must match
+// a plain scalar reference bit-for-bit at every Parallelism. The
+// reference implements the documented operation order — 5-tap separable
+// filtering with ascending-k accumulation, ascending-band selection with
+// strict >, ascending-band top-level averaging — with naive sequential
+// loops and no goroutines. Sizes straddle the awkward boundaries: odd
+// extents, single-row slabs (the shape small tiles decompose into), and
+// parallelism far above the bands available.
+
+var parityPar = []int{1, 2, 3, 7, 64}
+
+func parityCube(t *testing.T, seed int64, w, h, bands int) *hsi.Cube {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	c := hsi.MustNewCube(w, h, bands)
+	for i := range c.Data {
+		c.Data[i] = float32(rng.NormFloat64()*40 + 120)
+	}
+	return c
+}
+
+// refFuse is the scalar reference for Fuse: same documented math, plain
+// sequential loops.
+func refFuse(tile *hsi.Cube) []byte {
+	rgb := make([]byte, tile.Pixels()*3)
+	for ch, g := range bandGroups(tile.Bands) {
+		writeChannel(rgb, refFuseGroup(tile, g.lo, g.hi), ch)
+	}
+	return rgb
+}
+
+func refFuseGroup(tile *hsi.Cube, lo, hi int) []float64 {
+	w, h := tile.Width, tile.Height
+	n := hi - lo
+	levels := Levels(w, h)
+	dims := levelDims(w, h, levels)
+
+	gps := make([][][]float64, n)
+	rps := make([][][]float64, n)
+	for b := 0; b < n; b++ {
+		gp := make([][]float64, levels+1)
+		gp[0] = bandPlane(tile, lo+b)
+		for l := 1; l <= levels; l++ {
+			gp[l] = refReduce(gp[l-1], dims[l-1].w, dims[l-1].h)
+		}
+		rp := make([][]float64, levels)
+		for l := 0; l < levels; l++ {
+			e := refExpand(gp[l+1], dims[l+1].w, dims[l+1].h, dims[l].w, dims[l].h)
+			r := make([]float64, len(gp[l]))
+			for i := range r {
+				d := e[i]
+				if d < ratioEps && d > -ratioEps {
+					d = ratioEps
+				}
+				r[i] = gp[l][i] / d
+			}
+			rp[l] = r
+		}
+		gps[b], rps[b] = gp, rp
+	}
+
+	fused := make([][]float64, levels)
+	for l := 0; l < levels; l++ {
+		sel := append([]float64(nil), rps[0][l]...)
+		for b := 1; b < n; b++ {
+			for i, v := range rps[b][l] {
+				if math.Abs(v-1) > math.Abs(sel[i]-1) {
+					sel[i] = v
+				}
+			}
+		}
+		fused[l] = sel
+	}
+	top := make([]float64, len(gps[0][levels]))
+	for b := 0; b < n; b++ {
+		for i, v := range gps[b][levels] {
+			top[i] += v
+		}
+	}
+	for i := range top {
+		top[i] *= 1 / float64(n)
+	}
+	rec := top
+	for l := levels - 1; l >= 0; l-- {
+		e := refExpand(rec, dims[l+1].w, dims[l+1].h, dims[l].w, dims[l].h)
+		for i := range e {
+			e[i] *= fused[l][i]
+		}
+		rec = e
+	}
+	return rec
+}
+
+func refReflect(i, n int) int {
+	if n == 1 {
+		return 0
+	}
+	for i < 0 || i >= n {
+		if i < 0 {
+			i = -i
+		} else {
+			i = 2*(n-1) - i
+		}
+	}
+	return i
+}
+
+func refFilter(p []float64, w, h int) []float64 {
+	tmp := make([]float64, len(p))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var s float64
+			for k := -2; k <= 2; k++ {
+				s += kernel1D[k+2] * p[y*w+refReflect(x+k, w)]
+			}
+			tmp[y*w+x] = s
+		}
+	}
+	out := make([]float64, len(p))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var s float64
+			for k := -2; k <= 2; k++ {
+				s += kernel1D[k+2] * tmp[refReflect(y+k, h)*w+x]
+			}
+			out[y*w+x] = s
+		}
+	}
+	return out
+}
+
+func refReduce(p []float64, w, h int) []float64 {
+	f := refFilter(p, w, h)
+	w2, h2 := (w+1)/2, (h+1)/2
+	out := make([]float64, w2*h2)
+	for y := 0; y < h2; y++ {
+		for x := 0; x < w2; x++ {
+			out[y*w2+x] = f[2*y*w+2*x]
+		}
+	}
+	return out
+}
+
+func refExpand(p []float64, w2, h2, w, h int) []float64 {
+	ups := make([]float64, w*h)
+	for y := 0; y < h2; y++ {
+		for x := 0; x < w2; x++ {
+			if 2*y < h && 2*x < w {
+				ups[2*y*w+2*x] = p[y*w2+x]
+			}
+		}
+	}
+	out := refFilter(ups, w, h)
+	for i := range out {
+		out[i] *= 4
+	}
+	return out
+}
+
+func TestFuseMatchesScalarReference(t *testing.T) {
+	shapes := []struct{ w, h, bands int }{
+		{17, 9, 7},
+		{32, 5, 12},
+		{21, 1, 3}, // single-row slab
+		{8, 8, 2},  // fewer bands than channels
+		{5, 3, 1},
+	}
+	for _, s := range shapes {
+		tile := parityCube(t, int64(s.w*1000+s.h*10+s.bands), s.w, s.h, s.bands)
+		want := refFuse(tile)
+		for _, par := range parityPar {
+			got := make([]byte, tile.Pixels()*3)
+			if err := Fuse(tile, par, got); err != nil {
+				t.Fatalf("%dx%dx%d par=%d: %v", s.w, s.h, s.bands, par, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%dx%dx%d par=%d: output differs from scalar reference",
+					s.w, s.h, s.bands, par)
+			}
+		}
+	}
+}
+
+func TestFuseParallelismInvariant(t *testing.T) {
+	tile := parityCube(t, 42, 40, 24, 15)
+	pars := append(append([]int(nil), parityPar...), linalg.MaxWorkers())
+	var want []byte
+	for _, par := range pars {
+		got := make([]byte, tile.Pixels()*3)
+		if err := Fuse(tile, par, got); err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("par=%d output differs from par=%d", par, pars[0])
+		}
+	}
+}
+
+func TestFuseProducesContrast(t *testing.T) {
+	tile := parityCube(t, 7, 32, 16, 9)
+	rgb := make([]byte, tile.Pixels()*3)
+	if err := Fuse(tile, 2, rgb); err != nil {
+		t.Fatal(err)
+	}
+	var min, max byte = 255, 0
+	for _, v := range rgb {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if max-min < 30 {
+		t.Fatalf("composite nearly flat: min=%d max=%d", min, max)
+	}
+}
+
+func TestFuseRejectsShortBuffer(t *testing.T) {
+	tile := parityCube(t, 1, 4, 4, 3)
+	if err := Fuse(tile, 1, make([]byte, 5)); err == nil {
+		t.Fatal("short rgb buffer accepted")
+	}
+}
+
+func TestBandGroupsCoverAllBands(t *testing.T) {
+	for bands := 1; bands <= 13; bands++ {
+		gs := bandGroups(bands)
+		covered := make([]bool, bands)
+		prevHi := 0
+		for i, g := range gs {
+			if g.lo < 0 || g.hi > bands || g.lo >= g.hi {
+				t.Fatalf("bands=%d group[%d]=%+v out of range", bands, i, g)
+			}
+			for b := g.lo; b < g.hi; b++ {
+				covered[b] = true
+			}
+			if bands >= 3 && g.lo != prevHi {
+				t.Fatalf("bands=%d group[%d] not contiguous", bands, i)
+			}
+			prevHi = g.hi
+		}
+		for b, ok := range covered {
+			if !ok {
+				t.Fatalf("bands=%d band %d uncovered", bands, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,323 @@
+// Package pyramid implements ratio-of-low-pass (ROLP) Laplacian-pyramid
+// fusion as a pure-Go tiled kernel — the classical multiresolution
+// workhorse the remote-sensing surveys place alongside wavelet methods.
+//
+// Per tile, the bands are split into three contiguous groups; each group
+// is fused into one intensity plane and min/max-stretched into the R, G
+// or B channel, so the composite keeps the "spectral position becomes
+// color" reading of the PCT path. Per band the kernel builds a Gaussian
+// pyramid with the 5-tap Burt–Adelson kernel (a = 0.4), forms the ratio
+// pyramid R_l = G_l / EXPAND(G_{l+1}), selects per coefficient the band
+// whose ratio deviates most from 1 (the strongest local contrast), and
+// reconstructs multiplicatively from the averaged top level.
+//
+// Determinism contract: the only parallel fan-out is the per-band
+// pyramid construction through linalg.ParallelShards (one shard per
+// band, each writing its own slot); selection and reconstruction run
+// sequentially in fixed band order. Output is therefore bit-identical at
+// every parallelism setting — pinned by TestFuseParallelismInvariant and
+// the scalar-reference parity test.
+package pyramid
+
+import (
+	"fmt"
+	"math"
+
+	"resilientfusion/internal/hsi"
+	"resilientfusion/internal/linalg"
+)
+
+// kernel1D is the separable 5-tap Burt–Adelson generating kernel with
+// center weight a = 0.4 — the classical choice that makes REDUCE a
+// near-Gaussian low-pass.
+var kernel1D = [5]float64{0.05, 0.25, 0.4, 0.25, 0.05}
+
+// ratioEps floors the EXPAND denominator so ratio coefficients stay
+// finite on black regions.
+const ratioEps = 1e-12
+
+// maxLevels caps the pyramid depth; tiles are row slabs a few rows tall,
+// so depth is usually limited by the tile height anyway.
+const maxLevels = 4
+
+// Levels returns the number of REDUCE steps for a w×h plane: halve while
+// the short side stays at least 16 pixels, capped at maxLevels, and at
+// least one step so even single-row tiles exercise the ratio path.
+func Levels(w, h int) int {
+	m := w
+	if h < m {
+		m = h
+	}
+	l := 1
+	for s := m; s >= 16 && l < maxLevels; s = (s + 1) / 2 {
+		l++
+	}
+	return l
+}
+
+// Fuse fuses tile into packed RGB (3 bytes per pixel, row-major). It is
+// a pure function of the tile contents; rgb must hold tile.Pixels()*3
+// bytes.
+func Fuse(tile *hsi.Cube, parallelism int, rgb []byte) error {
+	if err := tile.Validate(); err != nil {
+		return err
+	}
+	if len(rgb) < tile.Pixels()*3 {
+		return fmt.Errorf("pyramid: rgb buffer %d for %d pixels", len(rgb), tile.Pixels())
+	}
+	for ch, g := range bandGroups(tile.Bands) {
+		plane := fuseGroup(tile, g.lo, g.hi, parallelism)
+		writeChannel(rgb, plane, ch)
+	}
+	return nil
+}
+
+// group is a contiguous half-open band interval.
+type group struct{ lo, hi int }
+
+// bandGroups splits bands into three contiguous groups (first groups get
+// the extra bands), mirroring the wavelength ordering of the cube: long
+// wavelengths land in R, short in B.
+func bandGroups(bands int) [3]group {
+	var out [3]group
+	base, extra := bands/3, bands%3
+	lo := 0
+	for i := 0; i < 3; i++ {
+		n := base
+		if i < extra {
+			n++
+		}
+		// With fewer than 3 bands, trailing groups reuse the last band so
+		// every channel gets a plane.
+		if n == 0 {
+			n = 1
+			if lo >= bands {
+				lo = bands - 1
+			}
+		}
+		out[i] = group{lo: lo, hi: lo + n}
+		if out[i].hi > bands {
+			out[i].hi = bands
+		}
+		lo = out[i].hi
+	}
+	return out
+}
+
+// fuseGroup fuses the band planes of [lo, hi) into one intensity plane
+// via the ROLP selection rule.
+func fuseGroup(tile *hsi.Cube, lo, hi, parallelism int) []float64 {
+	w, h := tile.Width, tile.Height
+	n := hi - lo
+	levels := Levels(w, h)
+	dims := levelDims(w, h, levels)
+
+	// Per-band Gaussian and ratio pyramids: each band is one shard
+	// writing its own preallocated slot, so the fan-out is deterministic
+	// by construction.
+	gps := make([][][]float64, n)
+	rps := make([][][]float64, n)
+	linalg.ParallelShards(n, parallelism, func(b int) {
+		plane := bandPlane(tile, lo+b)
+		gps[b] = gaussianPyramid(plane, dims)
+		rps[b] = ratioPyramid(gps[b], dims)
+	})
+
+	// Selection: per coefficient keep the ratio deviating most from 1,
+	// scanned in ascending band order with a strict > so ties resolve to
+	// the lowest band. Top level: plain average in ascending band order.
+	fused := make([][]float64, levels+1)
+	for l := 0; l < levels; l++ {
+		sel := append([]float64(nil), rps[0][l]...)
+		for b := 1; b < n; b++ {
+			rb := rps[b][l]
+			for i, v := range rb {
+				if math.Abs(v-1) > math.Abs(sel[i]-1) {
+					sel[i] = v
+				}
+			}
+		}
+		fused[l] = sel
+	}
+	top := make([]float64, len(gps[0][levels]))
+	for b := 0; b < n; b++ {
+		for i, v := range gps[b][levels] {
+			top[i] += v
+		}
+	}
+	inv := 1 / float64(n)
+	for i := range top {
+		top[i] *= inv
+	}
+
+	// Multiplicative reconstruction: F_l = R_l × EXPAND(F_{l+1}).
+	rec := top
+	for l := levels - 1; l >= 0; l-- {
+		e := expand(rec, dims[l+1].w, dims[l+1].h, dims[l].w, dims[l].h)
+		for i, r := range fused[l] {
+			e[i] *= r
+		}
+		rec = e
+	}
+	return rec
+}
+
+type dim struct{ w, h int }
+
+// levelDims returns the plane dimensions of pyramid levels 0..levels,
+// each level ceil-halving the previous.
+func levelDims(w, h, levels int) []dim {
+	out := make([]dim, levels+1)
+	out[0] = dim{w, h}
+	for l := 1; l <= levels; l++ {
+		out[l] = dim{(out[l-1].w + 1) / 2, (out[l-1].h + 1) / 2}
+	}
+	return out
+}
+
+// bandPlane copies band b of the tile into a row-major float64 plane.
+func bandPlane(tile *hsi.Cube, b int) []float64 {
+	out := make([]float64, tile.Pixels())
+	bands := tile.Bands
+	for p := range out {
+		out[p] = float64(tile.Data[p*bands+b])
+	}
+	return out
+}
+
+// gaussianPyramid builds G_0..G_levels by repeated REDUCE.
+func gaussianPyramid(plane []float64, dims []dim) [][]float64 {
+	out := make([][]float64, len(dims))
+	out[0] = plane
+	for l := 1; l < len(dims); l++ {
+		out[l] = reduce(out[l-1], dims[l-1].w, dims[l-1].h)
+	}
+	return out
+}
+
+// ratioPyramid forms R_l = G_l / max(EXPAND(G_{l+1}), ratioEps) for
+// l = 0..levels-1.
+func ratioPyramid(gp [][]float64, dims []dim) [][]float64 {
+	levels := len(dims) - 1
+	out := make([][]float64, levels)
+	for l := 0; l < levels; l++ {
+		e := expand(gp[l+1], dims[l+1].w, dims[l+1].h, dims[l].w, dims[l].h)
+		r := make([]float64, len(gp[l]))
+		for i, g := range gp[l] {
+			d := e[i]
+			if d < ratioEps && d > -ratioEps {
+				d = ratioEps
+			}
+			r[i] = g / d
+		}
+		out[l] = r
+	}
+	return out
+}
+
+// reflect mirrors an out-of-range index back into [0, n) (whole-sample
+// reflection), the standard pyramid boundary rule. n == 1 degenerates to
+// index 0 so single-row and single-column planes filter fine.
+func reflect(i, n int) int {
+	if n == 1 {
+		return 0
+	}
+	for i < 0 || i >= n {
+		if i < 0 {
+			i = -i
+		}
+		if i >= n {
+			i = 2*(n-1) - i
+		}
+	}
+	return i
+}
+
+// filterSep applies the separable 5-tap kernel horizontally then
+// vertically with reflected boundaries.
+func filterSep(plane []float64, w, h int) []float64 {
+	tmp := make([]float64, len(plane))
+	for y := 0; y < h; y++ {
+		row := plane[y*w : (y+1)*w]
+		trow := tmp[y*w : (y+1)*w]
+		for x := 0; x < w; x++ {
+			var s float64
+			for k := -2; k <= 2; k++ {
+				s += kernel1D[k+2] * row[reflect(x+k, w)]
+			}
+			trow[x] = s
+		}
+	}
+	out := make([]float64, len(plane))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var s float64
+			for k := -2; k <= 2; k++ {
+				s += kernel1D[k+2] * tmp[reflect(y+k, h)*w+x]
+			}
+			out[y*w+x] = s
+		}
+	}
+	return out
+}
+
+// reduce low-pass filters and decimates by 2 (even samples kept), the
+// output sized ceil(w/2) × ceil(h/2).
+func reduce(plane []float64, w, h int) []float64 {
+	filt := filterSep(plane, w, h)
+	w2, h2 := (w+1)/2, (h+1)/2
+	out := make([]float64, w2*h2)
+	for y := 0; y < h2; y++ {
+		for x := 0; x < w2; x++ {
+			out[y*w2+x] = filt[(2*y)*w+2*x]
+		}
+	}
+	return out
+}
+
+// expand upsamples a w2×h2 plane back to w×h: zeros interleaved at odd
+// positions, then the 5-tap kernel applied with a gain of 4 to restore
+// the energy the zeros removed.
+func expand(plane []float64, w2, h2, w, h int) []float64 {
+	ups := make([]float64, w*h)
+	for y := 0; y < h2; y++ {
+		for x := 0; x < w2; x++ {
+			yy, xx := 2*y, 2*x
+			if yy < h && xx < w {
+				ups[yy*w+xx] = plane[y*w2+x]
+			}
+		}
+	}
+	out := filterSep(ups, w, h)
+	for i := range out {
+		out[i] *= 4
+	}
+	return out
+}
+
+// writeChannel min/max-stretches plane to [0, 255] and stores it in
+// channel ch of the packed RGB buffer. A flat plane maps to 0.
+func writeChannel(rgb []byte, plane []float64, ch int) {
+	lo, hi := plane[0], plane[0]
+	for _, v := range plane {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	scale := 0.0
+	if hi > lo {
+		scale = 255 / (hi - lo)
+	}
+	for i, v := range plane {
+		s := math.Round((v - lo) * scale)
+		if s < 0 {
+			s = 0
+		} else if s > 255 {
+			s = 255
+		}
+		rgb[i*3+ch] = byte(s)
+	}
+}

@@ -38,7 +38,7 @@ func TestPixelMatrixIntoWindows(t *testing.T) {
 	ref := make(linalg.Vector, c.Bands)
 	for p := 0; p < count; p++ {
 		c.PixelAt(start+p, ref)
-		if !linalg.Vector(dst[p*c.Bands : (p+1)*c.Bands]).Equal(ref, 0) {
+		if !linalg.Vector(dst[p*c.Bands:(p+1)*c.Bands]).Equal(ref, 0) {
 			t.Fatalf("window pixel %d differs", p)
 		}
 	}

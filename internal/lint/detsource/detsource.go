@@ -17,6 +17,9 @@ import (
 // covers: everything between raw samples and the fused composite.
 var DetPackages = []string{
 	"internal/core",
+	"internal/fuse",
+	"internal/fuse/dwt",
+	"internal/fuse/pyramid",
 	"internal/hsi",
 	"internal/linalg",
 	"internal/pct",

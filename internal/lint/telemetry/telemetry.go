@@ -26,6 +26,9 @@ var scope = []string{
 	"internal/scplib",
 	"internal/resilient",
 	"internal/core",
+	"internal/fuse",
+	"internal/fuse/pyramid",
+	"internal/fuse/dwt",
 }
 
 // Analyzer flags, within the scoped library packages:

@@ -204,7 +204,7 @@ func TestCovarianceSumIntoReuse(t *testing.T) {
 func TestTransformCubeParityAcrossParallelism(t *testing.T) {
 	rng := rand.New(rand.NewSource(77))
 	for _, tc := range []struct{ w, h, bands, comps int }{
-		{1, 1, 4, 3},                // 1-pixel cube
+		{1, 1, 4, 3},                          // 1-pixel cube
 		{transformBlockPixels/2 + 3, 1, 8, 3}, // sub-block, odd width
 		{transformBlockPixels, 2, 6, 5},       // exact block multiple, comps > 3
 		{33, 37, 12, 3},                       // blocks with ragged tail

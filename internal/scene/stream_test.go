@@ -82,6 +82,21 @@ func TestStreamedFusionSingleRowTiles(t *testing.T) {
 	fuseBoth(t, cube, BIL, core.Options{Workers: 2, Granularity: 5, Threshold: 0.06})
 }
 
+// Tile algorithms (pyramid, dwt) run the same streamed-vs-in-memory
+// parity: the kernels are pure per tile and both paths share the
+// TileRanges decomposition, so composites must be bit-identical off
+// disk too.
+func TestStreamedFusionTileAlgorithms(t *testing.T) {
+	cube := synthScene(t, 40, 28, 24)
+	for _, alg := range []string{"pyramid", "dwt"} {
+		for _, il := range []Interleave{BIP, BIL, BSQ} {
+			t.Run(alg+"/"+string(il), func(t *testing.T) {
+				fuseBoth(t, cube, il, core.Options{Workers: 3, Granularity: 2, Algorithm: alg})
+			})
+		}
+	}
+}
+
 // Paper-like geometry: the §4 evaluation cube shape (320×320×105). The
 // streamed BIL run must be bit-identical to the in-memory run.
 func TestStreamedFusionPaperGeometry(t *testing.T) {

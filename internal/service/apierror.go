@@ -36,6 +36,9 @@ const (
 	// CodeImageExpired: the composite aged out of the retention window
 	// (scalar results remain queryable).
 	CodeImageExpired = "image_expired"
+	// CodeJobNotCancelable: DELETE /v2/jobs/{id} on a job that already
+	// left the queue (running or terminal).
+	CodeJobNotCancelable = "job_not_cancelable"
 	// CodeJobNotFinished: a result was requested for a job that has not
 	// reached a terminal state.
 	CodeJobNotFinished = "job_not_finished"
@@ -70,6 +73,8 @@ func errorCode(err error) (string, int) {
 		return CodePoolClosed, http.StatusServiceUnavailable
 	case errors.Is(err, ErrUnknownJob):
 		return CodeUnknownJob, http.StatusNotFound
+	case errors.Is(err, ErrJobNotCancelable):
+		return CodeJobNotCancelable, http.StatusConflict
 	case errors.Is(err, ErrUnknownScene):
 		return CodeUnknownScene, http.StatusNotFound
 	case errors.Is(err, ErrSceneLimit):

@@ -131,7 +131,7 @@ func optionsFromQuery(r *http.Request) (core.Options, error) {
 		"components":  &oj.Components,
 		"parallelism": &oj.Parallelism,
 	}
-	keys, err := queryKeys(q, "components", "granularity", "parallelism", "prefetch", "threshold")
+	keys, err := queryKeys(q, "algorithm", "components", "granularity", "parallelism", "prefetch", "threshold")
 	if err != nil {
 		return core.Options{}, err
 	}
@@ -143,6 +143,11 @@ func optionsFromQuery(r *http.Request) (core.Options, error) {
 				return core.Options{}, fmt.Errorf("bad %s %q", key, s)
 			}
 			*field = &v
+			continue
+		}
+		if key == "algorithm" {
+			v := s
+			oj.Algorithm = &v
 			continue
 		}
 		// threshold is the only non-int knob. NaN/Inf are re-checked in

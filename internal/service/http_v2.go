@@ -33,11 +33,15 @@ import (
 //	                                (JSON) then "cube" part (HSIC bytes)
 //	                                → 202 job resource
 //	GET    /v2/jobs                 list jobs (?state=queued|running|
-//	                                done|failed, ?limit=N), newest first
+//	                                done|failed|canceled, ?limit=N),
+//	                                newest first
 //	GET    /v2/jobs/{id}            job resource; ?wait=30s long-polls
 //	                                until the job is terminal, the wait
 //	                                elapses, or the server cap
 //	                                (Config.MaxLongPoll) trims it
+//	DELETE /v2/jobs/{id}            cancel a queued job → 200 canceled
+//	                                resource; running or finished jobs
+//	                                → 409 job_not_cancelable
 //	GET    /v2/jobs/{id}/result     content-negotiated artifact: the
 //	                                composite as image/png when Accept
 //	                                includes it, else the JSON summary
@@ -52,6 +56,7 @@ func (p *Pool) registerV2(mux *http.ServeMux) {
 	mux.HandleFunc("POST /v2/jobs", p.v2SubmitJob)
 	mux.HandleFunc("GET /v2/jobs", p.v2ListJobs)
 	mux.HandleFunc("GET /v2/jobs/{id}", p.v2GetJob)
+	mux.HandleFunc("DELETE /v2/jobs/{id}", p.v2CancelJob)
 	mux.HandleFunc("GET /v2/jobs/{id}/result", p.v2JobResult)
 	mux.HandleFunc("GET /v2/jobs/{id}/trace", p.v2JobTrace)
 	mux.HandleFunc("GET /v2/stats", func(w http.ResponseWriter, r *http.Request) {
@@ -196,11 +201,11 @@ func (p *Pool) v2ListJobs(w http.ResponseWriter, r *http.Request) {
 		switch key {
 		case "state":
 			switch s := JobState(q.Get(key)); s {
-			case StateQueued, StateRunning, StateDone, StateFailed:
+			case StateQueued, StateRunning, StateDone, StateFailed, StateCanceled:
 				state = s
 			default:
 				writeAPIErrorCode(w, http.StatusBadRequest, CodeBadOption,
-					fmt.Sprintf("unknown state %q (valid: queued, running, done, failed)", q.Get(key)))
+					fmt.Sprintf("unknown state %q (valid: queued, running, done, failed, canceled)", q.Get(key)))
 				return
 			}
 		case "limit":
@@ -272,6 +277,19 @@ func (p *Pool) v2GetJob(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeAPIError(w, err)
 	}
+}
+
+// v2CancelJob withdraws a queued job, returning the canceled resource.
+func (p *Pool) v2CancelJob(w http.ResponseWriter, r *http.Request) {
+	if !v2NoQuery(w, r) {
+		return
+	}
+	st, err := p.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeAPIError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, statusJSON(st))
 }
 
 // v2JobResult serves a finished job's artifact with content negotiation:

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"resilientfusion/internal/core"
+	"resilientfusion/internal/fuse"
 	"resilientfusion/internal/hsi"
 	"resilientfusion/internal/resilient"
 	"resilientfusion/internal/scene"
@@ -20,10 +21,11 @@ import (
 type JobState string
 
 const (
-	StateQueued  JobState = "queued"
-	StateRunning JobState = "running"
-	StateDone    JobState = "done"
-	StateFailed  JobState = "failed"
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
 )
 
 // Job is one fusion request moving through the pool.
@@ -140,17 +142,18 @@ type jobEnv struct {
 	jobID       uint64
 	threshold   float64
 	parallelism int
+	alg         fuse.ID
 	// workers[w-1] is the physical thread of logical worker w (1..W).
 	workers []scplib.ThreadID
 	back    map[scplib.ThreadID]resilient.LogicalID
 }
 
-func newJobEnv(env scplib.Env, jobID uint64, threshold float64, parallelism int, workers []scplib.ThreadID) *jobEnv {
+func newJobEnv(env scplib.Env, jobID uint64, threshold float64, parallelism int, alg fuse.ID, workers []scplib.ThreadID) *jobEnv {
 	back := make(map[scplib.ThreadID]resilient.LogicalID, len(workers))
 	for i, id := range workers {
 		back[id] = resilient.LogicalID(i + 1)
 	}
-	return &jobEnv{env: env, jobID: jobID, threshold: threshold, parallelism: parallelism, workers: workers, back: back}
+	return &jobEnv{env: env, jobID: jobID, threshold: threshold, parallelism: parallelism, alg: alg, workers: workers, back: back}
 }
 
 func (e *jobEnv) Self() resilient.LogicalID { return core.ManagerID }
@@ -162,7 +165,7 @@ func (e *jobEnv) Send(to resilient.LogicalID, kind uint16, payload []byte) error
 	if w < 1 || w > len(e.workers) {
 		return nil // like sends to unknown threads: dropped silently
 	}
-	return e.env.Send(e.workers[w-1], kind, encodeEnvelope(e.jobID, e.threshold, e.parallelism, payload))
+	return e.env.Send(e.workers[w-1], kind, encodeEnvelope(e.jobID, e.threshold, e.parallelism, e.alg, payload))
 }
 
 // mine reports whether a raw message belongs to this job.
@@ -174,7 +177,7 @@ func (e *jobEnv) mine(m *scplib.Message) bool {
 // translate unwraps a raw message into logical space, or fails the job on
 // a worker-reported error.
 func (e *jobEnv) translate(m *scplib.Message) (*resilient.RMessage, error) {
-	_, _, _, inner, err := decodeEnvelope(m.Payload)
+	_, _, _, _, inner, err := decodeEnvelope(m.Payload)
 	if err != nil {
 		return nil, err
 	}
@@ -256,7 +259,7 @@ func (e *jobEnv) Logf(format string, args ...any) { e.env.Logf(format, args...) 
 // also covers failed jobs, and duplicate stops are no-ops worker-side.
 func (e *jobEnv) stopWorkers() {
 	for _, id := range e.workers {
-		_ = e.env.Send(id, core.KindStop, encodeEnvelope(e.jobID, 0, 0, nil))
+		_ = e.env.Send(id, core.KindStop, encodeEnvelope(e.jobID, 0, 0, 0, nil))
 	}
 }
 

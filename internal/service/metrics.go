@@ -17,12 +17,14 @@ import (
 type poolMetrics struct {
 	reg *telemetry.Registry
 
-	jobsSubmitted *telemetry.Counter
-	jobsCompleted *telemetry.Counter
-	jobsFailed    *telemetry.Counter
-	jobsRejected  *telemetry.Counter
-	jobsDuration  *telemetry.Histogram
-	longpollParks *telemetry.Counter
+	jobsSubmitted   *telemetry.Counter
+	jobsCompleted   *telemetry.Counter
+	jobsFailed      *telemetry.Counter
+	jobsRejected    *telemetry.Counter
+	jobsCanceled    *telemetry.Counter
+	jobsDuration    *telemetry.Histogram
+	jobsByAlgorithm *telemetry.CounterVec
+	longpollParks   *telemetry.Counter
 
 	cacheHits      *telemetry.Counter
 	cacheMisses    *telemetry.Counter
@@ -39,6 +41,7 @@ type poolMetrics struct {
 	stageScreen     *telemetry.Histogram
 	stageCovariance *telemetry.Histogram
 	stageTransform  *telemetry.Histogram
+	stageFuse       *telemetry.Histogram
 }
 
 // stageBuckets resolve worker kernel invocations from sub-millisecond
@@ -60,9 +63,14 @@ func newPoolMetrics(reg *telemetry.Registry, p *Pool) *poolMetrics {
 			"Jobs that reached the failed state."),
 		jobsRejected: reg.Counter("fusion_jobs_rejected_total",
 			"Submissions refused by admission control (queue full)."),
+		jobsCanceled: reg.Counter("fusion_jobs_canceled_total",
+			"Queued jobs withdrawn by DELETE /v2/jobs/{id} before running."),
 		jobsDuration: reg.Histogram("fusion_jobs_duration_seconds",
 			"End-to-end job latency, submission to terminal state (cache hits excluded).",
 			telemetry.DefBuckets),
+		jobsByAlgorithm: reg.CounterVec("fusion_jobs_by_algorithm_total",
+			"Jobs admitted to the pool by fusion algorithm (cache fast-path included).",
+			"algorithm"),
 		longpollParks: reg.Counter("fusion_longpoll_parks_total",
 			"Long-poll requests that parked waiting for a non-terminal job."),
 		cacheHits: reg.Counter("fusion_cache_hits_total",
@@ -86,6 +94,7 @@ func newPoolMetrics(reg *telemetry.Registry, p *Pool) *poolMetrics {
 	m.stageScreen = stages.With("screen")
 	m.stageCovariance = stages.With("covariance")
 	m.stageTransform = stages.With("transform")
+	m.stageFuse = stages.With("fuse")
 
 	reg.GaugeFunc("fusion_jobs_running", "Jobs currently executing.", func() int64 {
 		p.mu.Lock()

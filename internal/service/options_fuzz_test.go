@@ -26,6 +26,12 @@ func FuzzOptionsJSON(f *testing.F) {
 	f.Add([]byte(`{"unknown":1}`))
 	f.Add([]byte(`{"granularity":1} {"granularity":2}`))
 	f.Add([]byte(`{"granularity":1}garbage`))
+	f.Add([]byte(`{"algorithm":"pyramid"}`))
+	f.Add([]byte(`{"algorithm":"PCT"}`))
+	f.Add([]byte(`{"algorithm":" dwt "}`))
+	f.Add([]byte(`{"algorithm":"bogus"}`))
+	f.Add([]byte(`{"algorithm":""}`))
+	f.Add([]byte(`{"algorithm":"dwt","threshold":0.05}`))
 
 	f.Fuzz(func(t *testing.T, body []byte) {
 		opts, err := decodeOptionsBody(bytes.NewReader(body))
@@ -50,6 +56,7 @@ func FuzzOptionsJSON(f *testing.F) {
 			Threshold:   &opts.Threshold,
 			Components:  &opts.Components,
 			Parallelism: &opts.Parallelism,
+			Algorithm:   &opts.Algorithm,
 		}
 		re, err := json.Marshal(oj)
 		if err != nil {

@@ -23,6 +23,10 @@ type OptionsJSON struct {
 	Threshold   *float64 `json:"threshold,omitempty"`
 	Components  *int     `json:"components,omitempty"`
 	Parallelism *int     `json:"parallelism,omitempty"`
+	// Algorithm selects the fusion algorithm by registry name ("pct",
+	// "pyramid", "dwt"); absent or empty selects "pct". Unknown names are
+	// rejected at submit with bad_option.
+	Algorithm *string `json:"algorithm,omitempty"`
 }
 
 // Options validates the wire form and lowers it onto core.Options (not
@@ -50,6 +54,9 @@ func (o OptionsJSON) Options() (core.Options, error) {
 	}
 	if o.Parallelism != nil {
 		opts.Parallelism = *o.Parallelism
+	}
+	if o.Algorithm != nil {
+		opts.Algorithm = *o.Algorithm
 	}
 	return opts, nil
 }
@@ -90,6 +97,7 @@ type JobOptions struct {
 	Threshold   float64 `json:"threshold"`
 	Components  int     `json:"components"`
 	Parallelism int     `json:"parallelism"`
+	Algorithm   string  `json:"algorithm"`
 }
 
 func jobOptions(o core.Options) *JobOptions {
@@ -100,5 +108,6 @@ func jobOptions(o core.Options) *JobOptions {
 		Threshold:   o.Threshold,
 		Components:  o.Components,
 		Parallelism: o.Parallelism,
+		Algorithm:   o.Algorithm,
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"resilientfusion/internal/core"
+	"resilientfusion/internal/fuse"
 	"resilientfusion/internal/hsi"
 	"resilientfusion/internal/scene"
 	"resilientfusion/internal/scplib"
@@ -52,6 +53,10 @@ var (
 	// composite aged out of the RetainResults window (scalar results
 	// remain queryable).
 	ErrImageExpired = errors.New("service: composite image no longer retained")
+	// ErrJobNotCancelable reports a Cancel on a job that already left the
+	// queue: running jobs hold worker state mid-protocol and finished jobs
+	// are immutable, so only queued jobs can be withdrawn.
+	ErrJobNotCancelable = errors.New("service: job not cancelable")
 )
 
 // Config tunes a Pool.
@@ -319,6 +324,10 @@ func (p *Pool) canonicalOptions(opts core.Options) (core.Options, error) {
 		opts.Parallelism = core.SharedKernelParallelism(p.cfg.Workers)
 	}
 	opts = opts.Canonical()
+	if _, ok := fuse.Lookup(opts.Algorithm); !ok {
+		return opts, fmt.Errorf("%w: unknown algorithm %q (have %v)",
+			core.ErrBadOptions, opts.Algorithm, fuse.Names())
+	}
 	if opts.Components < 3 {
 		return opts, fmt.Errorf("%w: need >=3 components for color mapping", core.ErrBadOptions)
 	}
@@ -377,6 +386,7 @@ func (p *Pool) enqueue(mk func(num uint64) *Job) (JobStatus, error) {
 				job.markTilesComplete()
 			}
 			p.metrics.jobsSubmitted.Inc()
+			p.metrics.jobsByAlgorithm.With(job.opts.Algorithm).Inc()
 			p.finish(job, res, nil, true)
 			return p.snapshot(job), nil
 		}
@@ -396,6 +406,7 @@ func (p *Pool) enqueue(mk func(num uint64) *Job) (JobStatus, error) {
 		// Submitted counts admitted jobs only, incremented after the
 		// send so a rejected submission never touches it.
 		p.metrics.jobsSubmitted.Inc()
+		p.metrics.jobsByAlgorithm.With(job.opts.Algorithm).Inc()
 		return p.snapshot(job), nil
 	default:
 		delete(p.jobs, job.id)
@@ -414,6 +425,44 @@ func (p *Pool) Status(id string) (JobStatus, error) {
 		return JobStatus{}, ErrUnknownJob
 	}
 	return p.snapshot(job), nil
+}
+
+// Cancel withdraws a queued job before a dispatcher picks it up: the job
+// moves to StateCanceled (a terminal state — waiters are released, the
+// input is dropped) and the dispatcher skips it on dequeue. Jobs that are
+// already running or finished report ErrJobNotCancelable; unknown IDs
+// report ErrUnknownJob.
+func (p *Pool) Cancel(id string) (JobStatus, error) {
+	p.mu.Lock()
+	job := p.jobs[id]
+	if job == nil {
+		p.mu.Unlock()
+		return JobStatus{}, ErrUnknownJob
+	}
+	if job.state != StateQueued {
+		p.mu.Unlock()
+		return JobStatus{}, fmt.Errorf("%w: job %s is %s", ErrJobNotCancelable, id, job.state)
+	}
+	// The same terminal bookkeeping finish() performs, minus result and
+	// metrics: release the inputs, join the eviction order, snapshot
+	// before unlocking so the returned status is the transition itself.
+	job.state = StateCanceled
+	job.cube = nil
+	if job.sceneFile != nil {
+		job.sceneFile.Close()
+		job.sceneFile = nil
+	}
+	job.finished = time.Now()
+	p.metrics.jobsCanceled.Inc()
+	p.doneOrder = append(p.doneOrder, job.id)
+	for len(p.doneOrder) > p.cfg.RetainJobs {
+		delete(p.jobs, p.doneOrder[0])
+		p.doneOrder = p.doneOrder[1:]
+	}
+	st := p.snapshotLocked(job)
+	p.mu.Unlock()
+	close(job.done)
+	return st, nil
 }
 
 // Wait blocks until the job finishes and returns its final snapshot.
@@ -629,6 +678,12 @@ func (p *Pool) dispatch() {
 // runJob executes one job over the shared worker pool.
 func (p *Pool) runJob(job *Job) {
 	p.mu.Lock()
+	// Canceled while queued: the terminal transition already happened
+	// under the lock in Cancel, so this dequeue is a no-op.
+	if job.state != StateQueued {
+		p.mu.Unlock()
+		return
+	}
 	job.state = StateRunning
 	job.started = time.Now()
 	p.running++
@@ -656,11 +711,15 @@ func (p *Pool) runJob(job *Job) {
 
 	res := &core.Result{}
 	errc := make(chan error, 1)
+	// canonicalOptions validated the algorithm at submit, so the lookup
+	// cannot miss here; the ID rides in every envelope so pooled workers
+	// build the right per-job state from the first message.
+	alg, _ := fuse.Lookup(job.opts.Algorithm)
 	spawnErr := p.sys.Spawn(scplib.ThreadSpec{
 		ID:   tid,
 		Name: fmt.Sprintf("jobmgr-%d", job.num),
 		Body: func(env scplib.Env) error {
-			je := newJobEnv(env, job.num, job.opts.Threshold, job.opts.Parallelism, p.workerIDs)
+			je := newJobEnv(env, job.num, job.opts.Threshold, job.opts.Parallelism, alg.ID, p.workerIDs)
 			// The recorder rides in a copy of the options: job.opts (and
 			// its ResultKey, computed at enqueue) stays trace-free, so
 			// caching and the canonical-options echo are untouched.
@@ -722,6 +781,12 @@ func (p *Pool) runJob(job *Job) {
 // finish moves a job to its terminal state and evicts old finished jobs.
 func (p *Pool) finish(job *Job, res *core.Result, err error, fromCache bool) {
 	p.mu.Lock()
+	// A Cancel that won the race already performed the terminal
+	// transition (and closed job.done); finishing again would double-close.
+	if job.state == StateCanceled {
+		p.mu.Unlock()
+		return
+	}
 	// Release the input cube: it is never read after the run, and
 	// finished jobs stay queryable for up to RetainJobs — holding their
 	// cubes would grow a long-lived daemon by the full upload size per

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"resilientfusion/internal/core"
+	"resilientfusion/internal/fuse"
 	"resilientfusion/internal/perfmodel"
 	"resilientfusion/internal/scplib"
 	"resilientfusion/internal/telemetry"
@@ -19,30 +20,32 @@ import (
 const kindJobErr uint16 = 0x7F00
 
 // Every message between a job manager and the pooled workers wraps the
-// core wire payload in a 24-byte envelope: the job ID (multiplexing many
+// core wire payload in a 32-byte envelope: the job ID (multiplexing many
 // jobs over one worker) and, on the manager→worker direction, the job's
-// screening threshold and kernel parallelism (a pooled worker learns
-// each job's configuration from its first message rather than at spawn
-// time).
-const envelopeBytes = 24
+// screening threshold, kernel parallelism and fusion algorithm (a pooled
+// worker learns each job's configuration from its first message rather
+// than at spawn time).
+const envelopeBytes = 32
 
-func encodeEnvelope(jobID uint64, threshold float64, parallelism int, inner []byte) []byte {
+func encodeEnvelope(jobID uint64, threshold float64, parallelism int, alg fuse.ID, inner []byte) []byte {
 	buf := make([]byte, envelopeBytes+len(inner))
 	binary.LittleEndian.PutUint64(buf, jobID)
 	binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(threshold))
 	binary.LittleEndian.PutUint64(buf[16:], uint64(int64(parallelism)))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(alg))
 	copy(buf[envelopeBytes:], inner)
 	return buf
 }
 
-func decodeEnvelope(p []byte) (jobID uint64, threshold float64, parallelism int, inner []byte, err error) {
+func decodeEnvelope(p []byte) (jobID uint64, threshold float64, parallelism int, alg fuse.ID, inner []byte, err error) {
 	if len(p) < envelopeBytes {
-		return 0, 0, 0, nil, fmt.Errorf("service: short envelope (%d bytes)", len(p))
+		return 0, 0, 0, 0, nil, fmt.Errorf("service: short envelope (%d bytes)", len(p))
 	}
 	jobID = binary.LittleEndian.Uint64(p)
 	threshold = math.Float64frombits(binary.LittleEndian.Uint64(p[8:]))
 	parallelism = int(int64(binary.LittleEndian.Uint64(p[16:])))
-	return jobID, threshold, parallelism, p[envelopeBytes:], nil
+	alg = fuse.ID(binary.LittleEndian.Uint64(p[24:]))
+	return jobID, threshold, parallelism, alg, p[envelopeBytes:], nil
 }
 
 // envelopeJobID peeks the job ID without validation (message filtering).
@@ -66,6 +69,8 @@ func stageHistogram(met *poolMetrics, kind uint16) *telemetry.Histogram {
 		return met.stageCovariance
 	case core.KindTransformReq:
 		return met.stageTransform
+	case core.KindFuseReq:
+		return met.stageFuse
 	}
 	return nil
 }
@@ -92,7 +97,7 @@ func poolWorkerBody(met *poolMetrics) scplib.Body {
 			if err != nil {
 				return err // killed at pool close
 			}
-			jobID, threshold, parallelism, inner, err := decodeEnvelope(m.Payload)
+			jobID, threshold, parallelism, algID, inner, err := decodeEnvelope(m.Payload)
 			if err != nil {
 				continue // not job-addressable; nothing to fail
 			}
@@ -102,10 +107,21 @@ func poolWorkerBody(met *poolMetrics) scplib.Body {
 			}
 			ws := states[jobID]
 			if ws == nil {
+				alg, ok := fuse.ByID(algID)
+				if !ok {
+					// A job can never be enqueued with an unknown algorithm
+					// (canonicalOptions validates), so this is wire-level
+					// corruption: fail the job, keep the worker.
+					msg := fmt.Sprintf("service: envelope carries unknown algorithm id %d", algID)
+					if serr := env.Send(m.From, kindJobErr, encodeEnvelope(jobID, 0, 0, 0, []byte(msg))); serr != nil {
+						return serr
+					}
+					continue
+				}
 				// Compute is a no-op on the real runtime, so the cost
 				// model is irrelevant here; the default keeps WorkerState
 				// construction uniform with the resilient path.
-				ws = core.NewWorkerState(threshold, parallelism, perfmodel.Default())
+				ws = core.NewWorkerState(alg.Name, threshold, parallelism, perfmodel.Default())
 				ws.UseScratch(scratch)
 				states[jobID] = ws
 			}
@@ -121,7 +137,7 @@ func poolWorkerBody(met *poolMetrics) scplib.Body {
 			if err != nil {
 				// Fail this job fast without taking the worker (and every
 				// other job multiplexed on it) down.
-				if serr := env.Send(m.From, kindJobErr, encodeEnvelope(jobID, 0, 0, []byte(err.Error()))); serr != nil {
+				if serr := env.Send(m.From, kindJobErr, encodeEnvelope(jobID, 0, 0, 0, []byte(err.Error()))); serr != nil {
 					return serr
 				}
 				continue
@@ -134,7 +150,7 @@ func poolWorkerBody(met *poolMetrics) scplib.Body {
 					return err
 				}
 			}
-			if err := env.Send(m.From, replyKind, encodeEnvelope(jobID, 0, 0, reply)); err != nil {
+			if err := env.Send(m.From, replyKind, encodeEnvelope(jobID, 0, 0, 0, reply)); err != nil {
 				return err
 			}
 		}
