@@ -28,6 +28,15 @@
 // timeline GET /v2/jobs/{id}/trace — documented in docs/openapi.yaml
 // and wrapped by the fusionclient SDK and the fusionctl CLI.
 //
+// Durable mode (-spool /var/fusion/spool -journal /var/fusion/journal)
+// persists the scene catalog and a write-ahead job journal so scenes
+// and in-flight jobs survive a crash: on restart, queued jobs re-enter
+// the queue, running jobs re-run (or resolve from the result cache),
+// and job IDs keep counting from where they left off.
+// -cache-spill-mb spills evicted result-cache entries to
+// content-addressed files under the journal dir instead of dropping
+// them. See the README's "durability" section.
+//
 // Cluster mode (-cluster :9310 -cluster-workers 3) runs each job's
 // worker replicas in remote fusionworkerd processes instead of local
 // goroutines, with the resilient guardian regenerating replicas lost to
@@ -66,6 +75,8 @@ func main() {
 	queue := flag.Int("queue", 64, "queued jobs beyond the running ones")
 	cacheEntries := flag.Int("cache", 128, "result cache capacity (negative disables)")
 	spool := flag.String("spool", "", "scene spool directory (default: a fresh temp dir, removed on exit)")
+	journal := flag.String("journal", "", "durable control plane directory (job journal + cube spool + cache spill); requires -spool")
+	cacheSpillMB := flag.Int64("cache-spill-mb", 0, "disk budget in MiB for evicted result-cache entries (0 disables; requires -journal)")
 	maxSceneMB := flag.Int64("max-scene-mb", 512, "largest registrable scene payload in MiB")
 	maxScenes := flag.Int("max-scenes", 64, "concurrently registered scenes")
 	maxWait := flag.Duration("max-wait", 60*time.Second, "cap on one v2 long-poll request")
@@ -85,6 +96,14 @@ func main() {
 	}
 	logger := telemetry.NewLogger(os.Stderr, *logFormat, *logLevel)
 
+	// A journal without a pinned spool would persist the catalog inside a
+	// temp dir that Close removes — every restart would boot empty and
+	// sweep nothing, silently defeating the durability the flag promises.
+	if *journal != "" && *spool == "" {
+		logger.Error("-journal requires -spool (a temp spool is removed on exit, taking the scene catalog with it)")
+		os.Exit(2)
+	}
+
 	if *clusterListen != "" {
 		// Cluster mode pins the pool width to the fleet size (the service
 		// would force it anyway); reflecting it here keeps the startup log
@@ -100,6 +119,13 @@ func main() {
 		QueueDepth:    *queue,
 		CacheEntries:  *cacheEntries,
 		SpoolDir:      *spool,
+		JournalDir:    *journal,
+		CacheSpillBytes: func() int64 {
+			if *cacheSpillMB < 0 {
+				return 0
+			}
+			return *cacheSpillMB << 20
+		}(),
 		MaxSceneBytes: *maxSceneMB << 20,
 		MaxScenes:     *maxScenes,
 		MaxLongPoll:   *maxWait,
@@ -119,6 +145,9 @@ func main() {
 	if err != nil {
 		logger.Error("pool construction failed", "err", err)
 		os.Exit(1)
+	}
+	if rep := pool.Recovery(); rep != nil {
+		logger.Info("durable control plane recovered", "journal", *journal, "report", rep.String())
 	}
 
 	if *opsAddr != "" {

@@ -179,6 +179,21 @@ type Stats struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	// Cluster is set when the service runs in cluster mode.
 	Cluster *ClusterStats `json:"cluster,omitempty"`
+	// Store is set when the service runs with a durable control plane
+	// (fusiond -journal).
+	Store *StoreStats `json:"store,omitempty"`
+}
+
+// StoreStats is the durable-control-plane section of Stats: write-ahead
+// journal activity, boot recovery, and the result cache's disk-spill
+// tier.
+type StoreStats struct {
+	JournalRecords int64 `json:"journal_records"`
+	RecoveredJobs  int64 `json:"recovered_jobs"`
+	SpillHits      int64 `json:"spill_hits"`
+	SpillMisses    int64 `json:"spill_misses"`
+	SpilledEntries int   `json:"spilled_entries"`
+	SpilledBytes   int64 `json:"spilled_bytes"`
 }
 
 // ClusterStats is the cluster-mode section of Stats: fleet size,

@@ -1,0 +1,272 @@
+// Restart e2e: the acceptance test for the durable control plane
+// (internal/store). A real fusiond running with -spool/-journal is
+// SIGKILLed with one job running and more queued behind it; the
+// restarted daemon must replay the catalog and journal so the scene is
+// still listed, every pending job completes with a mosaic byte-identical
+// to an uninterrupted daemon's, job IDs keep counting, and a result that
+// was evicted to the disk-spill tier before the crash still serves a
+// cache hit afterwards.
+package e2e
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"resilientfusion/fusionclient"
+	"resilientfusion/internal/hsi"
+	"resilientfusion/internal/scene"
+)
+
+const restartWorkers = 2
+
+// restartScenePayload renders a small deterministic cube as ENVI header
+// text + raw payload, for registering the same scene on both daemons.
+func restartScenePayload(t *testing.T) (string, []byte) {
+	t.Helper()
+	s, err := hsi.GenerateScene(hsi.SceneSpec{
+		Width: 48, Height: 48, Bands: 12, Seed: 5,
+		OpenVehicles: 1, CamouflagedVehicles: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "scene.raw")
+	if err := scene.Write(path, s.Cube, scene.BIL); err != nil {
+		t.Fatal(err)
+	}
+	hdr, err := os.ReadFile(path + ".hdr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(hdr), data
+}
+
+// submitAndHash runs one cube job to completion and returns its mosaic
+// PNG digest.
+func submitAndHash(t *testing.T, client *fusionclient.Client, cube *hsi.Cube, opts *fusionclient.Options) [32]byte {
+	t.Helper()
+	ctx := context.Background()
+	job, err := client.SubmitCube(ctx, cube, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return waitAndHash(t, client, job.ID)
+}
+
+// waitAndHash waits for a job to finish Done and returns its mosaic PNG
+// digest.
+func waitAndHash(t *testing.T, client *fusionclient.Client, id string) [32]byte {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	job, err := client.Wait(ctx, id)
+	if err != nil || job.State != fusionclient.StateDone {
+		t.Fatalf("job %s: %v %+v", id, err, job)
+	}
+	png, err := client.ResultPNG(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sha256.Sum256(png)
+}
+
+// TestRestartDurability is the crash-recovery acceptance scenario. One
+// daemon life registers a scene, completes two cube jobs (the first of
+// which the 1-entry cache evicts into the disk spill), then takes a
+// three-job backlog — cube, scene fuse, cube — and is SIGKILLed with the
+// first of them running and the rest queued. The second life, on the
+// same spool and journal directories, must recover everything.
+func TestRestartDurability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and drives real daemons")
+	}
+	bindir := t.TempDir()
+	fusiond, _ := buildBinaries(t, bindir)
+	ctx := context.Background()
+
+	cube := chaosScene(t) // heavy: runs for seconds, so SIGKILL lands mid-job
+	hdr, data := restartScenePayload(t)
+	sceneOpts := &fusionclient.Options{Threshold: fusionclient.Float(0.05)}
+	thresholds := map[string]float64{"A": 0.04, "B": 0.05, "C": 0.06, "E": 0.08}
+	cubeOpts := func(label string) *fusionclient.Options {
+		return &fusionclient.Options{Threshold: fusionclient.Float(thresholds[label])}
+	}
+
+	// Reference: an uninterrupted plain daemon at the same worker count
+	// computes the expected mosaic digests for every job the durable
+	// daemon will run across its crash.
+	refPort := freePort(t)
+	startDaemon(t, fusiond, "-addr", fmt.Sprintf("127.0.0.1:%d", refPort),
+		"-workers", fmt.Sprint(restartWorkers), "-cache", "-1")
+	ref := fusionclient.New(fmt.Sprintf("http://127.0.0.1:%d", refPort))
+	waitStats(t, ref, func(*fusionclient.Stats) bool { return true }, "reference fusiond up")
+	refScene, err := ref.RegisterScene(ctx, hdr, bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][32]byte{}
+	for _, label := range []string{"A", "C", "E"} {
+		want[label] = submitAndHash(t, ref, cube, cubeOpts(label))
+	}
+	refFuse, err := ref.FuseScene(ctx, refScene.ID, sceneOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want["D"] = waitAndHash(t, ref, refFuse.ID)
+
+	// Durable daemon, first life: pinned spool + journal dirs, a 1-entry
+	// RAM cache backed by a disk spill, one job at a time so a backlog
+	// actually queues.
+	spoolDir := filepath.Join(t.TempDir(), "spool")
+	journalDir := filepath.Join(t.TempDir(), "journal")
+	for _, d := range []string{spoolDir, journalDir} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	port := freePort(t)
+	durableArgs := []string{
+		"-addr", fmt.Sprintf("127.0.0.1:%d", port),
+		"-workers", fmt.Sprint(restartWorkers),
+		"-concurrency", "1",
+		"-cache", "1",
+		"-cache-spill-mb", "64",
+		"-spool", spoolDir,
+		"-journal", journalDir,
+	}
+	life1 := startDaemon(t, fusiond, durableArgs...)
+	client := fusionclient.New(fmt.Sprintf("http://127.0.0.1:%d", port))
+	waitStats(t, client, func(st *fusionclient.Stats) bool { return st.Store != nil }, "durable fusiond up")
+
+	durScene, err := client.RegisterScene(ctx, hdr, bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Jobs A and B complete before the crash; finishing B evicts A's
+	// result from the 1-entry RAM cache into the spill, which is what the
+	// post-restart cache-hit assertion depends on.
+	gotA := submitAndHash(t, client, cube, cubeOpts("A"))
+	if gotA != want["A"] {
+		t.Fatal("durable daemon's mosaic diverged from the reference before any crash")
+	}
+	submitAndHash(t, client, cube, cubeOpts("B"))
+	st := waitStats(t, client, func(st *fusionclient.Stats) bool {
+		return st.Store != nil && st.Store.SpilledEntries >= 1
+	}, "first result spilled to disk")
+	if st.Store.SpilledBytes <= 0 {
+		t.Fatalf("spilled entries without spilled bytes: %+v", st.Store)
+	}
+
+	// The backlog: C starts running (concurrency 1), D and E queue
+	// behind it. SIGKILL lands with all three non-terminal.
+	jobC, err := client.SubmitCube(ctx, cube, cubeOpts("C"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobD, err := client.FuseScene(ctx, durScene.ID, sceneOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobE, err := client.SubmitCube(ctx, cube, cubeOpts("E"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		j, err := client.Job(ctx, jobC.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.State == fusionclient.StateRunning {
+			break
+		}
+		if j.Terminal() || time.Now().After(deadline) {
+			t.Fatalf("job C never observed running: %+v", j)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if j, err := client.Job(ctx, jobE.ID); err != nil || j.State != fusionclient.StateQueued {
+		t.Fatalf("job E not queued at kill time: %v %+v", err, j)
+	}
+	if err := life1.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	life1.Wait()
+
+	// Second life, same directories. Stats answering means NewPool — and
+	// with it the whole catalog/journal replay — already finished.
+	startDaemon(t, fusiond, durableArgs...)
+	st = waitStats(t, client, func(st *fusionclient.Stats) bool { return st.Store != nil }, "restarted fusiond up")
+	if st.Store.RecoveredJobs != 3 {
+		t.Fatalf("recovered jobs after restart = %d, want 3 (C, D, E): %+v", st.Store.RecoveredJobs, st.Store)
+	}
+
+	// The scene survived via the catalog: same ID, geometry, and payload
+	// digest.
+	scenes, err := client.Scenes(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scenes) != 1 || scenes[0].ID != durScene.ID {
+		t.Fatalf("scene registry after restart = %+v, want just %s", scenes, durScene.ID)
+	}
+	if scenes[0].Digest != durScene.Digest || scenes[0].Bytes != durScene.Bytes {
+		t.Fatalf("recovered scene mutated: %+v vs %+v", scenes[0], durScene)
+	}
+
+	// The interrupted backlog completes under its original job IDs with
+	// mosaics byte-identical to the uninterrupted reference.
+	for _, jc := range []struct {
+		label string
+		id    string
+	}{{"C", jobC.ID}, {"D", jobD.ID}, {"E", jobE.ID}} {
+		if got := waitAndHash(t, client, jc.id); got != want[jc.label] {
+			t.Fatalf("job %s (%s) mosaic diverged from the uninterrupted reference after restart", jc.label, jc.id)
+		}
+	}
+
+	// A's result was computed in the first life and evicted to the spill
+	// before the crash; resubmitting it must be a cache hit served from
+	// the recovered spill — bit-identical, and without recomputation. The
+	// journal also pins the job counter: five jobs came before, so this
+	// resubmission is job-6 even though the process restarted.
+	resub, err := client.SubmitCube(ctx, cube, cubeOpts("A"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resub.ID != "job-6" {
+		t.Fatalf("job IDs reset across restart: resubmission got %s, want job-6", resub.ID)
+	}
+	if got := waitAndHash(t, client, resub.ID); got != want["A"] {
+		t.Fatal("spill-served mosaic diverged from the reference")
+	}
+	final, err := client.Job(ctx, resub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !final.CacheHit {
+		t.Fatalf("resubmission after restart recomputed instead of hitting the spilled cache entry: %+v", final)
+	}
+
+	exposition := scrapeMetrics(t, fmt.Sprintf("http://127.0.0.1:%d/metrics", port))
+	if hits := metricValue(t, exposition, "fusion_cache_spill_hits_total"); hits < 1 {
+		t.Fatalf("fusion_cache_spill_hits_total = %v after a spill-served hit, want >= 1", hits)
+	}
+	if rec := metricValue(t, exposition, "fusion_store_recovered_jobs_total"); rec != 3 {
+		t.Fatalf("fusion_store_recovered_jobs_total = %v, want 3", rec)
+	}
+	if recs := metricValue(t, exposition, "fusion_store_journal_records_total"); recs < 1 {
+		t.Fatalf("fusion_store_journal_records_total = %v, want >= 1", recs)
+	}
+}

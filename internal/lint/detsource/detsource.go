@@ -14,7 +14,10 @@ import (
 )
 
 // DetPackages are the package-path suffixes the deterministic contract
-// covers: everything between raw samples and the fused composite.
+// covers: everything between raw samples and the fused composite, plus
+// the durable store — its records must replay to identical state, so
+// wall clock and map order are just as forbidden there (timestamps
+// arrive as caller-supplied fields, never time.Now).
 var DetPackages = []string{
 	"internal/core",
 	"internal/fuse",
@@ -25,6 +28,7 @@ var DetPackages = []string{
 	"internal/pct",
 	"internal/scene",
 	"internal/spectral",
+	"internal/store",
 }
 
 // Analyzer flags nondeterminism sources in the deterministic packages:

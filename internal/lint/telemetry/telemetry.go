@@ -29,6 +29,7 @@ var scope = []string{
 	"internal/fuse",
 	"internal/fuse/pyramid",
 	"internal/fuse/dwt",
+	"internal/store",
 }
 
 // Analyzer flags, within the scoped library packages:

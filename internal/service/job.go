@@ -36,6 +36,10 @@ type Job struct {
 	opts   core.Options
 	digest string
 	key    string
+	// cubeFile is the journal-spooled copy of a cube job's input (a bare
+	// name under the pool's cubes directory), set only on durable pools;
+	// the terminal journaling releases it.
+	cubeFile string
 
 	// Scene jobs stream tiles from a registered scene instead of holding
 	// a cube: sceneID names the registry entry, and sceneFile is the

@@ -26,9 +26,14 @@ type poolMetrics struct {
 	jobsByAlgorithm *telemetry.CounterVec
 	longpollParks   *telemetry.Counter
 
-	cacheHits      *telemetry.Counter
-	cacheMisses    *telemetry.Counter
-	cacheEvictions *telemetry.Counter
+	cacheHits        *telemetry.Counter
+	cacheMisses      *telemetry.Counter
+	cacheEvictions   *telemetry.Counter
+	cacheSpillHits   *telemetry.Counter
+	cacheSpillMisses *telemetry.Counter
+
+	journalRecords *telemetry.Counter
+	recoveredJobs  *telemetry.Counter
 
 	sceneTilesRead    *telemetry.Counter
 	scenePrefetchHits *telemetry.Counter
@@ -79,6 +84,14 @@ func newPoolMetrics(reg *telemetry.Registry, p *Pool) *poolMetrics {
 			"Result-cache lookups that required a fusion run."),
 		cacheEvictions: reg.Counter("fusion_cache_evictions_total",
 			"Result-cache entries evicted by the LRU capacity bound."),
+		cacheSpillHits: reg.Counter("fusion_cache_spill_hits_total",
+			"RAM-missed cache lookups served from the disk-spill tier."),
+		cacheSpillMisses: reg.Counter("fusion_cache_spill_misses_total",
+			"RAM-missed cache lookups the disk-spill tier could not serve."),
+		journalRecords: reg.Counter("fusion_store_journal_records_total",
+			"Lifecycle records appended (and fsync'd) to the job journal."),
+		recoveredJobs: reg.Counter("fusion_store_recovered_jobs_total",
+			"Journaled jobs re-admitted at boot (requeued or cache-resolved)."),
 		sceneTilesRead: reg.Counter("fusion_scene_tiles_read_total",
 			"Row tiles pulled from spooled scenes by job managers."),
 		scenePrefetchHits: reg.Counter("fusion_scene_prefetch_hits_total",
@@ -110,6 +123,13 @@ func newPoolMetrics(reg *telemetry.Registry, p *Pool) *poolMetrics {
 		}
 		_, _, size := p.cache.counters()
 		return int64(size)
+	})
+	reg.GaugeFunc("fusion_cache_spilled_bytes", "Bytes resident in the result cache's disk-spill tier.", func() int64 {
+		if p.cache == nil {
+			return 0
+		}
+		_, bytes := p.cache.spillStats()
+		return bytes
 	})
 	reg.GaugeFunc("fusion_scenes_registered", "Scenes currently registered.", func() int64 {
 		p.mu.Lock()

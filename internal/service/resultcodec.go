@@ -1,0 +1,33 @@
+package service
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"resilientfusion/internal/core"
+)
+
+// encodeResult serializes a completed fusion result for the disk-spill
+// cache tier. gob covers every exported field (image, statistics,
+// transform, timings); core.Result's unexported completion flag is lost
+// in the round trip, which is safe — it is consulted only inside core's
+// own run paths, never on cache-served results.
+func encodeResult(res *core.Result) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(res); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeResult is the inverse of encodeResult. The bytes it is handed
+// were already digest-validated by the spill layer, so a decode error
+// here means an incompatible (older-build) encoding, not corruption;
+// either way the caller drops the entry and recomputes.
+func decodeResult(data []byte) (*core.Result, error) {
+	res := new(core.Result)
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -36,6 +36,7 @@ var (
 // except lastDone (guarded by the pool mutex).
 type sceneEntry struct {
 	id         string
+	seq        uint64 // numeric suffix of id; persisted so allocation stays monotonic
 	h          scene.Header
 	dataPath   string
 	owned      bool // spooled by the pool → removed with the entry
@@ -112,7 +113,8 @@ func (p *Pool) RegisterScene(headerText string, data io.Reader) (SceneInfo, erro
 		return SceneInfo{}, fmt.Errorf("%w: %d scenes registered", ErrSceneLimit, p.cfg.MaxScenes)
 	}
 	p.nextScene++
-	id := fmt.Sprintf("scene-%d", p.nextScene)
+	seq := p.nextScene
+	id := fmt.Sprintf("scene-%d", seq)
 	spool := p.spoolDir
 	p.mu.Unlock()
 
@@ -127,7 +129,7 @@ func (p *Pool) RegisterScene(headerText string, data io.Reader) (SceneInfo, erro
 		os.Remove(dataPath)
 		return SceneInfo{}, err
 	}
-	return p.registerEntry(&sceneEntry{id: id, h: *h, dataPath: dataPath, owned: true})
+	return p.registerEntry(&sceneEntry{id: id, seq: seq, h: *h, dataPath: dataPath, owned: true})
 }
 
 // RegisterSceneFile registers an ENVI scene already on local disk (by
@@ -156,10 +158,11 @@ func (p *Pool) RegisterSceneFile(path string) (SceneInfo, error) {
 		return SceneInfo{}, fmt.Errorf("%w: %d scenes registered", ErrSceneLimit, p.cfg.MaxScenes)
 	}
 	p.nextScene++
-	id := fmt.Sprintf("scene-%d", p.nextScene)
+	seq := p.nextScene
+	id := fmt.Sprintf("scene-%d", seq)
 	p.mu.Unlock()
 
-	return p.registerEntry(&sceneEntry{id: id, h: h, dataPath: dataPath})
+	return p.registerEntry(&sceneEntry{id: id, seq: seq, h: h, dataPath: dataPath})
 }
 
 // registerEntry validates the spooled payload, computes the content
@@ -184,17 +187,32 @@ func (p *Pool) registerEntry(ent *sceneEntry) (SceneInfo, error) {
 	ent.registered = time.Now()
 
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.closed {
+		p.mu.Unlock()
 		ent.removeFiles()
 		return SceneInfo{}, ErrClosed
 	}
 	if len(p.scenes) >= p.cfg.MaxScenes {
+		p.mu.Unlock()
 		ent.removeFiles()
 		return SceneInfo{}, fmt.Errorf("%w: %d scenes registered", ErrSceneLimit, p.cfg.MaxScenes)
 	}
 	p.scenes[ent.id] = ent
-	return p.sceneInfoLocked(ent), nil
+	info := p.sceneInfoLocked(ent)
+	p.mu.Unlock()
+
+	// Durable pools record the registration (fsync'd) before the client
+	// is acked; a failure to persist unwinds the publication entirely. A
+	// crash between publish and record loses only an unacked scene — the
+	// boot sweep collects its spool files as orphans.
+	if err := p.catalogAdd(ent); err != nil {
+		p.mu.Lock()
+		delete(p.scenes, ent.id)
+		p.mu.Unlock()
+		ent.removeFiles()
+		return SceneInfo{}, err
+	}
+	return info, nil
 }
 
 // spoolExact streams exactly claimed bytes from data into path,
@@ -270,15 +288,33 @@ func (p *Pool) Scenes() []SceneInfo {
 // Accepted fusions — queued or running — hold their own open handle
 // from submit time, so they complete unaffected; new fusions of the ID
 // fail with ErrUnknownScene.
+// On durable pools the removal record is appended (and fsync'd) BEFORE
+// the spool files are unlinked — record-then-unlink. The other order
+// has a restart hazard: a crash after the unlink but before the record
+// would replay the scene into the registry with its payload gone. With
+// this order the worst case is an orphaned spool file the boot sweep
+// collects. TestRemoveSceneRecordsBeforeUnlink pins the ordering.
 func (p *Pool) RemoveScene(id string) error {
 	p.mu.Lock()
 	ent := p.scenes[id]
-	delete(p.scenes, id)
 	p.mu.Unlock()
 	if ent == nil {
 		return ErrUnknownScene
 	}
-	ent.removeFiles()
+	if p.catalog != nil {
+		if err := p.catalog.Remove(id); err != nil {
+			// Not recorded → not removed: the scene stays registered and
+			// its files stay on disk.
+			return fmt.Errorf("service: recording removal of %s: %w", id, err)
+		}
+	}
+	p.mu.Lock()
+	ent = p.scenes[id]
+	delete(p.scenes, id)
+	p.mu.Unlock()
+	if ent != nil {
+		ent.removeFiles()
+	}
 	return nil
 }
 

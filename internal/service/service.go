@@ -32,6 +32,7 @@ import (
 	"resilientfusion/internal/hsi"
 	"resilientfusion/internal/scene"
 	"resilientfusion/internal/scplib"
+	"resilientfusion/internal/store"
 	"resilientfusion/internal/telemetry"
 )
 
@@ -96,6 +97,18 @@ type Config struct {
 	// may hold its connection (default 60s). Clients asking for more are
 	// trimmed, not rejected: they re-issue the long-poll.
 	MaxLongPoll time.Duration
+	// JournalDir, when non-empty, enables the durable control plane: a
+	// write-ahead job journal (plus spooled cube inputs and the cache
+	// spill) lives under it, and a persistent scene catalog is kept next
+	// to the spool. Queued and running jobs re-enter the pool after a
+	// restart on the same directories, with IDs and result keys
+	// unchanged. Pair it with a persistent SpoolDir — a pool-created
+	// temporary spool is removed at Close, taking the catalog with it.
+	JournalDir string
+	// CacheSpillBytes > 0 lets the result cache spill evicted entries to
+	// content-addressed files under JournalDir/spill, bounded by this
+	// byte budget; spilled entries survive restarts. Requires JournalDir.
+	CacheSpillBytes int64
 	// Cluster, when non-nil, enables cluster mode: the pool listens for
 	// fusionworkerd processes and runs jobs' worker replicas remotely,
 	// falling back to the in-process pool below quorum. It forces
@@ -172,6 +185,23 @@ type Stats struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	// Cluster reports cluster-mode state; null when cluster mode is off.
 	Cluster *ClusterStats `json:"cluster,omitempty"`
+	// Store reports the durable control plane; null when JournalDir is
+	// unset.
+	Store *StoreStats `json:"store,omitempty"`
+}
+
+// StoreStats is the durable-control-plane section of Stats.
+type StoreStats struct {
+	// JournalRecords counts lifecycle records fsync'd this process life;
+	// RecoveredJobs counts jobs re-admitted from the journal at boot.
+	JournalRecords int64 `json:"journal_records"`
+	RecoveredJobs  int64 `json:"recovered_jobs"`
+	// Spill tier: lookups served from / missed by disk, and what is
+	// resident there now.
+	SpillHits      int64 `json:"spill_hits"`
+	SpillMisses    int64 `json:"spill_misses"`
+	SpilledEntries int   `json:"spilled_entries"`
+	SpilledBytes   int64 `json:"spilled_bytes"`
 }
 
 // Pool is the multi-job fusion service.
@@ -201,6 +231,14 @@ type Pool struct {
 	nextScene uint64
 	spoolDir  string
 	ownSpool  bool
+
+	// Durable control plane (see durable.go); all nil unless
+	// Config.JournalDir is set.
+	catalog  *store.Catalog
+	journal  *store.Journal
+	spill    *store.Spill
+	cubesDir string
+	recovery *RecoveryReport
 }
 
 // NewPool builds and starts a pool: the system begins running with all
@@ -225,7 +263,6 @@ func NewPool(cfg Config) (*Pool, error) {
 		nextThread: scplib.ThreadID(cfg.Workers + 1),
 	}
 	p.metrics = newPoolMetrics(reg, p)
-	p.cache = newResultCache(cfg.CacheEntries, p.metrics)
 	if p.spoolDir == "" {
 		dir, err := os.MkdirTemp("", "fusiond-scenes-")
 		if err != nil {
@@ -235,9 +272,21 @@ func NewPool(cfg Config) (*Pool, error) {
 	} else if err := os.MkdirAll(p.spoolDir, 0o755); err != nil {
 		return nil, err
 	}
+	// Durable control plane: replay the catalog and journal into the
+	// scene registry and ID allocators before anything can race them
+	// (jobs requeue at the end of NewPool, once dispatchers are live).
+	if err := p.openDurable(); err != nil {
+		if p.ownSpool {
+			os.RemoveAll(p.spoolDir)
+		}
+		return nil, err
+	}
+	p.cache = newResultCache(cfg.CacheEntries, p.metrics)
+	p.cache.attachSpill(p.spill, p.logf)
 	if cfg.Cluster != nil {
 		cl, err := newClusterState(*cfg.Cluster, cfg.LogTo, reg)
 		if err != nil {
+			p.closeStore()
 			if p.ownSpool {
 				os.RemoveAll(p.spoolDir)
 			}
@@ -264,6 +313,8 @@ func NewPool(cfg Config) (*Pool, error) {
 		p.wg.Add(1)
 		go p.dispatch()
 	}
+	// Re-admit journaled jobs now that dispatchers can drain the queue.
+	p.recoverJobs()
 	return p, nil
 }
 
@@ -377,6 +428,17 @@ func (p *Pool) enqueue(mk func(num uint64) *Job) (JobStatus, error) {
 	p.jobs[job.id] = job
 	p.mu.Unlock()
 
+	// Durable pools persist the submission — cube input, then the
+	// fsync'd submit record — before any acknowledging return below
+	// (fsync-before-ack): once the client hears "accepted", a crash at
+	// any instant replays the job.
+	if err := p.journalSubmit(job); err != nil {
+		p.mu.Lock()
+		delete(p.jobs, job.id) // never admitted
+		p.mu.Unlock()
+		return JobStatus{}, err
+	}
+
 	// Content-addressed fast path: identical samples + options already
 	// computed (scene jobs digest-match equivalent in-memory uploads, so
 	// the two submission paths share entries).
@@ -398,6 +460,9 @@ func (p *Pool) enqueue(mk func(num uint64) *Job) (JobStatus, error) {
 	if p.closed {
 		delete(p.jobs, job.id) // never admitted
 		p.mu.Unlock()
+		// Neutralize the submit record: replaying a rejected job would
+		// grant it the admission it never got.
+		p.journalTerminal(job, store.JobCancel, "pool closed before admission")
 		return JobStatus{}, ErrClosed
 	}
 	select {
@@ -412,6 +477,7 @@ func (p *Pool) enqueue(mk func(num uint64) *Job) (JobStatus, error) {
 		delete(p.jobs, job.id)
 		p.mu.Unlock()
 		p.metrics.jobsRejected.Inc()
+		p.journalTerminal(job, store.JobCancel, "rejected: queue full")
 		return JobStatus{}, ErrQueueFull
 	}
 }
@@ -461,6 +527,9 @@ func (p *Pool) Cancel(id string) (JobStatus, error) {
 	}
 	st := p.snapshotLocked(job)
 	p.mu.Unlock()
+	// Journal before releasing waiters: the cancellation is durable by
+	// the time anyone observes the terminal state.
+	p.journalTerminal(job, store.JobCancel, "")
 	close(job.done)
 	return st, nil
 }
@@ -627,6 +696,17 @@ func (p *Pool) Stats() Stats {
 	if p.cluster != nil {
 		s.Cluster = p.cluster.snapshot()
 	}
+	if p.journal != nil {
+		entries, bytes := p.cache.spillStats()
+		s.Store = &StoreStats{
+			JournalRecords: p.metrics.journalRecords.Value(),
+			RecoveredJobs:  p.metrics.recoveredJobs.Value(),
+			SpillHits:      p.metrics.cacheSpillHits.Value(),
+			SpillMisses:    p.metrics.cacheSpillMisses.Value(),
+			SpilledEntries: entries,
+			SpilledBytes:   bytes,
+		}
+	}
 	return s
 }
 
@@ -653,13 +733,19 @@ func (p *Pool) Close() error {
 	p.sys.Stop() // kill persistent workers
 	err := p.sys.Wait()
 	// Release spooled scenes after the drain: queued scene jobs read
-	// their files until the dispatchers finish.
+	// their files until the dispatchers finish. Durable pools keep the
+	// files — the catalog still records them, and the next boot re-reads
+	// both (removing them here would turn every clean restart into a
+	// mass scene drop).
 	p.mu.Lock()
-	for _, ent := range p.scenes {
-		ent.removeFiles()
+	if p.catalog == nil {
+		for _, ent := range p.scenes {
+			ent.removeFiles()
+		}
 	}
 	p.scenes = map[string]*sceneEntry{}
 	p.mu.Unlock()
+	p.closeStore()
 	if p.ownSpool {
 		os.RemoveAll(p.spoolDir)
 	}
@@ -690,6 +776,7 @@ func (p *Pool) runJob(job *Job) {
 	tid := p.nextThread
 	p.nextThread++
 	p.mu.Unlock()
+	p.journalStart(job)
 	defer func() {
 		p.mu.Lock()
 		p.running--
@@ -837,6 +924,14 @@ func (p *Pool) finish(job *Job, res *core.Result, err error, fromCache bool) {
 		}
 	}
 	p.mu.Unlock()
+	// Journal the terminal transition (and release the spooled cube
+	// input) before waiters observe it; the client never sees a terminal
+	// state a restart would forget.
+	if err != nil {
+		p.journalTerminal(job, store.JobFail, err.Error())
+	} else {
+		p.journalTerminal(job, store.JobFinish, "")
+	}
 	close(job.done)
 	if strip != nil {
 		// Release the memoized PNG too. Taken outside the pool lock:

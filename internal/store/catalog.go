@@ -1,0 +1,207 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Scene catalog record ops.
+const (
+	SceneAdd    = "add"
+	SceneRemove = "remove"
+)
+
+// SceneRecord is one scene catalog entry as it travels in the log. Add
+// records carry the full registration; Remove records carry only the ID.
+type SceneRecord struct {
+	Op string `json:"op"`
+	ID string `json:"id"`
+	// Seq is the numeric suffix of the scene ID; the catalog's MaxSeq
+	// keeps ID allocation monotonic across restarts.
+	Seq uint64 `json:"seq,omitempty"`
+	// Header is the marshaled ENVI header text.
+	Header string `json:"header,omitempty"`
+	// File is the data payload path: a bare name resolved against the
+	// spool directory for pool-owned spools, or an absolute path for
+	// externally owned registrations (External true).
+	File     string `json:"file,omitempty"`
+	External bool   `json:"external,omitempty"`
+	Digest   string `json:"digest,omitempty"`
+	// RegisteredUnixNano is the registration wall-clock stamp, supplied
+	// by the caller (this package never reads the clock).
+	RegisteredUnixNano int64 `json:"registered_unix_nano,omitempty"`
+}
+
+// CatalogReport summarizes a catalog replay.
+type CatalogReport struct {
+	ReplayReport
+	// Scenes is how many live scenes survived the replay (adds minus
+	// removes, duplicates collapsed).
+	Scenes int
+	// BadRecords counts records whose JSON payload did not decode or
+	// that carried an unknown op; they are skipped, not fatal.
+	BadRecords int
+}
+
+// Catalog is the persistent scene registry: an append-only log of
+// add/remove records, replayed into a map on open. Replay is idempotent
+// — duplicate adds overwrite, removes of unknown IDs are no-ops — so a
+// log that carries retried records recovers to the same state.
+type Catalog struct {
+	mu     sync.Mutex
+	log    *Log
+	scenes map[string]SceneRecord
+	maxSeq uint64
+}
+
+// OpenCatalog opens (creating if needed) the catalog log at path and
+// replays it.
+func OpenCatalog(path string) (*Catalog, CatalogReport, error) {
+	c := &Catalog{scenes: make(map[string]SceneRecord)}
+	var rep CatalogReport
+	log, lrep, err := OpenLog(path, func(payload []byte) error {
+		var rec SceneRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			rep.BadRecords++
+			return nil
+		}
+		c.apply(rec, &rep)
+		return nil
+	})
+	if err != nil {
+		return nil, rep, err
+	}
+	rep.ReplayReport = lrep
+	rep.Scenes = len(c.scenes)
+	c.log = log
+	return c, rep, nil
+}
+
+func (c *Catalog) apply(rec SceneRecord, rep *CatalogReport) {
+	switch rec.Op {
+	case SceneAdd:
+		if rec.ID == "" {
+			rep.BadRecords++
+			return
+		}
+		c.scenes[rec.ID] = rec
+		if rec.Seq > c.maxSeq {
+			c.maxSeq = rec.Seq
+		}
+	case SceneRemove:
+		delete(c.scenes, rec.ID)
+		if rec.Seq > c.maxSeq {
+			c.maxSeq = rec.Seq
+		}
+	default:
+		rep.BadRecords++
+	}
+}
+
+// Add appends (and fsyncs) an add record and publishes it to the live
+// view. The record is durable when Add returns.
+func (c *Catalog) Add(rec SceneRecord) error {
+	rec.Op = SceneAdd
+	if rec.ID == "" {
+		return fmt.Errorf("store: catalog add without scene ID")
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if err := c.log.Append(payload); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.scenes[rec.ID] = rec
+	if rec.Seq > c.maxSeq {
+		c.maxSeq = rec.Seq
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// Remove appends (and fsyncs) a remove record. The caller unlinks the
+// scene's spool files only after Remove returns — record-then-unlink —
+// so a crash between the two leaves an orphan the boot sweep collects,
+// never a half-deleted scene that resurrects.
+func (c *Catalog) Remove(id string) error {
+	payload, err := json.Marshal(SceneRecord{Op: SceneRemove, ID: id})
+	if err != nil {
+		return err
+	}
+	if err := c.log.Append(payload); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	delete(c.scenes, id)
+	c.mu.Unlock()
+	return nil
+}
+
+// Scenes returns the live records sorted by Seq (registration order).
+func (c *Catalog) Scenes() []SceneRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]SceneRecord, len(c.scenes))
+	i := 0
+	for _, rec := range c.scenes {
+		out[i] = rec
+		i++
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	return out
+}
+
+// MaxSeq returns the highest scene sequence number the log has seen,
+// including removed scenes — ID allocation must never reuse a number.
+func (c *Catalog) MaxSeq() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.maxSeq
+}
+
+// Drop removes id from the live view without writing a record — for
+// recovery-time invalidation of scenes whose spool files are missing or
+// corrupt (the next Compact drops them from the log too).
+func (c *Catalog) Drop(id string) {
+	c.mu.Lock()
+	delete(c.scenes, id)
+	c.mu.Unlock()
+}
+
+// Compact rewrites the log to just the live add records (plus one
+// synthetic remove record pinning MaxSeq when the live set does not
+// already reach it), bounding log growth across restarts.
+func (c *Catalog) Compact() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	live := make([]SceneRecord, len(c.scenes))
+	i := 0
+	seqCovered := uint64(0)
+	for _, rec := range c.scenes {
+		live[i] = rec
+		i++
+		if rec.Seq > seqCovered {
+			seqCovered = rec.Seq
+		}
+	}
+	sort.Slice(live, func(a, b int) bool { return live[a].Seq < live[b].Seq })
+	if seqCovered < c.maxSeq {
+		live = append(live, SceneRecord{Op: SceneRemove, ID: fmt.Sprintf("scene-%d", c.maxSeq), Seq: c.maxSeq})
+	}
+	payloads := make([][]byte, len(live))
+	for i, rec := range live {
+		p, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		payloads[i] = p
+	}
+	return c.log.Rewrite(payloads)
+}
+
+// Close releases the underlying log.
+func (c *Catalog) Close() error { return c.log.Close() }

@@ -1,0 +1,230 @@
+// Package store is the durable control plane under the fusion service:
+// crash-safe persistence for the scene catalog, a write-ahead job
+// journal, and a content-addressed disk-spill store for evicted result
+// cache entries. Everything is built on one primitive — an append-only
+// log of length-prefixed, checksummed records that tolerates a torn
+// final record (the normal shape of a crash mid-append) by truncating
+// back to the last intact record boundary.
+//
+// The package deliberately knows nothing about jobs, scenes, or fusion
+// results beyond their serialized record forms; policy (what to replay,
+// when to sweep an orphan, what a spilled payload decodes to) lives in
+// internal/service. It is covered by the detsource lint scope: no wall
+// clock, no global randomness — timestamps are passed in by callers,
+// and recovery is a pure function of the bytes on disk.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// recordHeaderLen is the fixed per-record framing: a little-endian
+// uint32 payload length followed by a CRC-32C (Castagnoli) of the
+// payload.
+const recordHeaderLen = 8
+
+// MaxRecordLen bounds one record's payload. Catalog and journal records
+// are small JSON documents; the bound exists so a corrupted length field
+// is rejected before it can demand an absurd allocation.
+const MaxRecordLen = 16 << 20
+
+// castagnoli is the CRC-32C table shared by every record read and write.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrRecordTooLarge reports an Append whose payload exceeds MaxRecordLen.
+var ErrRecordTooLarge = errors.New("store: record exceeds MaxRecordLen")
+
+// ReplayReport summarizes one log replay for the boot-time recovery log.
+type ReplayReport struct {
+	// Records is how many intact records were decoded and replayed.
+	Records int
+	// TruncatedBytes is how many trailing bytes were discarded as a torn
+	// or corrupt tail (0 for a clean log).
+	TruncatedBytes int64
+}
+
+// DecodeRecords walks data record by record, calling fn with each intact
+// payload, and returns the number of bytes consumed by intact records
+// plus how many records were decoded. Decoding stops — without error —
+// at the first frame that cannot be trusted: a short header, a length
+// past the remaining bytes or MaxRecordLen, or a checksum mismatch. The
+// undecodable tail is the caller's to truncate; everything before it
+// replayed. fn errors abort the walk and are returned as-is.
+//
+// This is the pure core of log recovery (and the fuzz target): it never
+// touches the filesystem and never panics on adversarial input.
+func DecodeRecords(data []byte, fn func(payload []byte) error) (consumed int64, records int, err error) {
+	off := int64(0)
+	for {
+		rest := data[off:]
+		if len(rest) < recordHeaderLen {
+			return off, records, nil
+		}
+		n := int64(binary.LittleEndian.Uint32(rest[0:4]))
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if n > MaxRecordLen || recordHeaderLen+n > int64(len(rest)) {
+			return off, records, nil
+		}
+		payload := rest[recordHeaderLen : recordHeaderLen+n]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return off, records, nil
+		}
+		if fn != nil {
+			if err := fn(payload); err != nil {
+				return off, records, err
+			}
+		}
+		off += recordHeaderLen + n
+		records++
+	}
+}
+
+// AppendRecord frames payload for a record log. Exposed for tests that
+// hand-build logs; Log.Append is the production path.
+func AppendRecord(dst []byte, payload []byte) []byte {
+	var hdr [recordHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// Log is an append-only record log on disk. Append is safe for
+// concurrent use; every append is fsync'd before it returns, so a
+// record handed to Append is durable by the time the caller can act on
+// it (the fsync-before-ack invariant the journal relies on).
+type Log struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// OpenLog opens (creating if needed) the record log at path, replays
+// every intact record through fn, truncates any torn tail, and returns
+// the log positioned for appends. A decode callback error aborts the
+// open.
+func OpenLog(path string, fn func(payload []byte) error) (*Log, ReplayReport, error) {
+	var rep ReplayReport
+	data, err := os.ReadFile(path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, rep, err
+	}
+	consumed, records, err := DecodeRecords(data, fn)
+	if err != nil {
+		return nil, rep, fmt.Errorf("store: replaying %s: %w", path, err)
+	}
+	rep.Records = records
+	rep.TruncatedBytes = int64(len(data)) - consumed
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, rep, err
+	}
+	if rep.TruncatedBytes > 0 {
+		if err := f.Truncate(consumed); err != nil {
+			f.Close()
+			return nil, rep, err
+		}
+	}
+	if _, err := f.Seek(consumed, io.SeekStart); err != nil {
+		f.Close()
+		return nil, rep, err
+	}
+	return &Log{f: f, path: path}, rep, nil
+}
+
+// Append frames payload, writes it, and fsyncs before returning.
+func (l *Log) Append(payload []byte) error {
+	if int64(len(payload)) > MaxRecordLen {
+		return fmt.Errorf("%w: %d bytes", ErrRecordTooLarge, len(payload))
+	}
+	buf := AppendRecord(make([]byte, 0, recordHeaderLen+len(payload)), payload)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return fmt.Errorf("store: append to closed log %s", l.path)
+	}
+	if _, err := l.f.Write(buf); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// Rewrite atomically replaces the log's contents with the given record
+// payloads (compaction): the records are framed into a temporary file,
+// fsync'd, and renamed over the log. Appends issued concurrently with a
+// Rewrite are serialized against it.
+func (l *Log) Rewrite(payloads [][]byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var buf []byte
+	for _, p := range payloads {
+		if int64(len(p)) > MaxRecordLen {
+			return fmt.Errorf("%w: %d bytes", ErrRecordTooLarge, len(p))
+		}
+		buf = AppendRecord(buf, p)
+	}
+	tmp := l.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, l.path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	nf, err := os.OpenFile(l.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if l.f != nil {
+		l.f.Close()
+	}
+	l.f = nf
+	return syncDir(filepath.Dir(l.path))
+}
+
+// Close releases the log's file handle. Appends after Close fail.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}
+
+// syncDir fsyncs a directory so a just-renamed or just-created entry
+// survives a crash. Filesystems that refuse directory fsync (some
+// network mounts) degrade silently — the data fsync still happened.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}

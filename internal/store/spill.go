@@ -1,0 +1,315 @@
+package store
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// spillMagic opens every spill file; a file that does not start with it
+// is not ours to trust (or delete content from — it is just skipped and
+// removed as corrupt, since the spill directory is store-owned).
+var spillMagic = []byte("FSPL1\n")
+
+// spillExt is the spill file extension; the stem is the hex SHA-256 of
+// the file's entire contents.
+const spillExt = ".spill"
+
+// maxSpillKeyLen bounds the embedded cache key so a corrupted length
+// field cannot demand an absurd allocation.
+const maxSpillKeyLen = 1 << 16
+
+// ErrSpillCorrupt reports a spill file whose digest or framing did not
+// validate; the entry is dropped and the file removed.
+var ErrSpillCorrupt = errors.New("store: spill entry corrupt")
+
+// SpillReport summarizes a spill directory scan.
+type SpillReport struct {
+	// Entries and Bytes are the valid entries indexed.
+	Entries int
+	Bytes   int64
+	// Corrupt counts files whose digest or framing failed validation;
+	// they are deleted during the scan.
+	Corrupt int
+}
+
+// Spill is a content-addressed store of evicted cache entries: each
+// entry is one file whose name is the hex SHA-256 of its contents
+// (magic, key frame, payload), so every reload — boot-time scan or
+// cache-miss read — re-derives the digest and validates it against the
+// name before a byte of payload is trusted. Total bytes are bounded by
+// maxBytes with least-recently-used files evicted first (boot order is
+// by file modification time).
+type Spill struct {
+	dir      string
+	maxBytes int64
+
+	mu      sync.Mutex
+	entries map[string]*list.Element // key → *spillEntry
+	ll      *list.List               // front = most recently used
+	bytes   int64
+}
+
+type spillEntry struct {
+	key  string
+	file string // bare name under dir
+	size int64  // full file size
+}
+
+// OpenSpill opens (creating if needed) the spill directory, validates
+// every resident file against its content digest, and indexes the
+// survivors. maxBytes <= 0 disables the byte bound (not recommended —
+// the point of the spill is bounded disk, but tests use it).
+func OpenSpill(dir string, maxBytes int64) (*Spill, SpillReport, error) {
+	var rep SpillReport
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, rep, err
+	}
+	s := &Spill{
+		dir:      dir,
+		maxBytes: maxBytes,
+		entries:  make(map[string]*list.Element),
+		ll:       list.New(),
+	}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, rep, err
+	}
+	// Oldest first, so the LRU list ends up most-recent at the front.
+	type cand struct {
+		name string
+		mod  int64
+	}
+	cands := make([]cand, 0, len(des))
+	for _, de := range des {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), spillExt) {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		cands = append(cands, cand{name: de.Name(), mod: info.ModTime().UnixNano()})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].mod != cands[b].mod {
+			return cands[a].mod < cands[b].mod
+		}
+		return cands[a].name < cands[b].name
+	})
+	for _, c := range cands {
+		path := filepath.Join(dir, c.name)
+		key, _, err := readSpillFile(path, c.name)
+		if err != nil {
+			rep.Corrupt++
+			os.Remove(path)
+			continue
+		}
+		info, err := os.Stat(path)
+		if err != nil {
+			continue
+		}
+		if old, ok := s.entries[key]; ok {
+			// Two files for one key (crash between write and the old
+			// file's removal): keep the newer, drop the older.
+			oldEnt := old.Value.(*spillEntry)
+			os.Remove(filepath.Join(dir, oldEnt.file))
+			s.bytes -= oldEnt.size
+			s.ll.Remove(old)
+			delete(s.entries, key)
+		}
+		ent := &spillEntry{key: key, file: c.name, size: info.Size()}
+		s.entries[key] = s.ll.PushFront(ent)
+		s.bytes += ent.size
+	}
+	s.evictOverBudgetLocked()
+	rep.Entries = s.ll.Len()
+	rep.Bytes = s.bytes
+	return s, rep, nil
+}
+
+// encodeSpill frames key+payload and returns (contents, filename).
+func encodeSpill(key string, payload []byte) ([]byte, string) {
+	buf := make([]byte, 0, len(spillMagic)+4+len(key)+len(payload))
+	buf = append(buf, spillMagic...)
+	var kl [4]byte
+	binary.LittleEndian.PutUint32(kl[:], uint32(len(key)))
+	buf = append(buf, kl[:]...)
+	buf = append(buf, key...)
+	buf = append(buf, payload...)
+	sum := sha256.Sum256(buf)
+	return buf, hex.EncodeToString(sum[:]) + spillExt
+}
+
+// readSpillFile loads and validates one spill file: the whole-file
+// SHA-256 must match the name's stem, and the key frame must parse.
+func readSpillFile(path, name string) (key string, payload []byte, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", nil, err
+	}
+	sum := sha256.Sum256(data)
+	if hex.EncodeToString(sum[:])+spillExt != name {
+		return "", nil, fmt.Errorf("%w: %s digest mismatch", ErrSpillCorrupt, name)
+	}
+	if len(data) < len(spillMagic)+4 || !bytes.HasPrefix(data, spillMagic) {
+		return "", nil, fmt.Errorf("%w: %s bad frame", ErrSpillCorrupt, name)
+	}
+	body := data[len(spillMagic):]
+	kl := int(binary.LittleEndian.Uint32(body[:4]))
+	if kl > maxSpillKeyLen || 4+kl > len(body) {
+		return "", nil, fmt.Errorf("%w: %s bad key frame", ErrSpillCorrupt, name)
+	}
+	return string(body[4 : 4+kl]), body[4+kl:], nil
+}
+
+// Put spills one entry: the framed bytes are written to a temporary
+// file, fsync'd, and renamed to their content digest. An entry for the
+// same key is replaced; entries larger than the byte budget are refused
+// (not an error — the caller just loses the spill, as a RAM-only LRU
+// would have).
+func (s *Spill) Put(key string, payload []byte) error {
+	if len(key) > maxSpillKeyLen {
+		return fmt.Errorf("store: spill key over %d bytes", maxSpillKeyLen)
+	}
+	buf, name := encodeSpill(key, payload)
+	if s.maxBytes > 0 && int64(len(buf)) > s.maxBytes {
+		return nil
+	}
+	path := filepath.Join(s.dir, name)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	_ = syncDir(s.dir)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.entries[key]; ok {
+		oldEnt := old.Value.(*spillEntry)
+		if oldEnt.file != name {
+			os.Remove(filepath.Join(s.dir, oldEnt.file))
+		}
+		s.bytes -= oldEnt.size
+		s.ll.Remove(old)
+		delete(s.entries, key)
+	}
+	ent := &spillEntry{key: key, file: name, size: int64(len(buf))}
+	s.entries[key] = s.ll.PushFront(ent)
+	s.bytes += ent.size
+	s.evictOverBudgetLocked()
+	return nil
+}
+
+// Get loads the payload spilled for key, re-validating the file's
+// content digest. ok is false on a plain miss; a corrupt or unreadable
+// file drops the entry and reports the error alongside ok == false.
+func (s *Spill) Get(key string) (payload []byte, ok bool, err error) {
+	s.mu.Lock()
+	el, found := s.entries[key]
+	var ent *spillEntry
+	if found {
+		ent = el.Value.(*spillEntry)
+		s.ll.MoveToFront(el)
+	}
+	s.mu.Unlock()
+	if !found {
+		return nil, false, nil
+	}
+	gotKey, payload, err := readSpillFile(filepath.Join(s.dir, ent.file), ent.file)
+	if err == nil && gotKey != key {
+		err = fmt.Errorf("%w: %s key mismatch", ErrSpillCorrupt, ent.file)
+	}
+	if err != nil {
+		s.removeEntry(key, ent.file)
+		return nil, false, err
+	}
+	return payload, true, nil
+}
+
+// Remove drops the entry for key (if any) and deletes its file.
+func (s *Spill) Remove(key string) {
+	s.mu.Lock()
+	el, ok := s.entries[key]
+	var file string
+	if ok {
+		ent := el.Value.(*spillEntry)
+		file = ent.file
+		s.bytes -= ent.size
+		s.ll.Remove(el)
+		delete(s.entries, key)
+	}
+	s.mu.Unlock()
+	if ok {
+		os.Remove(filepath.Join(s.dir, file))
+	}
+}
+
+func (s *Spill) removeEntry(key, file string) {
+	s.mu.Lock()
+	if el, ok := s.entries[key]; ok && el.Value.(*spillEntry).file == file {
+		s.bytes -= el.Value.(*spillEntry).size
+		s.ll.Remove(el)
+		delete(s.entries, key)
+	}
+	s.mu.Unlock()
+	os.Remove(filepath.Join(s.dir, file))
+}
+
+// evictOverBudgetLocked drops least-recently-used entries until the
+// byte budget holds. Caller holds s.mu.
+func (s *Spill) evictOverBudgetLocked() {
+	if s.maxBytes <= 0 {
+		return
+	}
+	for s.bytes > s.maxBytes && s.ll.Len() > 0 {
+		oldest := s.ll.Back()
+		ent := oldest.Value.(*spillEntry)
+		s.ll.Remove(oldest)
+		delete(s.entries, ent.key)
+		s.bytes -= ent.size
+		os.Remove(filepath.Join(s.dir, ent.file))
+	}
+}
+
+// Bytes returns the resident spilled byte total.
+func (s *Spill) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Len returns the resident entry count.
+func (s *Spill) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}

@@ -1,0 +1,199 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func openSpill(t *testing.T, dir string, maxBytes int64) (*Spill, SpillReport) {
+	t.Helper()
+	s, rep, err := OpenSpill(dir, maxBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, rep
+}
+
+func TestSpillPutGetSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openSpill(t, dir, 0)
+	payload := []byte("the fused composite bytes")
+	if err := s.Put("digest|opts", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get("digest|opts")
+	if err != nil || !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q ok=%v err=%v", got, ok, err)
+	}
+	if _, ok, _ := s.Get("other"); ok {
+		t.Fatal("miss reported a hit")
+	}
+
+	// A fresh open (a restart) must re-index the entry from disk.
+	s2, rep := openSpill(t, dir, 0)
+	if rep.Entries != 1 || rep.Corrupt != 0 {
+		t.Fatalf("reopen report %+v", rep)
+	}
+	got, ok, err = s2.Get("digest|opts")
+	if err != nil || !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("post-reopen Get = %q ok=%v err=%v", got, ok, err)
+	}
+}
+
+// TestSpillDigestValidation corrupts a spilled file on disk: both the
+// boot-time scan and a read must reject it rather than serve bad bytes.
+func TestSpillDigestValidation(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openSpill(t, dir, 0)
+	if err := s.Put("k", []byte("payload-one")); err != nil {
+		t.Fatal(err)
+	}
+	des, err := os.ReadDir(dir)
+	if err != nil || len(des) != 1 {
+		t.Fatalf("spill dir: %v %d", err, len(des))
+	}
+	path := filepath.Join(dir, des[0].Name())
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Read path: digest mismatch → entry dropped, file removed.
+	if _, ok, err := s.Get("k"); ok || err == nil {
+		t.Fatalf("corrupt entry served: ok=%v err=%v", ok, err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt spill file not removed on read")
+	}
+	if s.Len() != 0 || s.Bytes() != 0 {
+		t.Fatalf("index not cleaned: len=%d bytes=%d", s.Len(), s.Bytes())
+	}
+
+	// Boot path: a corrupt resident file is swept during the scan.
+	if err := s.Put("k2", []byte("payload-two")); err != nil {
+		t.Fatal(err)
+	}
+	des, _ = os.ReadDir(dir)
+	path2 := filepath.Join(dir, des[0].Name())
+	data, _ = os.ReadFile(path2)
+	data[0] ^= 0xff
+	os.WriteFile(path2, data, 0o644)
+	_, rep := openSpill(t, dir, 0)
+	if rep.Entries != 0 || rep.Corrupt != 1 {
+		t.Fatalf("boot scan report %+v", rep)
+	}
+	if _, err := os.Stat(path2); !os.IsNotExist(err) {
+		t.Fatal("corrupt spill file not removed by boot scan")
+	}
+}
+
+func TestSpillByteBudgetEvictsLRU(t *testing.T) {
+	dir := t.TempDir()
+	// Each entry is ~ len(magic)+4+key+payload ≈ 10 + small; budget for
+	// roughly two of the three.
+	payload := bytes.Repeat([]byte("x"), 100)
+	one, _ := encodeSpill("k1", payload)
+	budget := int64(len(one))*2 + 10
+	s, _ := openSpill(t, dir, budget)
+	for _, k := range []string{"k1", "k2", "k3"} {
+		if err := s.Put(k, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 2 {
+		t.Fatalf("resident entries = %d, want 2", s.Len())
+	}
+	if _, ok, _ := s.Get("k1"); ok {
+		t.Fatal("oldest entry k1 should have been evicted")
+	}
+	for _, k := range []string{"k2", "k3"} {
+		if _, ok, err := s.Get(k); !ok || err != nil {
+			t.Fatalf("entry %s lost: ok=%v err=%v", k, ok, err)
+		}
+	}
+	if s.Bytes() > budget {
+		t.Fatalf("resident bytes %d exceed budget %d", s.Bytes(), budget)
+	}
+	// An entry alone larger than the budget is refused without error.
+	if err := s.Put("huge", bytes.Repeat([]byte("y"), int(budget))); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get("huge"); ok {
+		t.Fatal("over-budget entry stored")
+	}
+}
+
+// TestSpillBootLRUOrder seeds files with distinct mtimes and checks the
+// boot index evicts oldest-first when the budget shrinks.
+func TestSpillBootLRUOrder(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openSpill(t, dir, 0)
+	payload := bytes.Repeat([]byte("z"), 50)
+	names := map[string]string{}
+	for i, k := range []string{"old", "mid", "new"} {
+		if err := s.Put(k, append(payload, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+		des, _ := os.ReadDir(dir)
+		for _, de := range des {
+			if _, seen := names[de.Name()]; !seen && strings.HasSuffix(de.Name(), spillExt) {
+				names[de.Name()] = k
+			}
+		}
+	}
+	// Spread mtimes so the scan order is unambiguous.
+	base := time.Now().Add(-time.Hour)
+	order := []string{"old", "mid", "new"}
+	for name, k := range names {
+		var idx int
+		for i, o := range order {
+			if o == k {
+				idx = i
+			}
+		}
+		mt := base.Add(time.Duration(idx) * time.Minute)
+		if err := os.Chtimes(filepath.Join(dir, name), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	one, _ := encodeSpill("old", append(payload, 0))
+	budget := int64(len(one))*2 + 10
+	s2, rep := openSpill(t, dir, budget)
+	if rep.Entries != 2 {
+		t.Fatalf("boot with shrunk budget kept %d entries (%+v)", rep.Entries, rep)
+	}
+	if _, ok, _ := s2.Get("old"); ok {
+		t.Fatal("oldest entry survived the shrunk budget")
+	}
+	for _, k := range []string{"mid", "new"} {
+		if _, ok, err := s2.Get(k); !ok || err != nil {
+			t.Fatalf("entry %s lost on boot: ok=%v err=%v", k, ok, err)
+		}
+	}
+}
+
+func TestSpillRemove(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openSpill(t, dir, 0)
+	if err := s.Put("k", []byte("p")); err != nil {
+		t.Fatal(err)
+	}
+	s.Remove("k")
+	if _, ok, _ := s.Get("k"); ok {
+		t.Fatal("removed entry still served")
+	}
+	des, _ := os.ReadDir(dir)
+	for _, de := range des {
+		if strings.HasSuffix(de.Name(), spillExt) {
+			t.Fatalf("spill file %s survived Remove", de.Name())
+		}
+	}
+}
